@@ -1,0 +1,35 @@
+package lfs
+
+import (
+	"lfs/internal/ffs"
+)
+
+// The paper compares LFS against SunOS 4.0.3's BSD Fast File System.
+// The baseline implementation lives in internal/ffs and is exposed
+// here so examples and downstream users can reproduce the
+// comparisons.
+
+type (
+	// BaselineFS is a mounted FFS-style update-in-place file
+	// system — the comparison system of the paper's evaluation.
+	BaselineFS = ffs.FS
+	// BaselineConfig carries FFS tunables.
+	BaselineConfig = ffs.Config
+	// FsckReport summarises an FFS full-scan consistency check.
+	FsckReport = ffs.FsckReport
+)
+
+// DefaultBaselineConfig returns the paper's SunOS configuration: 8 KB
+// blocks, ~15 MB cache, synchronous metadata writes, 30-second
+// delayed write-back.
+func DefaultBaselineConfig() BaselineConfig { return ffs.DefaultConfig() }
+
+// FormatBaseline initialises the disk as an empty FFS.
+func FormatBaseline(d *Disk, cfg BaselineConfig) error { return ffs.Format(d, cfg) }
+
+// MountBaseline attaches a formatted FFS volume.
+func MountBaseline(d *Disk, cfg BaselineConfig) (*BaselineFS, error) { return ffs.Mount(d, cfg) }
+
+// FsckBaseline runs the BSD-style full-disk scan whose cost the
+// paper's instant checkpoint recovery eliminates.
+func FsckBaseline(d *Disk, cfg BaselineConfig) (*FsckReport, error) { return ffs.Fsck(d, cfg) }

@@ -1,0 +1,262 @@
+// Command lfsbench regenerates every table and figure of the paper's
+// evaluation on the simulated testbed (a Sun-4/260-class CPU and a
+// WREN IV disk).
+//
+// Usage:
+//
+//	lfsbench -experiment fig1       # Figures 1-2: creation disk traces
+//	lfsbench -experiment fig3       # Figure 3: small-file I/O
+//	lfsbench -experiment fig4       # Figure 4: large-file I/O
+//	lfsbench -experiment fig5       # Figure 5: cleaning rate vs utilization
+//	lfsbench -experiment scaling    # §3.1: CPU scaling of create/delete
+//	lfsbench -experiment recovery   # §4.4: crash recovery time
+//	lfsbench -experiment ablation-segsize   # segment size sweep
+//	lfsbench -experiment ablation-policy    # greedy vs cost-benefit cleaning
+//	lfsbench -experiment all        # everything
+//
+// -quick shrinks the workloads by roughly 10x for a fast smoke run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lfs/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("experiment", "all", "experiment to run (fig1|fig3|fig4|fig5|scaling|recovery|ablation-segsize|ablation-policy|ablation-ckpt|ablation-blocksize|utilization|all)")
+	quick := flag.Bool("quick", false, "shrink workloads ~10x for a fast run")
+	csvDir := flag.String("csvdir", "", "also write each experiment's rows as <dir>/<experiment>.csv")
+	flag.Parse()
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "lfsbench: %v\n", err)
+			os.Exit(1)
+		}
+		csvOut = *csvDir
+	}
+
+	runners := map[string]func(bool) error{
+		"fig1":               runFig1,
+		"fig3":               runFig3,
+		"fig4":               runFig4,
+		"fig5":               runFig5,
+		"scaling":            runScaling,
+		"recovery":           runRecovery,
+		"ablation-segsize":   runAblationSegSize,
+		"ablation-policy":    runAblationPolicy,
+		"utilization":        runUtilization,
+		"ablation-ckpt":      runAblationCkpt,
+		"ablation-blocksize": runAblationBlockSize,
+	}
+	order := []string{"fig1", "fig3", "fig4", "fig5", "scaling", "recovery", "ablation-segsize", "ablation-policy", "ablation-ckpt", "ablation-blocksize", "utilization"}
+
+	if *exp == "all" {
+		for _, name := range order {
+			fmt.Printf("=== %s ===\n", name)
+			if err := runners[name](*quick); err != nil {
+				fmt.Fprintf(os.Stderr, "lfsbench: %s: %v\n", name, err)
+				os.Exit(1)
+			}
+			fmt.Println()
+		}
+		return
+	}
+	run, ok := runners[*exp]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "lfsbench: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+	if err := run(*quick); err != nil {
+		fmt.Fprintf(os.Stderr, "lfsbench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// csvOut, when non-empty, is the directory experiments write CSVs to.
+var csvOut string
+
+// csvFile opens <csvOut>/<name>.csv, or returns nil when CSV output
+// is off.
+func csvFile(name string) (*os.File, error) {
+	if csvOut == "" {
+		return nil, nil
+	}
+	return os.Create(csvOut + "/" + name + ".csv")
+}
+
+// emitCSV runs write against the experiment's CSV file if enabled.
+func emitCSV(name string, write func(f *os.File) error) error {
+	f, err := csvFile(name)
+	if err != nil || f == nil {
+		return err
+	}
+	defer f.Close()
+	return write(f)
+}
+
+func runFig1(bool) error {
+	res, err := experiments.Fig1(64 << 20)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Format())
+	return nil
+}
+
+func runFig3(quick bool) error {
+	opts := experiments.DefaultFig3Opts()
+	if quick {
+		opts.Capacity = 64 << 20
+		opts.Files1K = 1000
+		opts.Files10K = 100
+	}
+	rows, err := experiments.Fig3(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.FormatFig3(rows))
+	return emitCSV("fig3", func(f *os.File) error { return experiments.CSVFig3(f, rows) })
+}
+
+func runFig4(quick bool) error {
+	opts := experiments.DefaultFig4Opts()
+	if quick {
+		opts.Capacity = 64 << 20
+		opts.FileSize = 16 << 20
+	}
+	rows, err := experiments.Fig4(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.FormatFig4(rows))
+	return emitCSV("fig4", func(f *os.File) error { return experiments.CSVFig4(f, rows) })
+}
+
+func runFig5(quick bool) error {
+	opts := experiments.DefaultFig5Opts()
+	if quick {
+		opts.Capacity = 32 << 20
+		opts.NumFiles = 4000
+		opts.Utilizations = []float64{0, 0.25, 0.5, 0.75, 0.9}
+	}
+	rows, err := experiments.Fig5(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.FormatFig5(rows))
+	return emitCSV("fig5", func(f *os.File) error { return experiments.CSVFig5(f, rows) })
+}
+
+func runScaling(quick bool) error {
+	opts := experiments.DefaultScalingOpts()
+	if quick {
+		opts.Files = 50
+	}
+	rows, err := experiments.Scaling(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.FormatScaling(rows))
+	return emitCSV("scaling", func(f *os.File) error { return experiments.CSVScaling(f, rows) })
+}
+
+func runRecovery(quick bool) error {
+	opts := experiments.DefaultRecoveryOpts()
+	if quick {
+		opts.Capacities = []int64{32 << 20, 64 << 20}
+		opts.Files = 100
+	}
+	rows, err := experiments.Recovery(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.FormatRecovery(rows))
+	return emitCSV("recovery", func(f *os.File) error { return experiments.CSVRecovery(f, rows) })
+}
+
+func runAblationSegSize(quick bool) error {
+	opts := experiments.DefaultSegSizeOpts()
+	if quick {
+		opts.Files = 500
+	}
+	rows, err := experiments.SegSizeAblation(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.FormatSegSize(rows))
+	return emitCSV("ablation-segsize", func(f *os.File) error { return experiments.CSVSegSize(f, rows) })
+}
+
+func runAblationPolicy(quick bool) error {
+	opts := experiments.DefaultPolicyOpts()
+	if quick {
+		// Keep the disk as full relative to capacity as the full
+		// run, or the cleaner never activates.
+		opts.Capacity = 12 << 20
+		opts.Files = 2000
+		opts.Overwrites = 6000
+	}
+	rows, err := experiments.PolicyAblation(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.FormatPolicy(rows))
+	return emitCSV("ablation-policy", func(f *os.File) error { return experiments.CSVPolicy(f, rows) })
+}
+
+func runUtilization(quick bool) error {
+	opts := experiments.DefaultUtilizationOpts()
+	if quick {
+		opts.Capacity = 32 << 20
+		opts.Office.Ops = 15000
+		opts.Office.TargetFiles = 1200
+		opts.Office.MeanLifetimeOps = 4000
+	}
+	greedy, costBenefit, err := experiments.UtilizationByPolicy(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Println("--- greedy cleaning ---")
+	fmt.Print(experiments.FormatUtilization(greedy))
+	fmt.Println("--- cost-benefit cleaning ---")
+	fmt.Print(experiments.FormatUtilization(costBenefit))
+	return emitCSV("utilization", func(f *os.File) error {
+		if err := experiments.CSVUtilization(f, greedy, "greedy"); err != nil {
+			return err
+		}
+		return experiments.CSVUtilization(f, costBenefit, "cost-benefit")
+	})
+}
+
+func runAblationCkpt(quick bool) error {
+	opts := experiments.DefaultCkptOpts()
+	if quick {
+		opts.Capacity = 32 << 20
+		opts.Office.Ops = 3000
+		opts.Office.TargetFiles = 800
+		opts.Office.MeanLifetimeOps = 1000
+	}
+	rows, err := experiments.CheckpointAblation(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.FormatCkpt(rows))
+	return emitCSV("ablation-ckpt", func(f *os.File) error { return experiments.CSVCkpt(f, rows) })
+}
+
+func runAblationBlockSize(quick bool) error {
+	opts := experiments.DefaultBlockSizeOpts()
+	if quick {
+		opts.Capacity = 32 << 20
+		opts.Files = 1000
+	}
+	rows, err := experiments.BlockSizeAblation(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.FormatBlockSize(rows))
+	return emitCSV("ablation-blocksize", func(f *os.File) error { return experiments.CSVBlockSize(f, rows) })
+}

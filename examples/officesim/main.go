@@ -1,0 +1,131 @@
+// Officesim reproduces the paper's motivating workload — the
+// office/engineering environment of §3: "a large number of relatively
+// small files ... The average file life time is short, less than a
+// day before it is overwritten or deleted" — and runs it against both
+// LFS and the SunOS-style FFS baseline on identical simulated
+// hardware.
+//
+// The output shows the paper's headline: the baseline is pinned to
+// disk latency by its synchronous metadata writes, while LFS turns
+// the same work into a few large sequential log writes and runs an
+// order of magnitude faster.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lfs"
+)
+
+// officeFS is the slice of each file system we drive.
+type officeFS interface {
+	Mkdir(string) error
+	Create(string) error
+	Write(string, int64, []byte) error
+	Read(string, int64, []byte) (int, error)
+	Remove(string) error
+	Sync() error
+}
+
+// clocked lets us read each file system's virtual clock.
+type clocked interface {
+	Clock() *lfs.Clock
+}
+
+// runOffice simulates a working day in miniature: users create small
+// files (mail messages, object files, editor saves), read some back,
+// overwrite others, and delete most of them soon after.
+func runOffice(fs officeFS, users, filesPerUser int) error {
+	payload := make([]byte, 2048) // "less than 8 kilobytes"
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	buf := make([]byte, len(payload))
+	for u := 0; u < users; u++ {
+		dir := fmt.Sprintf("/user%d", u)
+		if err := fs.Mkdir(dir); err != nil {
+			return err
+		}
+		for f := 0; f < filesPerUser; f++ {
+			name := fmt.Sprintf("%s/doc%03d", dir, f)
+			if err := fs.Create(name); err != nil {
+				return err
+			}
+			if err := fs.Write(name, 0, payload); err != nil {
+				return err
+			}
+			// Read a recent neighbour (files are read "sequentially
+			// and in their entirety").
+			if f > 0 {
+				prev := fmt.Sprintf("%s/doc%03d", dir, f-1)
+				if _, err := fs.Read(prev, 0, buf); err != nil {
+					return err
+				}
+			}
+			// Short lifetimes: delete every second file soon after
+			// creating it, overwrite every third.
+			switch {
+			case f%2 == 1:
+				if err := fs.Remove(fmt.Sprintf("%s/doc%03d", dir, f-1)); err != nil {
+					return err
+				}
+			case f%3 == 0 && f > 0:
+				if err := fs.Write(name, 0, payload); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return fs.Sync()
+}
+
+func main() {
+	const capacity = 128 << 20
+	const users, filesPerUser = 8, 150
+
+	// LFS.
+	ld := lfs.NewMemDisk(capacity)
+	lcfg := lfs.DefaultConfig()
+	if err := lfs.Format(ld, lcfg); err != nil {
+		log.Fatal(err)
+	}
+	lsys, err := lfs.Mount(ld, lcfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// FFS baseline.
+	fd := lfs.NewMemDisk(capacity)
+	fcfg := lfs.DefaultBaselineConfig()
+	if err := lfs.FormatBaseline(fd, fcfg); err != nil {
+		log.Fatal(err)
+	}
+	fsys, err := lfs.MountBaseline(fd, fcfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if err := runOffice(lsys, users, filesPerUser); err != nil {
+		log.Fatal("LFS: ", err)
+	}
+	if err := runOffice(fsys, users, filesPerUser); err != nil {
+		log.Fatal("FFS: ", err)
+	}
+
+	ops := users * filesPerUser
+	lt := lsys.Clock().Now()
+	ft := fsys.Clock().Now()
+	lds, fds := ld.Stats(), fd.Stats()
+
+	fmt.Printf("office/engineering workload: %d users x %d short-lived 2KB files\n\n", users, filesPerUser)
+	fmt.Printf("%-22s %14s %14s\n", "", "LFS", "SunFFS")
+	fmt.Printf("%-22s %14v %14v\n", "simulated time", lt, ft)
+	fmt.Printf("%-22s %14.1f %14.1f\n", "files/second",
+		float64(ops)/lt.Seconds(), float64(ops)/ft.Seconds())
+	fmt.Printf("%-22s %14d %14d\n", "disk writes", lds.Writes, fds.Writes)
+	fmt.Printf("%-22s %14d %14d\n", "  synchronous", lds.SyncWrites, fds.SyncWrites)
+	fmt.Printf("%-22s %14d %14d\n", "  seeks", lds.Seeks, fds.Seeks)
+	fmt.Printf("%-22s %13dK %13dK\n", "bytes written", lds.BytesWritten()/1024, fds.BytesWritten()/1024)
+	fmt.Printf("\nspeedup: %.1fx\n", float64(ft)/float64(lt))
+}

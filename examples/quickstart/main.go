@@ -1,0 +1,79 @@
+// Quickstart: format a RAM-backed LFS, do some file work, and look at
+// what the storage manager did under the hood.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lfs"
+)
+
+func main() {
+	// A 64 MB simulated disk modelled on the paper's WREN IV
+	// (1.3 MB/s, 17.5 ms average seek), driven by a virtual clock.
+	d := lfs.NewMemDisk(64 << 20)
+	cfg := lfs.DefaultConfig()
+	if err := lfs.Format(d, cfg); err != nil {
+		log.Fatal(err)
+	}
+	fs, err := lfs.Mount(d, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Ordinary file system work. None of this touches the disk
+	// synchronously: everything accumulates in the file cache.
+	if err := fs.Mkdir("/projects"); err != nil {
+		log.Fatal(err)
+	}
+	if err := fs.Create("/projects/notes.txt"); err != nil {
+		log.Fatal(err)
+	}
+	msg := []byte("log-structured storage: the disk is an append-only log\n")
+	if err := fs.Write("/projects/notes.txt", 0, msg); err != nil {
+		log.Fatal(err)
+	}
+
+	buf := make([]byte, len(msg))
+	n, err := fs.Read("/projects/notes.txt", 0, buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("read back %d bytes: %s", n, buf[:n])
+
+	entries, err := fs.ReadDir("/projects")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, e := range entries {
+		fi, err := fs.Stat("/projects/" + e.Name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-12s ino=%d size=%d\n", e.Name, fi.Ino, fi.Size)
+	}
+
+	// Force the log write and a checkpoint, then inspect.
+	if err := fs.Unmount(); err != nil {
+		log.Fatal(err)
+	}
+	st := fs.Stats()
+	ds := d.Stats()
+	fmt.Printf("\nwhat LFS did:\n")
+	fmt.Printf("  log units written:  %d (%d blocks)\n", st.UnitsWritten, st.BlocksWritten)
+	fmt.Printf("  checkpoints:        %d\n", st.Checkpoints)
+	fmt.Printf("  disk writes:        %d (%d synchronous)\n", ds.Writes, ds.SyncWrites)
+	fmt.Printf("  simulated time:     %v\n", d.Clock().Now())
+
+	// Remount: recovery reads the checkpoint, not the whole disk.
+	fs2, err := lfs.Mount(d, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	n, err = fs2.Read("/projects/notes.txt", 0, buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nafter remount, still there: %s", buf[:n])
+}

@@ -1,0 +1,3 @@
+module lfs
+
+go 1.22

@@ -1,0 +1,35 @@
+// Package cli holds small helpers shared by the command-line tools.
+package cli
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseSize parses a human-friendly byte size: a plain number, or a
+// number suffixed with K, M, or G (binary multiples, case
+// insensitive). Examples: "512", "4K", "300M", "1g".
+func ParseSize(s string) (int64, error) {
+	t := strings.TrimSpace(strings.ToUpper(s))
+	if t == "" {
+		return 0, fmt.Errorf("empty size")
+	}
+	mult := int64(1)
+	switch t[len(t)-1] {
+	case 'K':
+		mult, t = 1<<10, t[:len(t)-1]
+	case 'M':
+		mult, t = 1<<20, t[:len(t)-1]
+	case 'G':
+		mult, t = 1<<30, t[:len(t)-1]
+	}
+	n, err := strconv.ParseInt(t, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad size %q", s)
+	}
+	if n <= 0 {
+		return 0, fmt.Errorf("non-positive size %q", s)
+	}
+	return n * mult, nil
+}

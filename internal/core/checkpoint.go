@@ -1,0 +1,367 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"lfs/internal/disk"
+	"lfs/internal/layout"
+	"lfs/internal/sim"
+)
+
+// ckptMagic identifies a checkpoint region.
+const ckptMagic = 0x4C434B50 // "LCKP"
+
+// ckptHeaderSize is the fixed header of a checkpoint region.
+const ckptHeaderSize = 96
+
+// checkpointState is the dynamic file system state snapshotted into a
+// checkpoint region (§4.4.1): the log head, the unit serial counter,
+// the locations of every inode map block, and the segment usage
+// array.
+type checkpointState struct {
+	Serial      uint64
+	Timestamp   sim.Time
+	HeadSeg     int
+	HeadBlk     int
+	WriteSerial uint64
+	LiveBytes   int64
+	ImapAddrs   []layout.DiskAddr
+	Usage       []segUsage
+}
+
+// encodeCheckpoint serialises the state into p (one checkpoint
+// region).
+func encodeCheckpoint(st checkpointState, p []byte) {
+	for i := range p {
+		p[i] = 0
+	}
+	le := binary.LittleEndian
+	le.PutUint32(p[0:], ckptMagic)
+	le.PutUint64(p[4:], st.Serial)
+	le.PutUint64(p[12:], uint64(st.Timestamp))
+	le.PutUint32(p[20:], uint32(st.HeadSeg))
+	le.PutUint32(p[24:], uint32(st.HeadBlk))
+	le.PutUint64(p[28:], st.WriteSerial)
+	le.PutUint64(p[36:], uint64(st.LiveBytes))
+	le.PutUint32(p[44:], uint32(len(st.ImapAddrs)))
+	le.PutUint32(p[48:], uint32(len(st.Usage)))
+	off := ckptHeaderSize
+	for _, a := range st.ImapAddrs {
+		le.PutUint32(p[off:], uint32(a))
+		off += layout.AddrSize
+	}
+	for i := range st.Usage {
+		st.Usage[i].encode(p[off:])
+		off += segUsageEntrySize
+	}
+	le.PutUint32(p[off:], layout.Checksum(p[:off]))
+}
+
+// decodeCheckpoint parses and verifies a checkpoint region.
+func decodeCheckpoint(p []byte) (checkpointState, error) {
+	le := binary.LittleEndian
+	if le.Uint32(p[0:]) != ckptMagic {
+		return checkpointState{}, fmt.Errorf("lfs: bad checkpoint magic")
+	}
+	st := checkpointState{
+		Serial:      le.Uint64(p[4:]),
+		Timestamp:   sim.Time(le.Uint64(p[12:])),
+		HeadSeg:     int(le.Uint32(p[20:])),
+		HeadBlk:     int(le.Uint32(p[24:])),
+		WriteSerial: le.Uint64(p[28:]),
+		LiveBytes:   int64(le.Uint64(p[36:])),
+	}
+	nImap := int(le.Uint32(p[44:]))
+	nSegs := int(le.Uint32(p[48:]))
+	need := ckptHeaderSize + nImap*layout.AddrSize + nSegs*segUsageEntrySize + 4
+	if need > len(p) {
+		return checkpointState{}, fmt.Errorf("lfs: checkpoint region truncated")
+	}
+	crcOff := need - 4
+	if layout.Checksum(p[:crcOff]) != le.Uint32(p[crcOff:]) {
+		return checkpointState{}, fmt.Errorf("lfs: checkpoint checksum mismatch")
+	}
+	off := ckptHeaderSize
+	st.ImapAddrs = make([]layout.DiskAddr, nImap)
+	for i := range st.ImapAddrs {
+		st.ImapAddrs[i] = layout.DiskAddr(le.Uint32(p[off:]))
+		off += layout.AddrSize
+	}
+	st.Usage = make([]segUsage, nSegs)
+	for i := range st.Usage {
+		st.Usage[i] = decodeSegUsage(p[off:])
+		off += segUsageEntrySize
+	}
+	return st, nil
+}
+
+// Checkpoint forces all dirty state to the log and writes a
+// checkpoint region. After it returns, a crash loses nothing that
+// preceded the call (§4.4.1).
+func (fs *FS) Checkpoint() error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.checkpoint()
+}
+
+// checkpoint is Checkpoint without the lock, for internal callers.
+func (fs *FS) checkpoint() error {
+	if err := fs.checkMounted(); err != nil {
+		return err
+	}
+	if err := fs.flush(flushCheckpoint); err != nil {
+		return err
+	}
+	return fs.writeCheckpoint()
+}
+
+// writeCheckpoint serialises the current state into the next
+// checkpoint region (the two regions alternate) with a synchronous
+// write.
+func (fs *FS) writeCheckpoint() error {
+	fs.cpu.Charge(fs.cfg.Costs.CheckpointSetup)
+	st := checkpointState{
+		Serial:      fs.ckptSerial + 1,
+		Timestamp:   fs.clock.Now(),
+		HeadSeg:     fs.curSeg,
+		HeadBlk:     fs.curBlk,
+		WriteSerial: fs.writeSerial,
+		LiveBytes:   fs.liveBytes,
+		ImapAddrs:   fs.imap.blockAddrs,
+		Usage:       fs.usage,
+	}
+	buf := make([]byte, fs.sb.CkptBytes)
+	encodeCheckpoint(st, buf)
+	sector := int64(fs.sb.Ckpt0Sector)
+	if st.Serial%2 == 1 {
+		sector = int64(fs.sb.Ckpt1Sector)
+	}
+	fs.cpu.Charge(fs.cfg.Costs.DiskOpSetup)
+	if err := fs.d.WriteSectors(sector, buf, true, "checkpoint"); err != nil {
+		return err
+	}
+	fs.ckptSerial = st.Serial
+	fs.lastCkpt = fs.clock.Now()
+	fs.stats.Checkpoints++
+	return nil
+}
+
+// Mount attaches a formatted LFS. Recovery is the paper's headline:
+// read the newest valid checkpoint region, restore the inode map and
+// segment usage array from it, and — when roll-forward is enabled —
+// replay the log units written after the checkpoint.
+func Mount(d *disk.Disk, cfg Config) (*FS, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, cfg.BlockSize)
+	if err := d.ReadSectors(0, buf, "mount: superblock"); err != nil {
+		return nil, err
+	}
+	sb, err := decodeSuperblock(buf)
+	if err != nil {
+		return nil, err
+	}
+	if sb.BlockSize != uint32(cfg.BlockSize) || sb.SegmentSize != uint32(cfg.SegmentSize) {
+		return nil, fmt.Errorf("lfs: volume is %d/%d byte blocks/segments, config wants %d/%d",
+			sb.BlockSize, sb.SegmentSize, cfg.BlockSize, cfg.SegmentSize)
+	}
+	if sb.MaxInodes != uint32(cfg.MaxInodes) {
+		return nil, fmt.Errorf("lfs: volume has %d inodes, config wants %d", sb.MaxInodes, cfg.MaxInodes)
+	}
+	fs := newSkeleton(d, cfg, sb)
+
+	// Read both checkpoint regions; use the newest valid one.
+	var best checkpointState
+	found := false
+	for _, sector := range []int64{int64(sb.Ckpt0Sector), int64(sb.Ckpt1Sector)} {
+		region := make([]byte, sb.CkptBytes)
+		if err := d.ReadSectors(sector, region, "mount: checkpoint"); err != nil {
+			return nil, err
+		}
+		st, err := decodeCheckpoint(region)
+		if err != nil {
+			continue // torn or never-written region
+		}
+		if !found || st.Serial > best.Serial {
+			best, found = st, true
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("lfs: no valid checkpoint region; volume is not formatted or is damaged")
+	}
+	if len(best.Usage) != int(sb.Segments) || len(best.ImapAddrs) != fs.imap.blockCount() {
+		return nil, fmt.Errorf("lfs: checkpoint geometry mismatch")
+	}
+	fs.ckptSerial = best.Serial
+	fs.writeSerial = best.WriteSerial
+	fs.curSeg = best.HeadSeg
+	fs.curBlk = best.HeadBlk
+	fs.pendingBlk = best.HeadBlk
+	fs.liveBytes = best.LiveBytes
+	copy(fs.usage, best.Usage)
+	copy(fs.imap.blockAddrs, best.ImapAddrs)
+	fs.usage[fs.curSeg].State = segActive
+
+	// Load the inode map blocks named by the checkpoint.
+	for idx, addr := range fs.imap.blockAddrs {
+		if addr.IsNil() {
+			continue
+		}
+		blk := make([]byte, cfg.BlockSize)
+		if err := d.ReadSectors(int64(addr), blk, "mount: imap"); err != nil {
+			return nil, err
+		}
+		fs.imap.decodeBlock(idx, blk)
+	}
+	fs.imap.rebuildFreeState()
+	fs.recountClean()
+	fs.lastCkpt = fs.clock.Now()
+
+	if cfg.RollForward {
+		if err := fs.rollForward(); err != nil {
+			return nil, err
+		}
+	} else {
+		// The paper's "current implementation": everything after
+		// the checkpoint is discarded. The log simply resumes at
+		// the checkpointed head.
+		_ = 0
+	}
+	return fs, nil
+}
+
+// recountClean recomputes the clean-segment counter from the usage
+// array.
+func (fs *FS) recountClean() {
+	n := 0
+	for i := range fs.usage {
+		if fs.usage[i].State == segClean {
+			n++
+		}
+	}
+	fs.cleanCount = n
+}
+
+// rollForward replays log units written after the checkpoint (§4.4:
+// "using information in the segment summary blocks, LFS can roll
+// forward from the last checkpoint, updating metadata structures such
+// as the inode map"). Units must appear at the expected position with
+// the expected serial and an intact data checksum; the first mismatch
+// is the end of the recoverable log.
+func (fs *FS) rollForward() error {
+	bs := fs.cfg.BlockSize
+	recovered := 0
+	for {
+		avail := fs.cfg.blocksPerSegment() - fs.curBlk
+		if maxUnitBlocks(avail, bs) == 0 {
+			// The writer would have advanced to the next clean
+			// segment; follow it.
+			fs.usage[fs.curSeg].State = segDirty
+			next, ok := fs.findCleanSegment()
+			if !ok {
+				break
+			}
+			fs.curSeg = next
+			fs.curBlk = 0
+			fs.pendingBlk = 0
+			fs.usage[next].State = segActive
+			fs.cleanCount--
+			continue
+		}
+		// Read a candidate summary header (one block is enough to
+		// hold the header; entries may spill into further blocks).
+		head := make([]byte, bs)
+		if err := fs.d.ReadSectors(fs.blockSector(fs.curSeg, fs.curBlk), head, "recovery: summary probe"); err != nil {
+			return err
+		}
+		probe, _, errProbe := decodeSummaryHeaderOnly(head)
+		if errProbe != nil || probe.Serial != fs.writeSerial {
+			break // end of log (or torn header)
+		}
+		if probe.SumBlocks < 1 || fs.curBlk+probe.SumBlocks+probe.NBlocks > fs.cfg.blocksPerSegment() {
+			break
+		}
+		// Read the full unit and re-validate with all entries.
+		unit := make([]byte, (probe.SumBlocks+probe.NBlocks)*bs)
+		if err := fs.d.ReadSectors(fs.blockSector(fs.curSeg, fs.curBlk), unit, "recovery: unit"); err != nil {
+			return err
+		}
+		h, refs, err := decodeSummary(unit)
+		if err != nil || h.Serial != fs.writeSerial {
+			break
+		}
+		data := unit[h.SumBlocks*bs:]
+		if layout.Checksum(data) != h.DataCRC {
+			break // torn data: the unit never fully reached disk
+		}
+		// Apply the unit: inode blocks rebuild the inode map; data
+		// and indirect blocks need no action because the inodes
+		// written in the same flush carry the pointers.
+		for j, ref := range refs {
+			addr := layout.DiskAddr(fs.blockSector(fs.curSeg, fs.curBlk+h.SumBlocks+j))
+			if ref.Kind == kindInodes {
+				blkData := data[j*bs : (j+1)*bs]
+				for slot := 0; slot < fs.inodesPerBlock(); slot++ {
+					raw := blkData[slot*layout.InodeSize : (slot+1)*layout.InodeSize]
+					if allZero(raw) {
+						continue
+					}
+					rec, err := layout.DecodeInode(raw)
+					if err != nil || !rec.Allocated() {
+						continue
+					}
+					e := fs.imap.get(rec.Ino)
+					e.Allocated = true
+					e.Addr = addr + layout.DiskAddr(slot/inodesPerSector)
+					e.Slot = uint8(slot % inodesPerSector)
+					e.Version = rec.Gen
+					fs.imap.markDirty(rec.Ino)
+				}
+			}
+			if ref.Kind == kindImap {
+				idx := int(ref.ID)
+				if idx >= 0 && idx < fs.imap.blockCount() {
+					fs.imap.decodeBlock(idx, data[j*bs:(j+1)*bs])
+					fs.imap.blockAddrs[idx] = addr
+					// decodeBlock overwrote entries that later
+					// units may refine; that is fine because
+					// units replay in write order.
+				}
+			}
+		}
+		fs.creditSegment(fs.curSeg, int64(h.NBlocks*bs))
+		fs.curBlk += h.SumBlocks + h.NBlocks
+		fs.pendingBlk = fs.curBlk
+		fs.writeSerial++
+		recovered++
+		fs.stats.RollForwardUnits++
+	}
+	if recovered > 0 {
+		fs.imap.rebuildFreeState()
+		// Stabilise the recovered state immediately.
+		return fs.checkpoint()
+	}
+	return nil
+}
+
+// decodeSummaryHeaderOnly parses just the summary header (entry
+// checksums are validated later on the full unit).
+func decodeSummaryHeaderOnly(p []byte) (summaryHeader, []blockRef, error) {
+	if len(p) < summaryHeaderSize {
+		return summaryHeader{}, nil, fmt.Errorf("lfs: short summary")
+	}
+	le := binary.LittleEndian
+	if le.Uint32(p[0:]) != summaryMagic {
+		return summaryHeader{}, nil, fmt.Errorf("lfs: bad summary magic")
+	}
+	h := summaryHeader{
+		Serial:    le.Uint64(p[4:]),
+		NBlocks:   int(le.Uint16(p[12:])),
+		SumBlocks: int(le.Uint16(p[14:])),
+		Timestamp: sim.Time(le.Uint64(p[16:])),
+		DataCRC:   le.Uint32(p[24:]),
+	}
+	return h, nil, nil
+}

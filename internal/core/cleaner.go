@@ -1,0 +1,316 @@
+package core
+
+import (
+	"fmt"
+
+	"lfs/internal/layout"
+)
+
+// CleanResult summarises one cleaner activation.
+type CleanResult struct {
+	// SegmentsCleaned is the number of segments reclaimed.
+	SegmentsCleaned int
+	// BlocksExamined counts blocks whose liveness was checked.
+	BlocksExamined int
+	// LiveCopied counts live blocks rewritten to the head of the
+	// log.
+	LiveCopied int
+	// BytesReclaimed is the *net* clean log space generated:
+	// segments reclaimed minus the space the relocated live data
+	// consumes at the log head. This is the y-axis of Figure 5 —
+	// cleaning a 90%-utilised segment frees a whole segment but
+	// immediately fills 90% of another, so it nets almost nothing.
+	BytesReclaimed int64
+}
+
+// cleanSegments is the automatic activation: clean until the target
+// number of clean segments is reached or no profitable victim
+// remains.
+func (fs *FS) cleanSegments() error {
+	target := fs.cfg.cleanTarget(int(fs.sb.Segments))
+	_, err := fs.cleanUntil(target)
+	return err
+}
+
+// CleanUntil runs the cleaner until at least target segments are
+// clean (or no candidate remains), mirroring the paper's user-level
+// cleaning trigger (§4.3.4: "the user-level process interface allows
+// cleaning to be initiated at night or other times of slack usage").
+func (fs *FS) CleanUntil(target int) (CleanResult, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.cleanUntil(target)
+}
+
+// cleanUntil is CleanUntil without the lock, for internal callers.
+func (fs *FS) cleanUntil(target int) (CleanResult, error) {
+	var res CleanResult
+	if err := fs.checkMounted(); err != nil {
+		return res, err
+	}
+	if fs.cleaning {
+		return res, nil
+	}
+	fs.cleaning = true
+	defer func() { fs.cleaning = false }()
+	fs.stats.CleanerRuns++
+
+	cleaned := false
+	// Termination guard: compaction frees only dead bytes, so a
+	// bounded number of passes suffices; anything beyond means the
+	// target is unreachable (the disk is simply full of live data).
+	maxIters := 2*int(fs.sb.Segments) + 16
+	for iter := 0; fs.cleanCount < target && iter < maxIters; iter++ {
+		victim, ok := fs.selectVictim()
+		if !ok {
+			break
+		}
+		r, err := fs.cleanSegment(victim)
+		if err != nil {
+			return res, err
+		}
+		res.SegmentsCleaned++
+		res.BlocksExamined += r.BlocksExamined
+		res.LiveCopied += r.LiveCopied
+		net := int64(fs.sb.SegmentSize) - int64(r.LiveCopied)*int64(fs.cfg.BlockSize)
+		if net > 0 {
+			res.BytesReclaimed += net
+		}
+		cleaned = true
+	}
+	if cleaned {
+		// A checkpoint pins the relocated blocks' new addresses
+		// before the reclaimed segments can be overwritten;
+		// without it a crash could resurrect pointers into
+		// segments we are about to reuse.
+		if err := fs.checkpoint(); err != nil {
+			return res, err
+		}
+	}
+	fs.stats.CleanerBytesReclaimed += res.BytesReclaimed
+	return res, nil
+}
+
+// CleanOnce cleans the single best victim segment, if any.
+func (fs *FS) CleanOnce() (CleanResult, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.cleanUntil(fs.cleanCount + 1)
+}
+
+// selectVictim picks the next segment to clean according to the
+// configured policy. Segments at or above MinLiveFraction utilisation
+// are never picked (§4.3.4).
+func (fs *FS) selectVictim() (int, bool) {
+	segSize := float64(fs.sb.SegmentSize)
+	bestScore := 0.0
+	best := -1
+	now := fs.clock.Now()
+	for seg := range fs.usage {
+		u := &fs.usage[seg]
+		if u.State != segDirty {
+			continue
+		}
+		util := float64(u.Live) / segSize
+		if util >= fs.cfg.MinLiveFraction {
+			continue
+		}
+		var score float64
+		switch fs.cfg.Policy {
+		case CleanCostBenefit:
+			// benefit/cost = free space generated × age of data
+			// / cost of reading and rewriting: (1-u)·age/(1+u).
+			age := now.Sub(u.LastWrite).Seconds() + 1
+			score = (1 - util) * age / (1 + util)
+		default: // CleanGreedy
+			score = 1 - util
+		}
+		if best < 0 || score > bestScore {
+			best, bestScore = seg, score
+		}
+	}
+	return best, best >= 0
+}
+
+// cleanSegment performs the two-phase clean of one segment (§4.3.2):
+// phase one reads the segment and identifies its live blocks through
+// the summary, the inode map version check, and the inode walk
+// (§4.3.3); phase two re-dirties the live blocks in the cache and
+// lets the segment writer copy them to the head of the log.
+func (fs *FS) cleanSegment(seg int) (CleanResult, error) {
+	var res CleanResult
+	if fs.usage[seg].State != segDirty {
+		return res, fmt.Errorf("lfs: cleaning segment %d in state %d", seg, fs.usage[seg].State)
+	}
+	// Phase 1: one large sequential read of the whole segment.
+	raw := make([]byte, fs.sb.SegmentSize)
+	fs.cpu.Charge(fs.cfg.Costs.DiskOpSetup)
+	if err := fs.d.ReadSectors(fs.segFirstSector(seg), raw, "cleaner: segment read"); err != nil {
+		return res, err
+	}
+
+	bs := fs.cfg.BlockSize
+	blk := 0
+	for blk < fs.cfg.blocksPerSegment() {
+		h, refs, err := decodeSummary(raw[blk*bs:])
+		if err != nil {
+			break // end of the segment's used region
+		}
+		dataStart := blk + h.SumBlocks
+		for j, ref := range refs {
+			res.BlocksExamined++
+			fs.stats.CleanerBlocksExamined++
+			fs.cpu.Charge(fs.cfg.Costs.CleanPerBlock)
+			addr := layout.DiskAddr(fs.blockSector(seg, dataStart+j))
+			data := raw[(dataStart+j)*bs : (dataStart+j+1)*bs]
+			live, err := fs.reviveBlock(ref, addr, data)
+			if err != nil {
+				return res, err
+			}
+			if live {
+				res.LiveCopied++
+				fs.stats.CleanerLiveCopied++
+			}
+		}
+		blk = dataStart + h.NBlocks
+	}
+
+	// Phase 2: write the re-dirtied live blocks to the log head.
+	if err := fs.flush(flushAll); err != nil {
+		return res, err
+	}
+	// The segment is now free: every live block has been relocated
+	// (the pointer updates in the flush decremented this segment's
+	// live estimate).
+	fs.killRemaining(seg)
+	fs.usage[seg].State = segClean
+	fs.usage[seg].Live = 0
+	fs.cleanCount++
+	fs.stats.SegmentsCleaned++
+	return res, nil
+}
+
+// killRemaining clears any residual live estimate for a segment being
+// reclaimed (the estimate is a hint and can drift; reclamation is the
+// truth point).
+func (fs *FS) killRemaining(seg int) {
+	fs.liveBytes -= fs.usage[seg].Live
+	if fs.liveBytes < 0 {
+		fs.liveBytes = 0
+	}
+	fs.usage[seg].Live = 0
+}
+
+// reviveBlock decides whether a logged block is live (§4.3.3) and, if
+// so, reinstates it in the cache as dirty so the next segment write
+// relocates it. Returns whether the block was live.
+func (fs *FS) reviveBlock(ref blockRef, addr layout.DiskAddr, data []byte) (bool, error) {
+	switch ref.Kind {
+	case kindData:
+		e := fs.imap.get(ref.Ino)
+		// Step 1: the version check catches deleted and truncated
+		// files without touching the inode.
+		if !e.Allocated || e.Version != ref.Version {
+			return false, nil
+		}
+		// Step 2: the inode walk confirms the block is still part
+		// of the file at this address.
+		in, err := fs.getInode(ref.Ino)
+		if err != nil {
+			return false, err
+		}
+		cur, err := fs.blockAddrOf(in, ref.ID)
+		if err != nil {
+			return false, err
+		}
+		if cur != addr {
+			return false, nil
+		}
+		key := dataKey(ref.Ino, ref.ID)
+		if b := fs.bc.Peek(key); b != nil {
+			// The cache already holds this block; re-dirty it so
+			// the flush relocates it (a dirty copy would be
+			// relocated anyway).
+			fs.bc.MarkDirty(b, fs.clock.Now())
+			return true, nil
+		}
+		b := fs.bc.Add(key)
+		copy(b.Data, data)
+		fs.bc.MarkDirty(b, fs.clock.Now())
+		return true, nil
+
+	case kindIndirect:
+		e := fs.imap.get(ref.Ino)
+		if !e.Allocated || e.Version != ref.Version {
+			return false, nil
+		}
+		in, err := fs.getInode(ref.Ino)
+		if err != nil {
+			return false, err
+		}
+		cur, err := fs.indirectAddrOf(in, ref.ID)
+		if err != nil {
+			return false, err
+		}
+		if cur != addr {
+			return false, nil
+		}
+		key := indKey(ref.Ino, ref.ID)
+		if b := fs.bc.Peek(key); b != nil {
+			fs.bc.MarkDirty(b, fs.clock.Now())
+			return true, nil
+		}
+		b := fs.bc.Add(key)
+		copy(b.Data, data)
+		fs.bc.MarkDirty(b, fs.clock.Now())
+		return true, nil
+
+	case kindInodes:
+		// Decode each record; an inode is live when the map still
+		// points at this block.
+		live := false
+		for slot := 0; slot < fs.inodesPerBlock(); slot++ {
+			raw := data[slot*layout.InodeSize : (slot+1)*layout.InodeSize]
+			if allZero(raw) {
+				continue
+			}
+			rec, err := layout.DecodeInode(raw)
+			if err != nil || !rec.Allocated() {
+				continue
+			}
+			e := fs.imap.get(rec.Ino)
+			wantAddr := addr + layout.DiskAddr(slot/inodesPerSector)
+			if !e.Allocated || e.Addr != wantAddr || int(e.Slot) != slot%inodesPerSector {
+				continue
+			}
+			// Live: pull it in core and queue a rewrite.
+			if _, err := fs.getInode(rec.Ino); err != nil {
+				return false, err
+			}
+			fs.markInodeDirty(rec.Ino)
+			live = true
+		}
+		return live, nil
+
+	case kindImap:
+		idx := int(ref.ID)
+		if idx < 0 || idx >= fs.imap.blockCount() || fs.imap.blockAddrs[idx] != addr {
+			return false, nil
+		}
+		// Re-dirty the imap block; it is rewritten at the
+		// checkpoint that ends this cleaner run.
+		fs.imap.dirtyBlock[idx] = true
+		return true, nil
+	}
+	return false, fmt.Errorf("lfs: unknown block kind %d in summary", ref.Kind)
+}
+
+// allZero reports whether p contains only zero bytes.
+func allZero(p []byte) bool {
+	for _, b := range p {
+		if b != 0 {
+			return false
+		}
+	}
+	return true
+}

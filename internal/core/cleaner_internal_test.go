@@ -1,0 +1,288 @@
+package core
+
+import (
+	"testing"
+
+	"lfs/internal/disk"
+	"lfs/internal/layout"
+	"lfs/internal/sim"
+)
+
+// Tiny aliases keeping the eviction test terse.
+func layoutIno(i int) layout.Ino { return layout.Ino(i) }
+func layoutNewInode(ino layout.Ino) *layout.Inode {
+	in := layout.NewInode(ino, layout.ModeFile|0o644)
+	return &in
+}
+
+// newTestFS builds a mounted FS on a fresh memory disk for white-box
+// tests.
+func newTestFS(t *testing.T, capacity int64, cfg Config) *FS {
+	t.Helper()
+	d := disk.NewMem(capacity, sim.NewClock())
+	if err := Format(d, cfg); err != nil {
+		t.Fatal(err)
+	}
+	fs, err := Mount(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.MaxInodes = 1024
+	return cfg
+}
+
+func TestSelectVictimGreedyPicksEmptiest(t *testing.T) {
+	fs := newTestFS(t, 16<<20, smallConfig())
+	// Hand-craft the usage array.
+	for i := range fs.usage {
+		fs.usage[i].State = segClean
+		fs.usage[i].Live = 0
+	}
+	fs.usage[fs.curSeg].State = segActive
+	seg := func(i int, live int64) {
+		fs.usage[i].State = segDirty
+		fs.usage[i].Live = live
+	}
+	segSize := int64(fs.sb.SegmentSize)
+	seg(3, segSize/2)
+	seg(5, segSize/10) // emptiest
+	seg(7, segSize*9/10)
+	victim, ok := fs.selectVictim()
+	if !ok || victim != 5 {
+		t.Fatalf("greedy picked %d (ok=%v), want 5", victim, ok)
+	}
+}
+
+func TestSelectVictimSkipsHighUtilization(t *testing.T) {
+	cfg := smallConfig()
+	cfg.MinLiveFraction = 0.80
+	fs := newTestFS(t, 16<<20, cfg)
+	for i := range fs.usage {
+		fs.usage[i].State = segClean
+	}
+	fs.usage[fs.curSeg].State = segActive
+	segSize := int64(fs.sb.SegmentSize)
+	fs.usage[2].State = segDirty
+	fs.usage[2].Live = segSize * 85 / 100 // above MinLiveFraction
+	if victim, ok := fs.selectVictim(); ok {
+		t.Fatalf("picked %d despite utilization above the cutoff", victim)
+	}
+	fs.usage[2].Live = segSize * 70 / 100
+	if _, ok := fs.selectVictim(); !ok {
+		t.Fatal("did not pick a below-cutoff segment")
+	}
+}
+
+func TestSelectVictimNeverPicksActiveOrClean(t *testing.T) {
+	fs := newTestFS(t, 16<<20, smallConfig())
+	for i := range fs.usage {
+		fs.usage[i].State = segClean
+	}
+	fs.usage[fs.curSeg].State = segActive
+	fs.usage[fs.curSeg].Live = 0 // tempting but active
+	if victim, ok := fs.selectVictim(); ok {
+		t.Fatalf("picked %d from clean/active-only disk", victim)
+	}
+}
+
+func TestSelectVictimCostBenefitPrefersOldCold(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Policy = CleanCostBenefit
+	fs := newTestFS(t, 16<<20, cfg)
+	fs.clock.Advance(1000 * sim.Second)
+	for i := range fs.usage {
+		fs.usage[i].State = segClean
+	}
+	fs.usage[fs.curSeg].State = segActive
+	segSize := int64(fs.sb.SegmentSize)
+	// Segment 2: fairly empty but hot (just written). Segment 4:
+	// more utilised but very old/cold. Cost-benefit should prefer
+	// the cold one; greedy would prefer the empty one.
+	fs.usage[2].State = segDirty
+	fs.usage[2].Live = segSize * 30 / 100
+	fs.usage[2].LastWrite = fs.clock.Now()
+	fs.usage[4].State = segDirty
+	fs.usage[4].Live = segSize * 50 / 100
+	fs.usage[4].LastWrite = 0 // 1000 seconds old
+	victim, ok := fs.selectVictim()
+	if !ok || victim != 4 {
+		t.Fatalf("cost-benefit picked %d, want old cold segment 4", victim)
+	}
+	// Same state under greedy picks the emptier one.
+	fs.cfg.Policy = CleanGreedy
+	victim, ok = fs.selectVictim()
+	if !ok || victim != 2 {
+		t.Fatalf("greedy picked %d, want emptier segment 2", victim)
+	}
+}
+
+func TestPlaceBlocksSpansSegments(t *testing.T) {
+	cfg := smallConfig()
+	cfg.SegmentSize = 64 << 10 // 16 blocks per segment
+	fs := newTestFS(t, 16<<20, cfg)
+	// Place more blocks than one segment holds.
+	n := 40
+	refs := make([]blockRef, n)
+	payload := make([][]byte, n)
+	for i := range payload {
+		payload[i] = make([]byte, cfg.BlockSize)
+		payload[i][0] = byte(i)
+		refs[i] = blockRef{Kind: kindData, Ino: 99, ID: int64(i)}
+	}
+	startSeg := fs.curSeg
+	addrs, err := fs.placeBlocks(refs, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(addrs) != n {
+		t.Fatalf("placed %d, want %d", len(addrs), n)
+	}
+	if fs.curSeg == startSeg {
+		t.Fatal("placement did not span segments")
+	}
+	// All addresses distinct and within the segment area.
+	seen := make(map[int64]bool)
+	for i, a := range addrs {
+		if fs.segOf(a) < 0 {
+			t.Fatalf("block %d placed outside the segment area (%v)", i, a)
+		}
+		if seen[int64(a)] {
+			t.Fatalf("address %v assigned twice", a)
+		}
+		seen[int64(a)] = true
+	}
+	if err := fs.flushPendingIO(); err != nil {
+		t.Fatal(err)
+	}
+	// Every placed block must read back with its payload.
+	buf := make([]byte, cfg.BlockSize)
+	for i, a := range addrs {
+		if err := fs.d.ReadSectors(int64(a), buf, "test"); err != nil {
+			t.Fatal(err)
+		}
+		if buf[0] != byte(i) {
+			t.Fatalf("block %d read back %d", i, buf[0])
+		}
+	}
+}
+
+func TestAdvanceSegmentExhaustion(t *testing.T) {
+	fs := newTestFS(t, 16<<20, smallConfig())
+	// Mark everything dirty so no clean segment remains.
+	for i := range fs.usage {
+		if fs.usage[i].State == segClean {
+			fs.usage[i].State = segDirty
+		}
+	}
+	fs.cleanCount = 0
+	if err := fs.advanceSegment(); err == nil {
+		t.Fatal("advanceSegment succeeded with no clean segments")
+	}
+}
+
+func TestFindCleanSegmentWraps(t *testing.T) {
+	fs := newTestFS(t, 16<<20, smallConfig())
+	for i := range fs.usage {
+		fs.usage[i].State = segDirty
+	}
+	// Only a segment behind the head is clean.
+	fs.usage[1].State = segClean
+	fs.curSeg = len(fs.usage) - 2
+	fs.usage[fs.curSeg].State = segActive
+	next, ok := fs.findCleanSegment()
+	if !ok || next != 1 {
+		t.Fatalf("findCleanSegment = %d, %v; want wrap to 1", next, ok)
+	}
+}
+
+func TestInodeCacheEviction(t *testing.T) {
+	fs := newTestFS(t, 16<<20, smallConfig())
+	// Fill the in-core table beyond the limit with clean inodes.
+	for i := 0; i < inodeCacheLimit+10; i++ {
+		ino := layoutIno(i + 10)
+		in := layoutNewInode(ino)
+		fs.inodes[ino] = in
+	}
+	fs.evictInodes()
+	if len(fs.inodes) >= inodeCacheLimit {
+		t.Fatalf("evictInodes left %d in-core inodes", len(fs.inodes))
+	}
+}
+
+// TestCheckDetectsDanglingPointer: the checker must notice a live
+// block pointer into a clean (reusable) segment — the invariant the
+// cleaner's checkpoint-before-reuse protocol exists to uphold.
+func TestCheckDetectsDanglingPointer(t *testing.T) {
+	fs := newTestFS(t, 16<<20, smallConfig())
+	if err := fs.Create("/f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Write("/f", 0, make([]byte, 8192)); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// Sanity: clean before sabotage.
+	rep, err := fs.Check()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Ok() {
+		t.Fatalf("pre-sabotage problems: %v", rep.Problems)
+	}
+	// Sabotage: mark the segment holding /f's data clean, as a
+	// buggy cleaner might.
+	in, err := fs.getInode(2) // first file after the root
+	if err != nil {
+		fi, serr := fs.Stat("/f")
+		if serr != nil {
+			t.Fatal(serr)
+		}
+		in, err = fs.getInode(fi.Ino)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	addr, err := fs.blockAddrOf(in, 0)
+	if err != nil || addr.IsNil() {
+		t.Fatalf("no on-disk block for /f: %v %v", addr, err)
+	}
+	seg := fs.segOf(addr)
+	fs.usage[seg].State = segClean
+	rep, err = fs.Check()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ok() {
+		t.Fatal("checker blessed a live pointer into a clean segment")
+	}
+}
+
+// TestCheckDetectsFreeInodeReference: a directory entry pointing at a
+// free inode-map slot must be reported.
+func TestCheckDetectsFreeInodeReference(t *testing.T) {
+	fs := newTestFS(t, 16<<20, smallConfig())
+	if err := fs.Create("/ghost"); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := fs.Stat("/ghost")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sabotage: free the inode in the map while the directory entry
+	// remains.
+	fs.imap.free(fi.Ino)
+	rep, err := fs.Check()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ok() {
+		t.Fatal("checker blessed a directory entry to a free inode")
+	}
+}

@@ -1,0 +1,289 @@
+package core
+
+import (
+	"lfs/internal/cache"
+	"lfs/internal/layout"
+)
+
+// getDataBlock returns the cached block (ino, lbn), reading it from
+// the log when it exists only on disk. With create true a missing
+// block (a hole) is materialised as a zeroed dirty-to-be block; with
+// create false a hole returns nil.
+func (fs *FS) getDataBlock(in *layout.Inode, lbn int64, create bool) (*cache.Block, error) {
+	key := dataKey(in.Ino, lbn)
+	if b := fs.bc.Get(key); b != nil {
+		fs.cpu.Charge(fs.cfg.Costs.BlockSetup)
+		return b, nil
+	}
+	addr, err := fs.blockAddrOf(in, lbn)
+	if err != nil {
+		return nil, err
+	}
+	if addr.IsNil() {
+		if !create {
+			return nil, nil
+		}
+		b := fs.bc.Add(key)
+		fs.cpu.Charge(fs.cfg.Costs.BlockSetup)
+		return b, nil
+	}
+	b := fs.bc.Add(key)
+	fs.cpu.Charge(fs.cfg.Costs.BlockSetup + fs.cfg.Costs.DiskOpSetup)
+	if err := fs.d.ReadSectors(int64(addr), b.Data, "file read"); err != nil {
+		fs.bc.Remove(key)
+		return nil, err
+	}
+	return b, nil
+}
+
+// readAheadBlocks is how many contiguous blocks a cache-miss read
+// fetches in one transfer when the blocks are physically adjacent on
+// disk — standard UNIX read-ahead, which both SunOS and Sprite
+// performed. Files written sequentially through the log are laid out
+// contiguously, so sequential reads run at near disk bandwidth; a
+// file scattered by random log writes gets no benefit (the paper's
+// seq-reread-after-random-write case).
+const readAheadBlocks = 16
+
+// readDataBlock is getDataBlock for the read path: on a miss during
+// a detected sequential scan it fetches up to readAheadBlocks
+// physically contiguous blocks in one disk request.
+func (fs *FS) readDataBlock(in *layout.Inode, lbn int64) (*cache.Block, error) {
+	sequential := lbn == 0 || fs.lastRead[in.Ino]+1 == lbn
+	fs.lastRead[in.Ino] = lbn
+	key := dataKey(in.Ino, lbn)
+	if b := fs.bc.Get(key); b != nil {
+		fs.cpu.Charge(fs.cfg.Costs.BlockSetup)
+		return b, nil
+	}
+	addr, err := fs.blockAddrOf(in, lbn)
+	if err != nil {
+		return nil, err
+	}
+	if addr.IsNil() {
+		return nil, nil // hole
+	}
+	// During sequential scans, collect physically contiguous
+	// successors not already cached.
+	bs := fs.cfg.BlockSize
+	spb := layout.DiskAddr(fs.cfg.sectorsPerBlock())
+	maxLbn := layout.BlocksForSize(in.Size, bs)
+	limit := 1
+	if sequential {
+		limit = readAheadBlocks
+	}
+	run := 1
+	for run < limit && lbn+int64(run) < maxLbn {
+		next, err := fs.blockAddrOf(in, lbn+int64(run))
+		if err != nil {
+			return nil, err
+		}
+		if next != addr+layout.DiskAddr(run)*spb {
+			break
+		}
+		if fs.bc.Peek(dataKey(in.Ino, lbn+int64(run))) != nil {
+			break
+		}
+		run++
+	}
+	fs.cpu.Charge(fs.cfg.Costs.BlockSetup + fs.cfg.Costs.DiskOpSetup)
+	span := make([]byte, run*bs)
+	if err := fs.d.ReadSectors(int64(addr), span, "file read"); err != nil {
+		return nil, err
+	}
+	var first *cache.Block
+	for i := 0; i < run; i++ {
+		b := fs.bc.Add(dataKey(in.Ino, lbn+int64(i)))
+		copy(b.Data, span[i*bs:(i+1)*bs])
+		if i == 0 {
+			first = b
+		}
+	}
+	return first, nil
+}
+
+// readFile copies bytes [off, off+len(buf)) into buf, clamped to the
+// file size.
+func (fs *FS) readFile(in *layout.Inode, off int64, buf []byte) (int, error) {
+	size := int64(in.Size)
+	if off >= size {
+		return 0, nil
+	}
+	if max := size - off; int64(len(buf)) > max {
+		buf = buf[:max]
+	}
+	bs := int64(fs.cfg.BlockSize)
+	read := 0
+	for read < len(buf) {
+		pos := off + int64(read)
+		lbn := pos / bs
+		bo := pos % bs
+		n := int(bs - bo)
+		if n > len(buf)-read {
+			n = len(buf) - read
+		}
+		b, err := fs.readDataBlock(in, lbn)
+		if err != nil {
+			return read, err
+		}
+		if b == nil {
+			for i := 0; i < n; i++ {
+				buf[read+i] = 0
+			}
+		} else {
+			copy(buf[read:read+n], b.Data[bo:])
+		}
+		fs.cpu.Charge(fs.cfg.Costs.Copy(n))
+		read += n
+	}
+	return read, nil
+}
+
+// writeFile stores data at off. All modifications stay in the cache;
+// the segment writer assigns disk addresses later. Size growth is
+// applied to the inode by the caller's bookkeeping here.
+func (fs *FS) writeFile(in *layout.Inode, off int64, data []byte) error {
+	bs := int64(fs.cfg.BlockSize)
+	written := 0
+	for written < len(data) {
+		pos := off + int64(written)
+		lbn := pos / bs
+		bo := pos % bs
+		n := int(bs - bo)
+		if n > len(data)-written {
+			n = len(data) - written
+		}
+		var b *cache.Block
+		var err error
+		if bo == 0 && n == int(bs) {
+			// Full overwrite: no read-modify-write. Use the
+			// cached block if present, else a fresh one.
+			key := dataKey(in.Ino, lbn)
+			if b = fs.bc.Get(key); b == nil {
+				b = fs.bc.Add(key)
+			}
+			fs.cpu.Charge(fs.cfg.Costs.BlockSetup)
+		} else {
+			b, err = fs.getDataBlock(in, lbn, true)
+			if err != nil {
+				return err
+			}
+		}
+		copy(b.Data[bo:], data[written:written+n])
+		fs.cpu.Charge(fs.cfg.Costs.Copy(n))
+		fs.bc.MarkDirty(b, fs.clock.Now())
+		written += n
+	}
+	if end := uint64(off) + uint64(len(data)); end > in.Size {
+		in.Size = end
+		fs.markInodeDirty(in.Ino)
+	}
+	return nil
+}
+
+// truncateFile sets the file length. Shrinking kills the on-disk
+// copies of dropped blocks in the usage array, clears their pointers,
+// releases indirect blocks that no longer map anything, and discards
+// their cached copies.
+func (fs *FS) truncateFile(in *layout.Inode, size int64) error {
+	bs := int64(fs.cfg.BlockSize)
+	oldBlocks := layout.BlocksForSize(in.Size, fs.cfg.BlockSize)
+	newBlocks := layout.BlocksForSize(uint64(size), fs.cfg.BlockSize)
+
+	for lbn := newBlocks; lbn < oldBlocks; lbn++ {
+		old, err := fs.setBlockAddr(in, lbn, layout.NilAddr)
+		if err != nil {
+			return err
+		}
+		fs.killBlock(old, bs)
+		fs.bc.Remove(dataKey(in.Ino, lbn))
+	}
+	if newBlocks < oldBlocks {
+		if err := fs.pruneIndirects(in, newBlocks); err != nil {
+			return err
+		}
+	}
+	// Zero the tail of the final partial block so regrowth reads
+	// zeros.
+	if size > 0 && size%bs != 0 && size < int64(in.Size) {
+		lbn := size / bs
+		b, err := fs.getDataBlock(in, lbn, false)
+		if err != nil {
+			return err
+		}
+		if b != nil {
+			for i := size % bs; i < bs; i++ {
+				b.Data[i] = 0
+			}
+			fs.bc.MarkDirty(b, fs.clock.Now())
+		}
+	}
+	if uint64(size) != in.Size {
+		in.Size = uint64(size)
+		fs.markInodeDirty(in.Ino)
+	}
+	return nil
+}
+
+// pruneIndirects releases indirect blocks unused below newBlocks.
+func (fs *FS) pruneIndirects(in *layout.Inode, newBlocks int64) error {
+	bs := int64(fs.cfg.BlockSize)
+	apb := int64(layout.AddrsPerBlock(fs.cfg.BlockSize))
+	dropIndirect := func(id int64) error {
+		old, err := fs.setIndirectAddr(in, id, layout.NilAddr)
+		if err != nil {
+			return err
+		}
+		fs.killBlock(old, bs)
+		fs.bc.Remove(indKey(in.Ino, id))
+		return nil
+	}
+
+	doubleStart := int64(layout.NDirect) + apb
+	// Inner double-indirect blocks beyond the kept range.
+	if !in.DoubleIndirect.IsNil() {
+		keepInner := int64(0)
+		if newBlocks > doubleStart {
+			keepInner = (newBlocks - doubleStart + apb - 1) / apb
+		}
+		outer, err := fs.getIndirect(in.Ino, indDoubleOuter, in.DoubleIndirect, false)
+		if err != nil {
+			return err
+		}
+		if outer != nil {
+			for idx := keepInner; idx < apb; idx++ {
+				if a := loadAddr(outer, int(idx)); !a.IsNil() {
+					if err := dropIndirect(indDoubleInnerBase + idx); err != nil {
+						return err
+					}
+				} else {
+					fs.bc.Remove(indKey(in.Ino, indDoubleInnerBase+idx))
+				}
+			}
+		}
+		if keepInner == 0 {
+			if err := dropIndirect(indDoubleOuter); err != nil {
+				return err
+			}
+		}
+	}
+	if newBlocks <= layout.NDirect && !in.Indirect.IsNil() {
+		if err := dropIndirect(indSingle); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// removeFileBlocks releases everything the file owns (the unlink
+// path): its data and indirect blocks, cached copies, and the live
+// estimate of its inode record.
+func (fs *FS) removeFileBlocks(in *layout.Inode) error {
+	if err := fs.truncateFile(in, 0); err != nil {
+		return err
+	}
+	// Drop any remaining cached blocks of this file.
+	ino := in.Ino
+	fs.bc.RemoveMatching(func(k cache.Key) bool { return k.Ino == ino })
+	return nil
+}

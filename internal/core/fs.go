@@ -1,0 +1,332 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"lfs/internal/cache"
+	"lfs/internal/disk"
+	"lfs/internal/layout"
+	"lfs/internal/sim"
+	"lfs/internal/vfs"
+)
+
+// Stats counts LFS-internal activity for experiments and tools.
+type Stats struct {
+	// UnitsWritten counts log write units (partial segments).
+	UnitsWritten int64
+	// BlocksWritten counts blocks written through the log,
+	// including summary blocks.
+	BlocksWritten int64
+	// SegmentsSealed counts segments filled and retired from the
+	// active position.
+	SegmentsSealed int64
+	// Checkpoints counts checkpoint-region writes.
+	Checkpoints int64
+	// CleanerRuns counts cleaner activations.
+	CleanerRuns int64
+	// SegmentsCleaned counts segments reclaimed by the cleaner.
+	SegmentsCleaned int64
+	// CleanerBlocksExamined counts blocks whose liveness the
+	// cleaner checked.
+	CleanerBlocksExamined int64
+	// CleanerLiveCopied counts live blocks the cleaner rewrote.
+	CleanerLiveCopied int64
+	// CleanerBytesReclaimed counts clean bytes generated.
+	CleanerBytesReclaimed int64
+	// RollForwardUnits counts log units recovered at mount.
+	RollForwardUnits int64
+	// UserBytesWritten counts bytes written through the Write API;
+	// comparing it with BlocksWritten gives the log's write
+	// amplification (metadata, summaries, and cleaner copies).
+	UserBytesWritten int64
+}
+
+// WriteAmplification returns total log bytes written per user byte,
+// given the block size; zero when nothing was written.
+func (s Stats) WriteAmplification(blockSize int) float64 {
+	if s.UserBytesWritten == 0 {
+		return 0
+	}
+	return float64(s.BlocksWritten*int64(blockSize)) / float64(s.UserBytesWritten)
+}
+
+// FS is a mounted LFS instance implementing vfs.FileSystem. It is
+// safe for concurrent use: a single mutex serialises all operations,
+// which also matches the single-system-image timeline of the
+// simulated clock (concurrent callers' operations interleave at
+// operation granularity on one clock).
+type FS struct {
+	mu  sync.Mutex
+	d   *disk.Disk
+	cfg Config
+	sb  superblock
+
+	clock *sim.Clock
+	cpu   *sim.CPU
+	bc    *cache.Cache
+
+	imap  *imapTable
+	usage []segUsage
+
+	// inodes is the in-core inode table; dirtyInodes queues inodes
+	// for the next segment write.
+	inodes      map[layout.Ino]*layout.Inode
+	dirtyInodes map[layout.Ino]bool
+
+	// names is the directory name cache (the UNIX namei cache both
+	// SunOS and Sprite relied on): per directory, name → (child
+	// inode, directory block holding the entry). Without it,
+	// directory operations scan blocks linearly and the paper's
+	// 10000-files-in-one-directory workload turns quadratic.
+	names map[layout.Ino]map[string]nameEntry
+	// insertHint remembers, per directory, the first data block
+	// that may have room for a new entry.
+	insertHint map[layout.Ino]int64
+	// lastRead tracks each file's last-read block for sequential
+	// read-ahead detection.
+	lastRead map[layout.Ino]int64
+
+	// Active log position: segment curSeg, next free block curBlk.
+	// pendingBlk marks the start of the assembled-but-unissued
+	// region of segBuf.
+	curSeg     int
+	curBlk     int
+	pendingBlk int
+	segBuf     []byte
+
+	// writeSerial numbers log units; ckptSerial numbers
+	// checkpoints.
+	writeSerial uint64
+	ckptSerial  uint64
+	lastCkpt    sim.Time
+
+	// liveBytes is the total live-data estimate across segments.
+	liveBytes  int64
+	cleanCount int
+
+	cleaning  bool
+	unmounted bool
+
+	stats Stats
+}
+
+// newSkeleton builds an FS with empty state: every segment clean, an
+// empty imap, the log positioned at segment 0.
+func newSkeleton(d *disk.Disk, cfg Config, sb superblock) *FS {
+	fs := &FS{
+		d:           d,
+		cfg:         cfg,
+		sb:          sb,
+		clock:       d.Clock(),
+		cpu:         sim.NewCPU(cfg.MIPS, d.Clock()),
+		bc:          cache.New(cfg.CacheBlocks, cfg.BlockSize),
+		imap:        newImap(cfg.MaxInodes, cfg.BlockSize),
+		usage:       make([]segUsage, sb.Segments),
+		inodes:      make(map[layout.Ino]*layout.Inode),
+		dirtyInodes: make(map[layout.Ino]bool),
+		names:       make(map[layout.Ino]map[string]nameEntry),
+		insertHint:  make(map[layout.Ino]int64),
+		lastRead:    make(map[layout.Ino]int64),
+		curSeg:      0,
+		curBlk:      0,
+		segBuf:      make([]byte, cfg.SegmentSize),
+		writeSerial: 1,
+	}
+	fs.usage[0].State = segActive
+	fs.cleanCount = int(sb.Segments) - 1
+	return fs
+}
+
+// Disk returns the underlying device for experiment instrumentation.
+func (fs *FS) Disk() *disk.Disk { return fs.d }
+
+// Clock returns the simulated clock.
+func (fs *FS) Clock() *sim.Clock { return fs.clock }
+
+// Stats returns a snapshot of internal counters.
+func (fs *FS) Stats() Stats {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.stats
+}
+
+// CacheStats returns file cache statistics.
+func (fs *FS) CacheStats() cache.Stats {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.bc.Stats()
+}
+
+// CPUInstructions returns the total simulated instructions charged,
+// for CPU-boundedness reporting in experiments.
+func (fs *FS) CPUInstructions() int64 {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.cpu.Instructions()
+}
+
+// CacheDirtyKeys returns the keys of all dirty cached blocks, in
+// dirtied order — test and tool instrumentation.
+func (fs *FS) CacheDirtyKeys() []cache.Key {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	blocks := fs.bc.DirtyBlocks()
+	keys := make([]cache.Key, len(blocks))
+	for i, b := range blocks {
+		keys[i] = b.Key
+	}
+	return keys
+}
+
+// CleanSegments returns the number of clean segments.
+func (fs *FS) CleanSegments() int {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.cleanCount
+}
+
+// LiveBytes returns the live-data estimate.
+func (fs *FS) LiveBytes() int64 {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.liveBytes
+}
+
+// SegmentUtilizations returns the live fraction of every non-clean,
+// non-active segment — the distribution §5.3 of the paper poses as an
+// open question for nonsynthetic workloads ("It is currently not
+// known what the segment distribution looks like").
+func (fs *FS) SegmentUtilizations() []float64 {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	segSize := float64(fs.sb.SegmentSize)
+	var out []float64
+	for i := range fs.usage {
+		if fs.usage[i].State == segDirty {
+			out = append(out, float64(fs.usage[i].Live)/segSize)
+		}
+	}
+	return out
+}
+
+// Config returns the configuration the FS was mounted with.
+func (fs *FS) Config() Config { return fs.cfg }
+
+// DropCaches evicts all clean cached blocks and clean in-core inodes —
+// the paper's between-phase "flush the file cache".
+func (fs *FS) DropCaches() {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.bc.DropClean()
+	for ino := range fs.inodes {
+		if !fs.dirtyInodes[ino] {
+			delete(fs.inodes, ino)
+		}
+	}
+}
+
+// Crash simulates a machine crash: every volatile structure vanishes.
+// Only what reached the disk (segments, checkpoint regions) survives;
+// remounting runs crash recovery.
+func (fs *FS) Crash() {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.bc.Clear()
+	fs.inodes = nil
+	fs.dirtyInodes = nil
+	fs.unmounted = true
+}
+
+// LogCapacity returns the total byte capacity of the segment area.
+func (fs *FS) LogCapacity() int64 { return fs.logCapacity() }
+
+// logCapacity returns the total byte capacity of the segment area.
+func (fs *FS) logCapacity() int64 {
+	return int64(fs.sb.Segments) * int64(fs.sb.SegmentSize)
+}
+
+// killBlock marks nbytes at addr dead in the usage array (the block
+// was overwritten, truncated, or relocated).
+func (fs *FS) killBlock(addr layout.DiskAddr, nbytes int64) {
+	if addr.IsNil() {
+		return
+	}
+	seg := fs.segOf(addr)
+	if seg < 0 {
+		return
+	}
+	fs.usage[seg].Live -= nbytes
+	if fs.usage[seg].Live < 0 {
+		fs.usage[seg].Live = 0
+	}
+	fs.liveBytes -= nbytes
+	if fs.liveBytes < 0 {
+		fs.liveBytes = 0
+	}
+}
+
+// creditBlock marks nbytes at the active position live.
+func (fs *FS) creditSegment(seg int, nbytes int64) {
+	fs.usage[seg].Live += nbytes
+	fs.usage[seg].LastWrite = fs.clock.Now()
+	fs.liveBytes += nbytes
+}
+
+// admitBytes checks the disk-space admission limit for newBytes of
+// additional live data, counting data already dirty in the cache.
+func (fs *FS) admitBytes(newBytes int64) error {
+	dirty := int64(fs.bc.DirtyCount()) * int64(fs.cfg.BlockSize)
+	limit := int64(float64(fs.logCapacity()) * fs.cfg.MaxLiveFraction)
+	if fs.liveBytes+dirty+newBytes > limit {
+		return fmt.Errorf("%w: live data %d + %d would exceed limit %d",
+			vfs.ErrNoSpace, fs.liveBytes+dirty, newBytes, limit)
+	}
+	return nil
+}
+
+// epilogue runs after every operation: it triggers segment writes on
+// cache pressure or write-back age (§4.3.5) and checkpoints on the
+// checkpoint interval (§4.4.1).
+func (fs *FS) epilogue() error {
+	// "The file cache may request a segment write when it detects a
+	// shortage of clean blocks": a segment write starts as soon as
+	// a full segment of dirty data has accumulated. Flushing in
+	// segment-sized increments keeps each flush's clean-segment
+	// demand bounded (so the cleaner's reserve suffices) and keeps
+	// hot clean blocks from being evicted under dirty pressure.
+	dirtyBytes := int64(fs.bc.DirtyCount()) * int64(fs.cfg.BlockSize)
+	if dirtyBytes >= int64(fs.cfg.SegmentSize) || fs.bc.Overfull() {
+		if err := fs.flush(flushAll); err != nil {
+			return err
+		}
+	} else if oldest, ok := fs.bc.OldestDirty(); ok && fs.clock.Now().Sub(oldest) >= fs.cfg.WritebackAge {
+		if err := fs.flush(flushAll); err != nil {
+			return err
+		}
+	}
+	if fs.clock.Now().Sub(fs.lastCkpt) >= fs.cfg.CheckpointInterval {
+		if err := fs.checkpoint(); err != nil {
+			return err
+		}
+	}
+	// Idle cleaning (§5.3): with nothing dirty and the disk arm
+	// free, reclaim fragmented segments ahead of demand.
+	if fs.cfg.CleanOnIdle && !fs.cleaning &&
+		fs.bc.DirtyCount() == 0 && len(fs.dirtyInodes) == 0 &&
+		fs.d.BusyUntil() <= fs.clock.Now() &&
+		fs.cleanCount < fs.cfg.cleanTarget(int(fs.sb.Segments)) {
+		if _, err := fs.cleanUntil(fs.cleanCount + 1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkMounted fails operations on an unmounted FS.
+func (fs *FS) checkMounted() error {
+	if fs.unmounted {
+		return vfs.ErrUnmounted
+	}
+	return nil
+}

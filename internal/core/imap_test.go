@@ -1,0 +1,152 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"lfs/internal/layout"
+	"lfs/internal/sim"
+)
+
+func TestImapEntryRoundTrip(t *testing.T) {
+	e := imapEntry{Addr: 12345, Slot: 3, Allocated: true, Version: 99, Atime: sim.Time(7 * sim.Second)}
+	buf := make([]byte, imapEntrySize)
+	e.encode(buf)
+	got := decodeImapEntry(buf)
+	if got != e {
+		t.Fatalf("round trip: %+v vs %+v", got, e)
+	}
+}
+
+func TestImapEntryRoundTripProperty(t *testing.T) {
+	f := func(addr uint32, slot uint8, alloc bool, version uint32, atime int64) bool {
+		e := imapEntry{Addr: layout.DiskAddr(addr), Slot: slot, Allocated: alloc, Version: version, Atime: sim.Time(atime)}
+		buf := make([]byte, imapEntrySize)
+		e.encode(buf)
+		return decodeImapEntry(buf) == e
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestImapAllocFree(t *testing.T) {
+	m := newImap(64, 4096)
+	ino, err := m.allocNew()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ino != layout.RootIno {
+		t.Fatalf("first ino = %d", ino)
+	}
+	ino2, _ := m.allocNew()
+	if ino2 != ino+1 {
+		t.Fatalf("second ino = %d", ino2)
+	}
+	if m.Allocated() != 2 {
+		t.Fatalf("allocated = %d", m.Allocated())
+	}
+	v := m.get(ino2).Version
+	m.free(ino2)
+	if m.get(ino2).Version != v+1 {
+		t.Fatal("free did not bump version")
+	}
+	// Freed number is reused, version preserved.
+	ino3, _ := m.allocNew()
+	if ino3 != ino2 {
+		t.Fatalf("reuse gave %d, want %d", ino3, ino2)
+	}
+	if m.get(ino3).Version != v+1 {
+		t.Fatal("reuse reset version")
+	}
+}
+
+func TestImapExhaustion(t *testing.T) {
+	m := newImap(16, 4096)
+	for i := 0; i < 16; i++ {
+		if _, err := m.allocNew(); err != nil {
+			t.Fatalf("alloc %d failed: %v", i, err)
+		}
+	}
+	if _, err := m.allocNew(); err == nil {
+		t.Fatal("17th alloc on 16-inode map succeeded")
+	}
+}
+
+func TestImapDoubleFreePanics(t *testing.T) {
+	m := newImap(16, 4096)
+	ino, _ := m.allocNew()
+	m.free(ino)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double free did not panic")
+		}
+	}()
+	m.free(ino)
+}
+
+func TestImapBlockRoundTrip(t *testing.T) {
+	m := newImap(600, 4096)
+	for i := 0; i < 500; i++ {
+		ino, _ := m.allocNew()
+		e := m.get(ino)
+		e.Addr = layout.DiskAddr(1000 + i)
+		e.Slot = uint8(i % 4)
+		e.Atime = sim.Time(i)
+	}
+	// Serialize every block, load into a fresh map, compare.
+	m2 := newImap(600, 4096)
+	buf := make([]byte, 4096)
+	for idx := 0; idx < m.blockCount(); idx++ {
+		m.encodeBlock(idx, buf)
+		m2.decodeBlock(idx, buf)
+	}
+	for ino := layout.RootIno; ino <= m.maxIno(); ino++ {
+		if *m.get(ino) != *m2.get(ino) {
+			t.Fatalf("ino %d differs after block round trip", ino)
+		}
+	}
+	m2.rebuildFreeState()
+	if m2.Allocated() != m.Allocated() {
+		t.Fatalf("allocated %d vs %d after rebuild", m2.Allocated(), m.Allocated())
+	}
+}
+
+func TestImapRebuildFreeState(t *testing.T) {
+	m := newImap(64, 4096)
+	var inos []layout.Ino
+	for i := 0; i < 10; i++ {
+		ino, _ := m.allocNew()
+		inos = append(inos, ino)
+	}
+	m.free(inos[3])
+	m.free(inos[7])
+	m.rebuildFreeState()
+	if m.Allocated() != 8 {
+		t.Fatalf("allocated = %d", m.Allocated())
+	}
+	// The two freed numbers come back before any new high number.
+	a, _ := m.allocNew()
+	b, _ := m.allocNew()
+	got := map[layout.Ino]bool{a: true, b: true}
+	if !got[inos[3]] || !got[inos[7]] {
+		t.Fatalf("rebuild lost freed numbers: reallocated %v and %v", a, b)
+	}
+	c, _ := m.allocNew()
+	if c != inos[9]+1 {
+		t.Fatalf("next fresh ino = %d, want %d", c, inos[9]+1)
+	}
+}
+
+func TestImapDirtyTracking(t *testing.T) {
+	m := newImap(1000, 4096)
+	per := m.perBlock
+	ino := layout.Ino(per + 1) // second block
+	m.alloc(ino)
+	if !m.dirtyBlock[1] {
+		t.Fatal("alloc did not dirty the covering block")
+	}
+	if m.dirtyBlock[0] {
+		t.Fatal("alloc dirtied an unrelated block")
+	}
+}

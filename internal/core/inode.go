@@ -1,0 +1,313 @@
+package core
+
+import (
+	"fmt"
+
+	"lfs/internal/cache"
+	"lfs/internal/layout"
+	"lfs/internal/vfs"
+)
+
+// Indirect block identifiers within a file. LFS keys indirect blocks
+// logically (by owner and role) because their physical addresses
+// change on every rewrite.
+const (
+	// indSingle is the single indirect block.
+	indSingle int64 = 0
+	// indDoubleOuter is the double indirect (outer) block.
+	indDoubleOuter int64 = 1
+	// indDoubleInnerBase + k is the k-th inner block under the
+	// double indirect block.
+	indDoubleInnerBase int64 = 2
+)
+
+// inodesPerBlock returns the inode records packed into one FS block.
+func (fs *FS) inodesPerBlock() int { return fs.cfg.BlockSize / layout.InodeSize }
+
+// inodesPerSector is how many inode records fit in one sector.
+const inodesPerSector = 512 / layout.InodeSize
+
+// dataKey returns the cache key of data block lbn of ino.
+func dataKey(ino layout.Ino, lbn int64) cache.Key {
+	return cache.Key{Kind: cache.KindFile, Ino: ino, Off: lbn}
+}
+
+// indKey returns the cache key of an indirect block.
+func indKey(ino layout.Ino, id int64) cache.Key {
+	return cache.Key{Kind: cache.KindIndirect, Ino: ino, Off: id}
+}
+
+// fillNil initialises an indirect block so every entry is NilAddr.
+func fillNil(p []byte) {
+	for i := range p {
+		p[i] = 0xFF
+	}
+}
+
+// loadAddr reads entry idx of a cached indirect block.
+func loadAddr(b *cache.Block, idx int) layout.DiskAddr {
+	return layout.DecodeAddrBlock(b.Data[idx*layout.AddrSize:], 1)[0]
+}
+
+// storeAddr writes entry idx of a cached indirect block.
+func storeAddr(b *cache.Block, idx int, a layout.DiskAddr) {
+	layout.EncodeAddrBlock([]layout.DiskAddr{a}, b.Data[idx*layout.AddrSize:])
+}
+
+// inodeCacheLimit bounds the in-core inode table; clean inodes beyond
+// it are dropped (they can always be refetched through the imap).
+const inodeCacheLimit = 16384
+
+// getInode returns the in-core inode for ino, fetching it through the
+// inode map when absent (§4.2.1: "except for the address lookup using
+// the inode map, the file reading algorithm of LFS is identical to
+// UNIX").
+func (fs *FS) getInode(ino layout.Ino) (*layout.Inode, error) {
+	if in, ok := fs.inodes[ino]; ok {
+		return in, nil
+	}
+	if ino < 1 || ino > fs.imap.maxIno() {
+		return nil, fmt.Errorf("%w: inode %d out of range", vfs.ErrInvalid, ino)
+	}
+	e := fs.imap.get(ino)
+	if !e.Allocated {
+		return nil, fmt.Errorf("%w: inode %d is not allocated", vfs.ErrNotExist, ino)
+	}
+	if e.Addr.IsNil() {
+		return nil, fmt.Errorf("lfs: allocated inode %d has no disk address", ino)
+	}
+	// Inodes were logged in whole inode blocks; read the containing
+	// block and batch-cache every inode in it whose inode map entry
+	// still points here. This amortises one disk read over up to
+	// blockSize/InodeSize inodes, which is what keeps LFS's
+	// small-file read performance competitive (§5.1): files created
+	// together have their inodes packed together.
+	seg := fs.segOf(e.Addr)
+	if seg < 0 {
+		return nil, fmt.Errorf("lfs: inode %d address %v outside the segment area", ino, e.Addr)
+	}
+	spb := fs.cfg.sectorsPerBlock()
+	rel := int64(e.Addr) - fs.segFirstSector(seg)
+	blockStart := fs.segFirstSector(seg) + rel/spb*spb
+	fs.cpu.Charge(fs.cfg.Costs.BlockSetup + fs.cfg.Costs.DiskOpSetup)
+	blk := make([]byte, fs.cfg.BlockSize)
+	if err := fs.d.ReadSectors(blockStart, blk, "inode read"); err != nil {
+		return nil, err
+	}
+	fs.evictInodes()
+	var want *layout.Inode
+	for slot := 0; slot < fs.inodesPerBlock(); slot++ {
+		raw := blk[slot*layout.InodeSize : (slot+1)*layout.InodeSize]
+		if allZero(raw) {
+			continue
+		}
+		rec, err := layout.DecodeInode(raw)
+		if err != nil {
+			continue // stale or torn slot; only the wanted ino matters
+		}
+		slotAddr := layout.DiskAddr(blockStart) + layout.DiskAddr(slot/inodesPerSector)
+		slotIdx := uint8(slot % inodesPerSector)
+		re := fs.imap.get(rec.Ino)
+		if rec.Ino == ino {
+			if slotAddr != e.Addr || slotIdx != e.Slot {
+				continue
+			}
+			cp := rec
+			want = &cp
+			fs.inodes[ino] = want
+			continue
+		}
+		// Opportunistically cache neighbours that are still
+		// current, unless a (possibly dirty) copy is already in
+		// core.
+		if _, present := fs.inodes[rec.Ino]; present {
+			continue
+		}
+		if rec.Ino < 1 || rec.Ino > fs.imap.maxIno() || !rec.Allocated() {
+			continue
+		}
+		if re.Allocated && re.Addr == slotAddr && re.Slot == slotIdx {
+			cp := rec
+			fs.inodes[rec.Ino] = &cp
+		}
+	}
+	if want == nil {
+		return nil, fmt.Errorf("lfs: inode %d not found at %v slot %d", ino, e.Addr, e.Slot)
+	}
+	return want, nil
+}
+
+// evictInodes drops clean in-core inodes when over the limit.
+func (fs *FS) evictInodes() {
+	if len(fs.inodes) < inodeCacheLimit {
+		return
+	}
+	for ino := range fs.inodes {
+		if !fs.dirtyInodes[ino] {
+			delete(fs.inodes, ino)
+			if len(fs.inodes) < inodeCacheLimit/2 {
+				break
+			}
+		}
+	}
+}
+
+// markInodeDirty queues ino for the next segment write.
+func (fs *FS) markInodeDirty(ino layout.Ino) { fs.dirtyInodes[ino] = true }
+
+// dropInode removes ino from the in-core table (unlink).
+func (fs *FS) dropInode(ino layout.Ino) {
+	delete(fs.inodes, ino)
+	delete(fs.dirtyInodes, ino)
+}
+
+// getIndirect returns the cached indirect block (ino, id). When the
+// block is not cached it is read from addr; a nil addr with create
+// set yields a fresh all-holes block, and a nil addr without create
+// returns nil.
+func (fs *FS) getIndirect(ino layout.Ino, id int64, addr layout.DiskAddr, create bool) (*cache.Block, error) {
+	if b := fs.bc.Get(indKey(ino, id)); b != nil {
+		fs.cpu.Charge(fs.cfg.Costs.BlockSetup)
+		return b, nil
+	}
+	if addr.IsNil() {
+		if !create {
+			return nil, nil
+		}
+		b := fs.bc.Add(indKey(ino, id))
+		fillNil(b.Data)
+		fs.bc.MarkDirty(b, fs.clock.Now())
+		return b, nil
+	}
+	b := fs.bc.Add(indKey(ino, id))
+	fs.cpu.Charge(fs.cfg.Costs.BlockSetup + fs.cfg.Costs.DiskOpSetup)
+	if err := fs.d.ReadSectors(int64(addr), b.Data, "indirect read"); err != nil {
+		fs.bc.Remove(indKey(ino, id))
+		return nil, err
+	}
+	return b, nil
+}
+
+// blockAddrOf returns the current on-disk address of data block lbn,
+// or NilAddr when the block has never been written (a hole or a
+// cache-only block).
+func (fs *FS) blockAddrOf(in *layout.Inode, lbn int64) (layout.DiskAddr, error) {
+	path, err := layout.MapBlock(lbn, fs.cfg.BlockSize)
+	if err != nil {
+		return layout.NilAddr, err
+	}
+	switch path.Level {
+	case 0:
+		return in.Direct[path.Direct], nil
+	case 1:
+		ib, err := fs.getIndirect(in.Ino, indSingle, in.Indirect, false)
+		if err != nil || ib == nil {
+			return layout.NilAddr, err
+		}
+		return loadAddr(ib, path.Inner), nil
+	default:
+		outer, err := fs.getIndirect(in.Ino, indDoubleOuter, in.DoubleIndirect, false)
+		if err != nil || outer == nil {
+			return layout.NilAddr, err
+		}
+		innerAddr := loadAddr(outer, path.Outer)
+		inner, err := fs.getIndirect(in.Ino, indDoubleInnerBase+int64(path.Outer), innerAddr, false)
+		if err != nil || inner == nil {
+			return layout.NilAddr, err
+		}
+		return loadAddr(inner, path.Inner), nil
+	}
+}
+
+// setBlockAddr points lbn at addr, creating and dirtying indirect
+// blocks as needed (this is how the segment writer redirects pointers
+// to a block's new log location). It returns the address previously
+// stored there.
+func (fs *FS) setBlockAddr(in *layout.Inode, lbn int64, addr layout.DiskAddr) (layout.DiskAddr, error) {
+	path, err := layout.MapBlock(lbn, fs.cfg.BlockSize)
+	if err != nil {
+		return layout.NilAddr, err
+	}
+	switch path.Level {
+	case 0:
+		old := in.Direct[path.Direct]
+		if old != addr {
+			in.Direct[path.Direct] = addr
+			fs.markInodeDirty(in.Ino)
+		}
+		return old, nil
+	case 1:
+		ib, err := fs.getIndirect(in.Ino, indSingle, in.Indirect, true)
+		if err != nil {
+			return layout.NilAddr, err
+		}
+		old := loadAddr(ib, path.Inner)
+		if old != addr {
+			storeAddr(ib, path.Inner, addr)
+			fs.bc.MarkDirty(ib, fs.clock.Now())
+		}
+		return old, nil
+	default:
+		outer, err := fs.getIndirect(in.Ino, indDoubleOuter, in.DoubleIndirect, true)
+		if err != nil {
+			return layout.NilAddr, err
+		}
+		innerAddr := loadAddr(outer, path.Outer)
+		inner, err := fs.getIndirect(in.Ino, indDoubleInnerBase+int64(path.Outer), innerAddr, true)
+		if err != nil {
+			return layout.NilAddr, err
+		}
+		old := loadAddr(inner, path.Inner)
+		if old != addr {
+			storeAddr(inner, path.Inner, addr)
+			fs.bc.MarkDirty(inner, fs.clock.Now())
+		}
+		return old, nil
+	}
+}
+
+// indirectAddrOf returns the current on-disk address of indirect
+// block id of the file, looking through the inode (for the single and
+// outer blocks) or the outer indirect block (for inner blocks).
+func (fs *FS) indirectAddrOf(in *layout.Inode, id int64) (layout.DiskAddr, error) {
+	switch {
+	case id == indSingle:
+		return in.Indirect, nil
+	case id == indDoubleOuter:
+		return in.DoubleIndirect, nil
+	default:
+		outer, err := fs.getIndirect(in.Ino, indDoubleOuter, in.DoubleIndirect, false)
+		if err != nil || outer == nil {
+			return layout.NilAddr, err
+		}
+		return loadAddr(outer, int(id-indDoubleInnerBase)), nil
+	}
+}
+
+// setIndirectAddr redirects indirect block id to addr, dirtying the
+// parent (inode or outer indirect block). It returns the previous
+// address.
+func (fs *FS) setIndirectAddr(in *layout.Inode, id int64, addr layout.DiskAddr) (layout.DiskAddr, error) {
+	switch {
+	case id == indSingle:
+		old := in.Indirect
+		in.Indirect = addr
+		fs.markInodeDirty(in.Ino)
+		return old, nil
+	case id == indDoubleOuter:
+		old := in.DoubleIndirect
+		in.DoubleIndirect = addr
+		fs.markInodeDirty(in.Ino)
+		return old, nil
+	default:
+		outer, err := fs.getIndirect(in.Ino, indDoubleOuter, in.DoubleIndirect, true)
+		if err != nil {
+			return layout.NilAddr, err
+		}
+		idx := int(id - indDoubleInnerBase)
+		old := loadAddr(outer, idx)
+		storeAddr(outer, idx, addr)
+		fs.bc.MarkDirty(outer, fs.clock.Now())
+		return old, nil
+	}
+}

@@ -1,0 +1,492 @@
+package core
+
+import (
+	"fmt"
+
+	"lfs/internal/cache"
+	"lfs/internal/layout"
+	"lfs/internal/sim"
+	"lfs/internal/vfs"
+)
+
+// FS implements vfs.FileSystem.
+var _ vfs.FileSystem = (*FS)(nil)
+
+// maxFileSize returns the double-indirect limit in bytes.
+func (fs *FS) maxFileSize() int64 {
+	return layout.MaxFileBlocks(fs.cfg.BlockSize) * int64(fs.cfg.BlockSize)
+}
+
+// createNode is the shared implementation of Create and Mkdir. In LFS
+// this performs no disk I/O at all (Figure 2): the inode is allocated
+// in the inode map, the directory block is modified in the cache, and
+// everything rides the next segment write.
+func (fs *FS) createNode(path string, isDir bool) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if err := fs.checkMounted(); err != nil {
+		return err
+	}
+	fs.cpu.Charge(fs.cfg.Costs.Syscall + fs.cfg.Costs.Create)
+	dirParts, base, err := vfs.SplitDirBase(path)
+	if err != nil {
+		return err
+	}
+	parent, err := fs.resolveDir(dirParts)
+	if err != nil {
+		return err
+	}
+	if _, exists, err := fs.dirLookup(parent, base); err != nil {
+		return err
+	} else if exists {
+		return fmt.Errorf("%w: %q", vfs.ErrExist, path)
+	}
+	if err := fs.admitBytes(int64(fs.cfg.BlockSize)); err != nil {
+		return err
+	}
+	ino, err := fs.imap.allocNew()
+	if err != nil {
+		return fmt.Errorf("%w: %v", vfs.ErrNoSpace, err)
+	}
+	mode := layout.ModeFile | 0o644
+	if isDir {
+		mode = layout.ModeDir | 0o755
+	}
+	in := layout.NewInode(ino, mode)
+	if isDir {
+		in.Nlink = 2
+	}
+	now := int64(fs.clock.Now())
+	in.Mtime, in.Ctime = now, now
+	in.Gen = fs.imap.get(ino).Version
+	fs.inodes[ino] = &in
+	fs.markInodeDirty(ino)
+	e := fs.imap.get(ino)
+	e.Atime = fs.clock.Now()
+	fs.imap.markDirty(ino)
+
+	if err := fs.dirInsert(parent, base, ino); err != nil {
+		return err
+	}
+	parent.Mtime = now
+	fs.markInodeDirty(parent.Ino)
+	return fs.epilogue()
+}
+
+// Create makes a new empty regular file.
+func (fs *FS) Create(path string) error { return fs.createNode(path, false) }
+
+// Mkdir makes a new empty directory.
+func (fs *FS) Mkdir(path string) error { return fs.createNode(path, true) }
+
+// lookupFile resolves path to a regular file's in-core inode.
+func (fs *FS) lookupFile(path string) (*layout.Inode, error) {
+	parts, err := vfs.SplitPath(path)
+	if err != nil {
+		return nil, err
+	}
+	in, err := fs.resolve(parts)
+	if err != nil {
+		return nil, err
+	}
+	if in.Mode.IsDir() {
+		return nil, fmt.Errorf("%w: %q", vfs.ErrIsDir, path)
+	}
+	return in, nil
+}
+
+// Write stores data at off. Purely asynchronous: bursts of small
+// writes accumulate in the cache and convert into large sequential
+// segment transfers (§4.1).
+func (fs *FS) Write(path string, off int64, data []byte) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if err := fs.checkMounted(); err != nil {
+		return err
+	}
+	fs.cpu.Charge(fs.cfg.Costs.Syscall)
+	in, err := fs.lookupFile(path)
+	if err != nil {
+		return err
+	}
+	if off < 0 {
+		return fmt.Errorf("%w: negative offset %d", vfs.ErrInvalid, off)
+	}
+	end := off + int64(len(data))
+	if end > fs.maxFileSize() {
+		return fmt.Errorf("%w: %q to %d bytes", vfs.ErrTooLarge, path, end)
+	}
+	if grow := end - int64(in.Size); grow > 0 {
+		if err := fs.admitBytes(grow + int64(fs.cfg.BlockSize)); err != nil {
+			return err
+		}
+	}
+	if err := fs.writeFile(in, off, data); err != nil {
+		return err
+	}
+	fs.stats.UserBytesWritten += int64(len(data))
+	in.Mtime = int64(fs.clock.Now())
+	fs.markInodeDirty(in.Ino)
+	return fs.epilogue()
+}
+
+// Read fills buf from off. Access time is recorded in the inode map
+// (footnote 2), so reading never relocates the inode.
+func (fs *FS) Read(path string, off int64, buf []byte) (int, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if err := fs.checkMounted(); err != nil {
+		return 0, err
+	}
+	fs.cpu.Charge(fs.cfg.Costs.Syscall)
+	in, err := fs.lookupFile(path)
+	if err != nil {
+		return 0, err
+	}
+	if off < 0 {
+		return 0, fmt.Errorf("%w: negative offset %d", vfs.ErrInvalid, off)
+	}
+	n, err := fs.readFile(in, off, buf)
+	if err != nil {
+		return n, err
+	}
+	e := fs.imap.get(in.Ino)
+	e.Atime = fs.clock.Now()
+	fs.imap.markDirty(in.Ino)
+	if err := fs.epilogue(); err != nil {
+		return n, err
+	}
+	return n, nil
+}
+
+// Stat describes the file at path.
+func (fs *FS) Stat(path string) (vfs.FileInfo, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if err := fs.checkMounted(); err != nil {
+		return vfs.FileInfo{}, err
+	}
+	fs.cpu.Charge(fs.cfg.Costs.Syscall)
+	parts, err := vfs.SplitPath(path)
+	if err != nil {
+		return vfs.FileInfo{}, err
+	}
+	in, err := fs.resolve(parts)
+	if err != nil {
+		return vfs.FileInfo{}, err
+	}
+	fi := vfs.FileInfo{
+		Ino:   in.Ino,
+		Mode:  in.Mode,
+		Nlink: int(in.Nlink),
+		Mtime: sim.Time(in.Mtime),
+		Atime: fs.imap.get(in.Ino).Atime,
+	}
+	if !in.Mode.IsDir() {
+		fi.Size = int64(in.Size)
+	}
+	return fi, nil
+}
+
+// ReadDir lists the directory in name order.
+func (fs *FS) ReadDir(path string) ([]layout.DirEntry, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if err := fs.checkMounted(); err != nil {
+		return nil, err
+	}
+	fs.cpu.Charge(fs.cfg.Costs.Syscall)
+	parts, err := vfs.SplitPath(path)
+	if err != nil {
+		return nil, err
+	}
+	dir, err := fs.resolveDir(parts)
+	if err != nil {
+		return nil, err
+	}
+	return fs.dirEntries(dir)
+}
+
+// Remove unlinks a file or removes an empty directory — again with no
+// synchronous I/O; the freed blocks become dead in the usage array
+// and the version bump lets the cleaner discard them cheaply.
+func (fs *FS) Remove(path string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if err := fs.checkMounted(); err != nil {
+		return err
+	}
+	fs.cpu.Charge(fs.cfg.Costs.Syscall + fs.cfg.Costs.Unlink)
+	dirParts, base, err := vfs.SplitDirBase(path)
+	if err != nil {
+		return err
+	}
+	parent, err := fs.resolveDir(dirParts)
+	if err != nil {
+		return err
+	}
+	ino, found, err := fs.dirLookup(parent, base)
+	if err != nil {
+		return err
+	}
+	if !found {
+		return fmt.Errorf("%w: %q", vfs.ErrNotExist, path)
+	}
+	in, err := fs.getInode(ino)
+	if err != nil {
+		return err
+	}
+	if in.Mode.IsDir() {
+		empty, err := fs.dirEmpty(in)
+		if err != nil {
+			return err
+		}
+		if !empty {
+			return fmt.Errorf("%w: %q", vfs.ErrNotEmpty, path)
+		}
+	}
+	if err := fs.dirRemove(parent, base); err != nil {
+		return err
+	}
+	if in.Mode.IsDir() {
+		fs.forgetDir(ino)
+	}
+	// With other hard links remaining, only the link count drops;
+	// the storage dies with the last name (when the version bump in
+	// imap.free lets the cleaner discard the blocks).
+	if !in.Mode.IsDir() && in.Nlink > 1 {
+		in.Nlink--
+		fs.markInodeDirty(ino)
+	} else {
+		if err := fs.removeFileBlocks(in); err != nil {
+			return err
+		}
+		fs.killBlock(fs.imap.get(ino).Addr, layout.InodeSize)
+		fs.dropInode(ino)
+		fs.imap.free(ino)
+	}
+	parent.Mtime = int64(fs.clock.Now())
+	fs.markInodeDirty(parent.Ino)
+	return fs.epilogue()
+}
+
+// Link creates a second directory entry for an existing regular
+// file — like everything else in LFS, with no synchronous I/O: the
+// dirtied directory block and inode ride the next segment write.
+func (fs *FS) Link(oldPath, newPath string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if err := fs.checkMounted(); err != nil {
+		return err
+	}
+	fs.cpu.Charge(fs.cfg.Costs.Syscall + fs.cfg.Costs.Create)
+	in, err := fs.lookupFile(oldPath) // rejects directories
+	if err != nil {
+		return err
+	}
+	newDirParts, newBase, err := vfs.SplitDirBase(newPath)
+	if err != nil {
+		return err
+	}
+	newParent, err := fs.resolveDir(newDirParts)
+	if err != nil {
+		return err
+	}
+	if _, exists, err := fs.dirLookup(newParent, newBase); err != nil {
+		return err
+	} else if exists {
+		return fmt.Errorf("%w: %q", vfs.ErrExist, newPath)
+	}
+	if err := fs.dirInsert(newParent, newBase, in.Ino); err != nil {
+		return err
+	}
+	in.Nlink++
+	fs.markInodeDirty(in.Ino)
+	newParent.Mtime = int64(fs.clock.Now())
+	fs.markInodeDirty(newParent.Ino)
+	return fs.epilogue()
+}
+
+// Rename moves oldPath to newPath.
+func (fs *FS) Rename(oldPath, newPath string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if err := fs.checkMounted(); err != nil {
+		return err
+	}
+	fs.cpu.Charge(fs.cfg.Costs.Syscall)
+	oldDirParts, oldBase, err := vfs.SplitDirBase(oldPath)
+	if err != nil {
+		return err
+	}
+	newDirParts, newBase, err := vfs.SplitDirBase(newPath)
+	if err != nil {
+		return err
+	}
+	oldParent, err := fs.resolveDir(oldDirParts)
+	if err != nil {
+		return err
+	}
+	ino, found, err := fs.dirLookup(oldParent, oldBase)
+	if err != nil {
+		return err
+	}
+	if !found {
+		return fmt.Errorf("%w: %q", vfs.ErrNotExist, oldPath)
+	}
+	in, err := fs.getInode(ino)
+	if err != nil {
+		return err
+	}
+	if in.Mode.IsDir() && len(newPath) > len(oldPath) && newPath[:len(oldPath)+1] == oldPath+"/" {
+		return fmt.Errorf("%w: cannot move %q inside itself", vfs.ErrInvalid, oldPath)
+	}
+	newParent, err := fs.resolveDir(newDirParts)
+	if err != nil {
+		return err
+	}
+	if _, exists, err := fs.dirLookup(newParent, newBase); err != nil {
+		return err
+	} else if exists {
+		return fmt.Errorf("%w: %q", vfs.ErrExist, newPath)
+	}
+	if err := fs.dirInsert(newParent, newBase, ino); err != nil {
+		return err
+	}
+	if err := fs.dirRemove(oldParent, oldBase); err != nil {
+		return err
+	}
+	now := int64(fs.clock.Now())
+	oldParent.Mtime = now
+	newParent.Mtime = now
+	fs.markInodeDirty(oldParent.Ino)
+	fs.markInodeDirty(newParent.Ino)
+	return fs.epilogue()
+}
+
+// Truncate sets the file length. Truncation to zero bumps the file's
+// version in the inode map (§4.2.1).
+func (fs *FS) Truncate(path string, size int64) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if err := fs.checkMounted(); err != nil {
+		return err
+	}
+	fs.cpu.Charge(fs.cfg.Costs.Syscall)
+	in, err := fs.lookupFile(path)
+	if err != nil {
+		return err
+	}
+	if size < 0 {
+		return fmt.Errorf("%w: negative size %d", vfs.ErrInvalid, size)
+	}
+	if size > fs.maxFileSize() {
+		return fmt.Errorf("%w: %q to %d bytes", vfs.ErrTooLarge, path, size)
+	}
+	if grow := size - int64(in.Size); grow > 0 {
+		if err := fs.admitBytes(grow); err != nil {
+			return err
+		}
+	}
+	wasNonEmpty := in.Size > 0
+	if err := fs.truncateFile(in, size); err != nil {
+		return err
+	}
+	if size == 0 && wasNonEmpty {
+		fs.imap.bumpVersion(in.Ino)
+		in.Gen = fs.imap.get(in.Ino).Version
+	}
+	in.Mtime = int64(fs.clock.Now())
+	fs.markInodeDirty(in.Ino)
+	return fs.epilogue()
+}
+
+// FsyncFile forces one file's data and metadata to the log and waits
+// for the disk — the fsync half of §4.3.5's "sync request" trigger.
+// Like UNIX fsync it does not force the parent directory's entry; use
+// Sync (or fsync the directory's path) for that.
+func (fs *FS) FsyncFile(path string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if err := fs.checkMounted(); err != nil {
+		return err
+	}
+	fs.cpu.Charge(fs.cfg.Costs.Syscall)
+	parts, err := vfs.SplitPath(path)
+	if err != nil {
+		return err
+	}
+	in, err := fs.resolve(parts)
+	if err != nil {
+		return err
+	}
+	ino := in.Ino
+	// Data blocks of this file only.
+	var data []*cache.Block
+	for _, b := range fs.bc.DirtyBlocks() {
+		if b.Key.Kind == cache.KindFile && b.Key.Ino == ino {
+			data = append(data, b)
+		}
+	}
+	if err := fs.writeDataBatch(data); err != nil {
+		return err
+	}
+	// Its indirect blocks, innermost first.
+	for _, pass := range []func(int64) bool{
+		func(id int64) bool { return id >= indDoubleInnerBase },
+		func(id int64) bool { return id == indDoubleOuter },
+		func(id int64) bool { return id == indSingle },
+	} {
+		var batch []*cache.Block
+		for _, b := range fs.bc.DirtyBlocks() {
+			if b.Key.Kind == cache.KindIndirect && b.Key.Ino == ino && pass(b.Key.Off) {
+				batch = append(batch, b)
+			}
+		}
+		if err := fs.writeIndirectBatch(batch); err != nil {
+			return err
+		}
+	}
+	// Its inode, if dirty.
+	if fs.dirtyInodes[ino] {
+		if err := fs.writeInodeBatchFor([]layout.Ino{ino}); err != nil {
+			return err
+		}
+	}
+	if err := fs.flushPendingIO(); err != nil {
+		return err
+	}
+	fs.d.Drain()
+	return nil
+}
+
+// Sync forces a segment write of everything dirty and waits for the
+// disk (§4.3.5 "sync request").
+func (fs *FS) Sync() error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if err := fs.checkMounted(); err != nil {
+		return err
+	}
+	fs.cpu.Charge(fs.cfg.Costs.Syscall)
+	if err := fs.flush(flushAll); err != nil {
+		return err
+	}
+	fs.d.Drain()
+	return nil
+}
+
+// Unmount checkpoints and detaches; remounting is then instantaneous.
+func (fs *FS) Unmount() error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if err := fs.checkMounted(); err != nil {
+		return err
+	}
+	if err := fs.checkpoint(); err != nil {
+		return err
+	}
+	fs.d.Drain()
+	fs.unmounted = true
+	return nil
+}

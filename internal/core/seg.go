@@ -1,0 +1,208 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"lfs/internal/layout"
+	"lfs/internal/sim"
+)
+
+// Segment states tracked in the usage array.
+const (
+	// segClean segments are fully reusable log space.
+	segClean uint8 = iota
+	// segDirty segments hold (possibly dead) logged data.
+	segDirty
+	// segActive is the segment currently being appended to.
+	segActive
+)
+
+// segUsage is one segment usage array entry (§4.3.4): an estimate of
+// the live bytes in the segment plus the time of its last write (used
+// by the cost-benefit cleaning policy). The paper notes the estimate
+// is only a cleaning hint, so it needs no exact crash recovery; it is
+// snapshotted in checkpoints.
+type segUsage struct {
+	Live      int64
+	LastWrite sim.Time
+	State     uint8
+}
+
+// segUsageEntrySize is the encoded size of one usage entry.
+const segUsageEntrySize = 24
+
+func (u *segUsage) encode(p []byte) {
+	le := binary.LittleEndian
+	le.PutUint64(p[0:], uint64(u.Live))
+	le.PutUint64(p[8:], uint64(u.LastWrite))
+	p[16] = u.State
+	for i := 17; i < segUsageEntrySize; i++ {
+		p[i] = 0
+	}
+}
+
+func decodeSegUsage(p []byte) segUsage {
+	le := binary.LittleEndian
+	return segUsage{
+		Live:      int64(le.Uint64(p[0:])),
+		LastWrite: sim.Time(le.Uint64(p[8:])),
+		State:     p[16],
+	}
+}
+
+// --- segment summaries (§4.3.1) ----------------------------------------
+
+// blockKind classifies a logged block in a segment summary.
+type blockKind uint8
+
+const (
+	// kindData is a file or directory data block; id is the
+	// logical block number.
+	kindData blockKind = iota
+	// kindIndirect is an indirect pointer block; id identifies
+	// which one (see indirect ids in inode.go).
+	kindIndirect
+	// kindInodes is a block packed with inode records; ino/id are
+	// unused (the records carry their own numbers).
+	kindInodes
+	// kindImap is an inode map block; id is the imap block index.
+	kindImap
+)
+
+// String names the kind.
+func (k blockKind) String() string {
+	switch k {
+	case kindData:
+		return "data"
+	case kindIndirect:
+		return "indirect"
+	case kindInodes:
+		return "inodes"
+	case kindImap:
+		return "imap"
+	}
+	return fmt.Sprintf("kind%d", uint8(k))
+}
+
+// blockRef is one summary entry: the identity of a logged block. For
+// each block the summary records the owning file and position (§4.3.1)
+// plus the file's imap version at write time (§4.3.3 step 1).
+type blockRef struct {
+	Kind    blockKind
+	Ino     layout.Ino
+	ID      int64
+	Version uint32
+}
+
+const (
+	summaryMagic      = 0x4C53554D // "LSUM"
+	summaryHeaderSize = 64
+	summaryEntrySize  = 24
+)
+
+// summaryHeader describes one log write unit (a partial segment): the
+// summary block(s) followed by nBlocks data blocks. Units are written
+// with monotonically increasing serials; roll-forward recovery walks
+// units in serial order and stops at the first gap or checksum
+// mismatch (a torn write).
+type summaryHeader struct {
+	Serial    uint64
+	NBlocks   int
+	SumBlocks int
+	Timestamp sim.Time
+	DataCRC   uint32
+}
+
+// summaryBytes returns the byte size of a summary for n blocks.
+func summaryBytes(n int) int { return summaryHeaderSize + n*summaryEntrySize }
+
+// summaryBlocks returns the blocks a summary for n entries occupies.
+func summaryBlocks(n, blockSize int) int {
+	return (summaryBytes(n) + blockSize - 1) / blockSize
+}
+
+// maxUnitBlocks returns the largest n such that a unit with n data
+// blocks plus its summary fits in avail blocks. Returns 0 when not
+// even one data block fits.
+func maxUnitBlocks(avail, blockSize int) int {
+	if avail < 2 {
+		return 0
+	}
+	n := avail - 1 // optimistic: one summary block
+	for n > 0 && summaryBlocks(n, blockSize)+n > avail {
+		n--
+	}
+	return n
+}
+
+// encodeSummary writes the unit summary into p, which must span the
+// summary blocks.
+func encodeSummary(h summaryHeader, refs []blockRef, p []byte) {
+	for i := range p {
+		p[i] = 0
+	}
+	le := binary.LittleEndian
+	le.PutUint32(p[0:], summaryMagic)
+	le.PutUint64(p[4:], h.Serial)
+	le.PutUint16(p[12:], uint16(h.NBlocks))
+	le.PutUint16(p[14:], uint16(h.SumBlocks))
+	le.PutUint64(p[16:], uint64(h.Timestamp))
+	le.PutUint32(p[24:], h.DataCRC)
+	off := summaryHeaderSize
+	for _, r := range refs {
+		p[off] = uint8(r.Kind)
+		le.PutUint32(p[off+4:], uint32(r.Ino))
+		le.PutUint64(p[off+8:], uint64(r.ID))
+		le.PutUint32(p[off+16:], r.Version)
+		off += summaryEntrySize
+	}
+	// Header checksum covers the header and all entries; stored in
+	// the spare header word.
+	le.PutUint32(p[28:], 0)
+	crc := layout.Checksum(p[:summaryBytes(len(refs))])
+	le.PutUint32(p[28:], crc)
+}
+
+// decodeSummary parses a unit summary from p. It returns an error for
+// anything that is not a valid summary (the roll-forward stop
+// condition).
+func decodeSummary(p []byte) (summaryHeader, []blockRef, error) {
+	if len(p) < summaryHeaderSize {
+		return summaryHeader{}, nil, fmt.Errorf("lfs: summary shorter than header")
+	}
+	le := binary.LittleEndian
+	if le.Uint32(p[0:]) != summaryMagic {
+		return summaryHeader{}, nil, fmt.Errorf("lfs: bad summary magic")
+	}
+	h := summaryHeader{
+		Serial:    le.Uint64(p[4:]),
+		NBlocks:   int(le.Uint16(p[12:])),
+		SumBlocks: int(le.Uint16(p[14:])),
+		Timestamp: sim.Time(le.Uint64(p[16:])),
+		DataCRC:   le.Uint32(p[24:]),
+	}
+	total := summaryBytes(h.NBlocks)
+	if total > len(p) {
+		return summaryHeader{}, nil, fmt.Errorf("lfs: summary claims %d blocks beyond buffer", h.NBlocks)
+	}
+	stored := le.Uint32(p[28:])
+	scratch := make([]byte, total)
+	copy(scratch, p[:total])
+	le.PutUint32(scratch[28:], 0)
+	if layout.Checksum(scratch) != stored {
+		return summaryHeader{}, nil, fmt.Errorf("lfs: summary checksum mismatch")
+	}
+	refs := make([]blockRef, h.NBlocks)
+	off := summaryHeaderSize
+	for i := range refs {
+		refs[i] = blockRef{
+			Kind:    blockKind(p[off]),
+			Ino:     layout.Ino(le.Uint32(p[off+4:])),
+			ID:      int64(le.Uint64(p[off+8:])),
+			Version: le.Uint32(p[off+16:]),
+		}
+		off += summaryEntrySize
+	}
+	return h, refs, nil
+}

@@ -1,0 +1,161 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"lfs/internal/layout"
+	"lfs/internal/sim"
+)
+
+func TestSegUsageRoundTrip(t *testing.T) {
+	u := segUsage{Live: 123456, LastWrite: sim.Time(9 * sim.Second), State: segDirty}
+	buf := make([]byte, segUsageEntrySize)
+	u.encode(buf)
+	if got := decodeSegUsage(buf); got != u {
+		t.Fatalf("round trip: %+v vs %+v", got, u)
+	}
+}
+
+func TestSummaryRoundTrip(t *testing.T) {
+	refs := []blockRef{
+		{Kind: kindData, Ino: 5, ID: 17, Version: 3},
+		{Kind: kindIndirect, Ino: 5, ID: indSingle, Version: 3},
+		{Kind: kindInodes},
+		{Kind: kindImap, ID: 12},
+	}
+	h := summaryHeader{
+		Serial: 42, NBlocks: len(refs), SumBlocks: 1,
+		Timestamp: sim.Time(7), DataCRC: 0xDEADBEEF,
+	}
+	buf := make([]byte, 4096)
+	encodeSummary(h, refs, buf)
+	gotH, gotRefs, err := decodeSummary(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotH != h {
+		t.Fatalf("header: %+v vs %+v", gotH, h)
+	}
+	if !reflect.DeepEqual(gotRefs, refs) {
+		t.Fatalf("refs: %+v vs %+v", gotRefs, refs)
+	}
+}
+
+func TestSummaryDetectsCorruption(t *testing.T) {
+	refs := []blockRef{{Kind: kindData, Ino: 1, ID: 0, Version: 0}}
+	h := summaryHeader{Serial: 1, NBlocks: 1, SumBlocks: 1}
+	buf := make([]byte, 4096)
+	encodeSummary(h, refs, buf)
+	buf[40] ^= 0x01
+	if _, _, err := decodeSummary(buf); err == nil {
+		t.Fatal("corrupted summary decoded")
+	}
+}
+
+func TestSummaryRejectsGarbage(t *testing.T) {
+	if _, _, err := decodeSummary(make([]byte, 4096)); err == nil {
+		t.Fatal("zero block decoded as summary")
+	}
+	if _, _, err := decodeSummary(make([]byte, 10)); err == nil {
+		t.Fatal("short buffer decoded as summary")
+	}
+}
+
+func TestSummaryRoundTripProperty(t *testing.T) {
+	f := func(serial uint64, n uint8, seed int64) bool {
+		count := int(n%60) + 1
+		rng := rand.New(rand.NewSource(seed))
+		refs := make([]blockRef, count)
+		for i := range refs {
+			refs[i] = blockRef{
+				Kind:    blockKind(rng.Intn(4)),
+				Ino:     layout.Ino(rng.Uint32()),
+				ID:      rng.Int63() - rng.Int63(),
+				Version: rng.Uint32(),
+			}
+		}
+		sumBlks := summaryBlocks(count, 4096)
+		h := summaryHeader{Serial: serial, NBlocks: count, SumBlocks: sumBlks, Timestamp: sim.Time(rng.Int63())}
+		buf := make([]byte, sumBlks*4096)
+		encodeSummary(h, refs, buf)
+		gotH, gotRefs, err := decodeSummary(buf)
+		return err == nil && gotH == h && reflect.DeepEqual(gotRefs, refs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxUnitBlocks(t *testing.T) {
+	bs := 4096
+	// Not even one data block fits in less than 2 blocks.
+	if maxUnitBlocks(0, bs) != 0 || maxUnitBlocks(1, bs) != 0 {
+		t.Fatal("tiny avail should fit nothing")
+	}
+	// n blocks plus their summary always fit in the reported avail.
+	for avail := 2; avail <= 512; avail++ {
+		n := maxUnitBlocks(avail, bs)
+		if n < 1 {
+			t.Fatalf("avail %d fits nothing", avail)
+		}
+		if summaryBlocks(n, bs)+n > avail {
+			t.Fatalf("avail %d: %d blocks + %d summary overflow", avail, n, summaryBlocks(n, bs))
+		}
+		// Maximality: one more block must not fit.
+		if summaryBlocks(n+1, bs)+n+1 <= avail {
+			t.Fatalf("avail %d: %d not maximal", avail, n)
+		}
+	}
+}
+
+func TestBlockKindString(t *testing.T) {
+	for k, want := range map[blockKind]string{
+		kindData: "data", kindIndirect: "indirect", kindInodes: "inodes", kindImap: "imap",
+	} {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q", k, k.String())
+		}
+	}
+	if blockKind(9).String() == "" {
+		t.Error("unknown kind has empty name")
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	st := checkpointState{
+		Serial: 7, Timestamp: sim.Time(3 * sim.Second),
+		HeadSeg: 5, HeadBlk: 100, WriteSerial: 99, LiveBytes: 1 << 20,
+		ImapAddrs: []layout.DiskAddr{1, layout.NilAddr, 3},
+		Usage: []segUsage{
+			{Live: 10, LastWrite: 1, State: segClean},
+			{Live: 20, LastWrite: 2, State: segDirty},
+			{Live: 0, LastWrite: 3, State: segActive},
+		},
+	}
+	size := ckptHeaderSize + len(st.ImapAddrs)*layout.AddrSize + len(st.Usage)*segUsageEntrySize + 4
+	buf := make([]byte, (size+511)&^511)
+	encodeCheckpoint(st, buf)
+	got, err := decodeCheckpoint(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, st) {
+		t.Fatalf("round trip:\n got %+v\nwant %+v", got, st)
+	}
+}
+
+func TestCheckpointDetectsCorruption(t *testing.T) {
+	st := checkpointState{Serial: 1, ImapAddrs: []layout.DiskAddr{1}, Usage: []segUsage{{}}}
+	buf := make([]byte, 1024)
+	encodeCheckpoint(st, buf)
+	buf[50] ^= 0xFF
+	if _, err := decodeCheckpoint(buf); err == nil {
+		t.Fatal("corrupted checkpoint decoded")
+	}
+	if _, err := decodeCheckpoint(make([]byte, 1024)); err == nil {
+		t.Fatal("zero checkpoint decoded")
+	}
+}

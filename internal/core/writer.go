@@ -1,0 +1,353 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"lfs/internal/cache"
+	"lfs/internal/layout"
+	"lfs/internal/vfs"
+)
+
+// flushScope controls what a segment write includes.
+type flushScope int
+
+const (
+	// flushAll writes all dirty data, indirect blocks, and inodes —
+	// the normal segment write (§4.1, §4.3.5).
+	flushAll flushScope = iota
+	// flushCheckpoint additionally writes dirty inode map blocks,
+	// as the first half of a checkpoint (§4.4.1).
+	flushCheckpoint
+)
+
+// flush is the segment writer: it gathers every dirty block from the
+// cache, packs the blocks into log units (partial segments) with
+// summary blocks, writes them with large asynchronous sequential
+// transfers, and redirects all metadata pointers to the new locations.
+//
+// Batches are ordered bottom-up so every pointer update lands in a
+// structure written later in the same flush: data blocks first (their
+// new addresses dirty indirect blocks and inodes), then double-
+// indirect inner blocks, the outer blocks, single indirect blocks,
+// then inodes packed into inode blocks (updating the inode map), and
+// finally — during checkpoints — the dirty inode map blocks
+// themselves.
+func (fs *FS) flush(scope flushScope) error {
+	// Activate the cleaner below the clean-segment watermark
+	// (§4.3.4) before starting to consume segments.
+	if !fs.cleaning && fs.cleanCount <= fs.cfg.cleanThreshold(int(fs.sb.Segments)) {
+		if err := fs.cleanSegments(); err != nil {
+			return err
+		}
+	}
+
+	// Batch 1: file and directory data blocks.
+	var dataBlocks []*cache.Block
+	for _, b := range fs.bc.DirtyBlocks() {
+		if b.Key.Kind == cache.KindFile {
+			dataBlocks = append(dataBlocks, b)
+		}
+	}
+	if err := fs.writeDataBatch(dataBlocks); err != nil {
+		return err
+	}
+
+	// Batches 2-4: indirect blocks, innermost first.
+	for _, pass := range []func(int64) bool{
+		func(id int64) bool { return id >= indDoubleInnerBase },
+		func(id int64) bool { return id == indDoubleOuter },
+		func(id int64) bool { return id == indSingle },
+	} {
+		var batch []*cache.Block
+		for _, b := range fs.bc.DirtyBlocks() {
+			if b.Key.Kind == cache.KindIndirect && pass(b.Key.Off) {
+				batch = append(batch, b)
+			}
+		}
+		if err := fs.writeIndirectBatch(batch); err != nil {
+			return err
+		}
+	}
+
+	// Batch 5: inodes, packed into inode blocks.
+	if err := fs.writeInodeBatch(); err != nil {
+		return err
+	}
+
+	// Batch 6: inode map blocks (checkpoints only; between
+	// checkpoints the summaries carry enough to roll forward).
+	if scope == flushCheckpoint {
+		if err := fs.writeImapBatch(); err != nil {
+			return err
+		}
+	}
+	return fs.flushPendingIO()
+}
+
+// writeDataBatch logs the given dirty data blocks and redirects their
+// block pointers.
+func (fs *FS) writeDataBatch(blocks []*cache.Block) error {
+	if len(blocks) == 0 {
+		return nil
+	}
+	refs := make([]blockRef, len(blocks))
+	payload := make([][]byte, len(blocks))
+	for i, b := range blocks {
+		refs[i] = blockRef{
+			Kind:    kindData,
+			Ino:     b.Key.Ino,
+			ID:      b.Key.Off,
+			Version: fs.imap.get(b.Key.Ino).Version,
+		}
+		payload[i] = b.Data
+	}
+	addrs, err := fs.placeBlocks(refs, payload)
+	if err != nil {
+		return err
+	}
+	bs := int64(fs.cfg.BlockSize)
+	for i, b := range blocks {
+		in, err := fs.getInode(b.Key.Ino)
+		if err != nil {
+			return fmt.Errorf("lfs: flushing data of inode %d: %w", b.Key.Ino, err)
+		}
+		old, err := fs.setBlockAddr(in, b.Key.Off, addrs[i])
+		if err != nil {
+			return err
+		}
+		fs.killBlock(old, bs)
+		fs.creditSegment(fs.segOf(addrs[i]), bs)
+		fs.bc.MarkClean(b)
+	}
+	return nil
+}
+
+// writeIndirectBatch logs dirty indirect blocks and redirects their
+// parent pointers.
+func (fs *FS) writeIndirectBatch(blocks []*cache.Block) error {
+	if len(blocks) == 0 {
+		return nil
+	}
+	refs := make([]blockRef, len(blocks))
+	payload := make([][]byte, len(blocks))
+	for i, b := range blocks {
+		refs[i] = blockRef{
+			Kind:    kindIndirect,
+			Ino:     b.Key.Ino,
+			ID:      b.Key.Off,
+			Version: fs.imap.get(b.Key.Ino).Version,
+		}
+		payload[i] = b.Data
+	}
+	addrs, err := fs.placeBlocks(refs, payload)
+	if err != nil {
+		return err
+	}
+	bs := int64(fs.cfg.BlockSize)
+	for i, b := range blocks {
+		in, err := fs.getInode(b.Key.Ino)
+		if err != nil {
+			return fmt.Errorf("lfs: flushing indirect block of inode %d: %w", b.Key.Ino, err)
+		}
+		old, err := fs.setIndirectAddr(in, b.Key.Off, addrs[i])
+		if err != nil {
+			return err
+		}
+		fs.killBlock(old, bs)
+		fs.creditSegment(fs.segOf(addrs[i]), bs)
+		fs.bc.MarkClean(b)
+	}
+	return nil
+}
+
+// writeInodeBatch packs every dirty inode into inode blocks, logs
+// them, and updates the inode map.
+func (fs *FS) writeInodeBatch() error {
+	inos := make([]layout.Ino, 0, len(fs.dirtyInodes))
+	for ino := range fs.dirtyInodes {
+		inos = append(inos, ino)
+	}
+	return fs.writeInodeBatchFor(inos)
+}
+
+// writeInodeBatchFor logs the given dirty inodes.
+func (fs *FS) writeInodeBatchFor(inos []layout.Ino) error {
+	if len(inos) == 0 {
+		return nil
+	}
+	sort.Slice(inos, func(i, j int) bool { return inos[i] < inos[j] })
+
+	per := fs.inodesPerBlock()
+	var refs []blockRef
+	var payload [][]byte
+	var blockInos [][]layout.Ino
+	for start := 0; start < len(inos); start += per {
+		end := start + per
+		if end > len(inos) {
+			end = len(inos)
+		}
+		buf := make([]byte, fs.cfg.BlockSize)
+		group := inos[start:end]
+		for i, ino := range group {
+			in := fs.inodes[ino]
+			if in == nil {
+				return fmt.Errorf("lfs: dirty inode %d missing from the in-core table", ino)
+			}
+			in.Encode(buf[i*layout.InodeSize:])
+		}
+		refs = append(refs, blockRef{Kind: kindInodes})
+		payload = append(payload, buf)
+		blockInos = append(blockInos, group)
+	}
+	addrs, err := fs.placeBlocks(refs, payload)
+	if err != nil {
+		return err
+	}
+	for bi, group := range blockInos {
+		base := addrs[bi]
+		for i, ino := range group {
+			e := fs.imap.get(ino)
+			fs.killBlock(e.Addr, layout.InodeSize)
+			e.Addr = base + layout.DiskAddr(i/inodesPerSector)
+			e.Slot = uint8(i % inodesPerSector)
+			fs.imap.markDirty(ino)
+			fs.creditSegment(fs.segOf(base), layout.InodeSize)
+			delete(fs.dirtyInodes, ino)
+		}
+	}
+	return nil
+}
+
+// writeImapBatch logs every dirty inode map block and records the new
+// addresses for the next checkpoint region write.
+func (fs *FS) writeImapBatch() error {
+	var refs []blockRef
+	var payload [][]byte
+	var idxs []int
+	for idx, dirty := range fs.imap.dirtyBlock {
+		if !dirty {
+			continue
+		}
+		buf := make([]byte, fs.cfg.BlockSize)
+		fs.imap.encodeBlock(idx, buf)
+		refs = append(refs, blockRef{Kind: kindImap, ID: int64(idx)})
+		payload = append(payload, buf)
+		idxs = append(idxs, idx)
+	}
+	if len(refs) == 0 {
+		return nil
+	}
+	addrs, err := fs.placeBlocks(refs, payload)
+	if err != nil {
+		return err
+	}
+	bs := int64(fs.cfg.BlockSize)
+	for i, idx := range idxs {
+		fs.killBlock(fs.imap.blockAddrs[idx], bs)
+		fs.imap.blockAddrs[idx] = addrs[i]
+		fs.creditSegment(fs.segOf(addrs[i]), bs)
+		fs.imap.dirtyBlock[idx] = false
+	}
+	return nil
+}
+
+// placeBlocks appends the given blocks to the log as one or more
+// units, assembling them in the segment buffer, and returns the disk
+// address assigned to each block. Consecutive units in one segment
+// are contiguous, so the eventual disk transfers are sequential.
+func (fs *FS) placeBlocks(refs []blockRef, payload [][]byte) ([]layout.DiskAddr, error) {
+	bs := fs.cfg.BlockSize
+	addrs := make([]layout.DiskAddr, 0, len(payload))
+	i := 0
+	for i < len(payload) {
+		avail := fs.cfg.blocksPerSegment() - fs.curBlk
+		fit := maxUnitBlocks(avail, bs)
+		if fit == 0 {
+			if err := fs.advanceSegment(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		n := fit
+		if rest := len(payload) - i; n > rest {
+			n = rest
+		}
+		sumBlks := summaryBlocks(n, bs)
+		dataStart := fs.curBlk + sumBlks
+		for j := 0; j < n; j++ {
+			blk := payload[i+j]
+			if len(blk) != bs {
+				return nil, fmt.Errorf("lfs: placing block of %d bytes, want %d", len(blk), bs)
+			}
+			copy(fs.segBuf[(dataStart+j)*bs:], blk)
+			addrs = append(addrs, layout.DiskAddr(fs.blockSector(fs.curSeg, dataStart+j)))
+		}
+		h := summaryHeader{
+			Serial:    fs.writeSerial,
+			NBlocks:   n,
+			SumBlocks: sumBlks,
+			Timestamp: fs.clock.Now(),
+			DataCRC:   layout.Checksum(fs.segBuf[dataStart*bs : (dataStart+n)*bs]),
+		}
+		encodeSummary(h, refs[i:i+n], fs.segBuf[fs.curBlk*bs:dataStart*bs])
+		fs.writeSerial++
+		fs.curBlk = dataStart + n
+		fs.usage[fs.curSeg].LastWrite = fs.clock.Now()
+		fs.stats.UnitsWritten++
+		fs.stats.BlocksWritten += int64(sumBlks + n)
+		fs.cpu.Charge(fs.cfg.Costs.SegWriteSetup + int64(n)*fs.cfg.Costs.SegBlockLayout)
+		i += n
+	}
+	return addrs, nil
+}
+
+// flushPendingIO issues the assembled-but-unwritten region of the
+// active segment as one asynchronous sequential write.
+func (fs *FS) flushPendingIO() error {
+	if fs.curBlk == fs.pendingBlk {
+		return nil
+	}
+	bs := fs.cfg.BlockSize
+	start := fs.pendingBlk
+	fs.cpu.Charge(fs.cfg.Costs.DiskOpSetup)
+	if err := fs.d.WriteSectors(fs.blockSector(fs.curSeg, start),
+		fs.segBuf[start*bs:fs.curBlk*bs], false, "segment write"); err != nil {
+		return err
+	}
+	fs.pendingBlk = fs.curBlk
+	return nil
+}
+
+// advanceSegment seals the active segment and activates the next
+// clean one.
+func (fs *FS) advanceSegment() error {
+	if err := fs.flushPendingIO(); err != nil {
+		return err
+	}
+	fs.usage[fs.curSeg].State = segDirty
+	fs.stats.SegmentsSealed++
+	next, ok := fs.findCleanSegment()
+	if !ok {
+		return fmt.Errorf("%w: no clean segments", vfs.ErrNoSpace)
+	}
+	fs.curSeg = next
+	fs.curBlk = 0
+	fs.pendingBlk = 0
+	fs.usage[next].State = segActive
+	fs.cleanCount--
+	return nil
+}
+
+// findCleanSegment scans forward (wrapping) from the active segment
+// for a clean one, keeping the log roughly sequential on disk.
+func (fs *FS) findCleanSegment() (int, bool) {
+	n := int(fs.sb.Segments)
+	for i := 1; i <= n; i++ {
+		seg := (fs.curSeg + i) % n
+		if fs.usage[seg].State == segClean {
+			return seg, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,345 @@
+package disk
+
+import (
+	"fmt"
+
+	"lfs/internal/sim"
+)
+
+// OpKind distinguishes reads from writes in statistics and traces.
+type OpKind int
+
+// The two request kinds.
+const (
+	OpRead OpKind = iota
+	OpWrite
+)
+
+// String returns "read" or "write".
+func (k OpKind) String() string {
+	if k == OpRead {
+		return "read"
+	}
+	return "write"
+}
+
+// Event describes one disk request, for tracing (Figures 1 and 2 of
+// the paper are rendered from these events).
+type Event struct {
+	// Time is the simulated time the request was issued.
+	Time sim.Time
+	// Kind is read or write.
+	Kind OpKind
+	// Sector is the first sector of the request.
+	Sector int64
+	// Sectors is the request length in sectors.
+	Sectors int
+	// Sync reports whether the issuing process blocked on the
+	// request (true for all reads).
+	Sync bool
+	// Sequential reports whether the request continued exactly
+	// where the previous one ended (no seek, no rotational delay).
+	Sequential bool
+	// SeekCylinders is the head movement the request paid for.
+	SeekCylinders int
+	// Service is the modelled service time of the request.
+	Service sim.Duration
+	// Label is the file-system-provided annotation ("inode",
+	// "dir data", "segment", ...).
+	Label string
+}
+
+// Tracer receives every disk request when attached via SetTracer.
+type Tracer interface {
+	Record(Event)
+}
+
+// Stats accumulates disk activity counters.
+type Stats struct {
+	// Reads and Writes count requests.
+	Reads, Writes int64
+	// SyncWrites counts writes the issuing process blocked on.
+	SyncWrites int64
+	// SectorsRead and SectorsWritten count transferred sectors.
+	SectorsRead, SectorsWritten int64
+	// Seeks counts requests that paid head movement or rotation
+	// (i.e. non-sequential requests).
+	Seeks int64
+	// SeekCylinders sums head movement distance.
+	SeekCylinders int64
+	// BusyTime sums service time across all requests.
+	BusyTime sim.Duration
+}
+
+// BytesRead returns the read volume in bytes.
+func (s Stats) BytesRead() int64 { return s.SectorsRead * SectorSize }
+
+// BytesWritten returns the write volume in bytes.
+func (s Stats) BytesWritten() int64 { return s.SectorsWritten * SectorSize }
+
+// Sub returns the difference s - o, for measuring an interval between
+// two snapshots.
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{
+		Reads:          s.Reads - o.Reads,
+		Writes:         s.Writes - o.Writes,
+		SyncWrites:     s.SyncWrites - o.SyncWrites,
+		SectorsRead:    s.SectorsRead - o.SectorsRead,
+		SectorsWritten: s.SectorsWritten - o.SectorsWritten,
+		Seeks:          s.Seeks - o.Seeks,
+		SeekCylinders:  s.SeekCylinders - o.SeekCylinders,
+		BusyTime:       s.BusyTime - o.BusyTime,
+	}
+}
+
+// String summarises the counters on one line.
+func (s Stats) String() string {
+	return fmt.Sprintf("reads=%d writes=%d (sync=%d) read=%dKB written=%dKB seeks=%d busy=%v",
+		s.Reads, s.Writes, s.SyncWrites, s.BytesRead()/1024, s.BytesWritten()/1024, s.Seeks, s.BusyTime)
+}
+
+// faultState holds injected faults. Zero value = no faults.
+type faultState struct {
+	readErrors map[int64]error // first-sector -> error
+	tearNext   bool            // apply only the first half of the next write
+	writesFail error           // non-nil: all writes fail with this error
+	frozen     bool            // post-crash: reject all traffic
+}
+
+// Disk is a simulated sector-addressed block device. It is not safe
+// for concurrent use; the owning file system serialises access.
+type Disk struct {
+	store Store
+	geom  Geometry
+	perf  PerfModel
+	clock *sim.Clock
+
+	// busyUntil is the time the disk arm becomes free; asynchronous
+	// writes extend it without advancing the caller's clock.
+	busyUntil sim.Time
+	// nextSector is the sector immediately after the last transfer,
+	// or -1 when the head position is unknown (fresh disk).
+	nextSector int64
+
+	stats  Stats
+	tracer Tracer
+	faults faultState
+}
+
+// New assembles a disk from its parts. The store must be at least as
+// large as the geometry's capacity.
+func New(store Store, geom Geometry, perf PerfModel, clock *sim.Clock) (*Disk, error) {
+	if err := geom.Validate(); err != nil {
+		return nil, err
+	}
+	if err := perf.Validate(); err != nil {
+		return nil, err
+	}
+	if store == nil {
+		return nil, fmt.Errorf("disk: nil store")
+	}
+	if clock == nil {
+		return nil, fmt.Errorf("disk: nil clock")
+	}
+	if store.Size() < geom.TotalBytes() {
+		return nil, fmt.Errorf("disk: store size %d < geometry capacity %d", store.Size(), geom.TotalBytes())
+	}
+	return &Disk{store: store, geom: geom, perf: perf, clock: clock, nextSector: -1}, nil
+}
+
+// NewMem returns a memory-backed disk of at least the given capacity
+// using the WREN IV performance model — the standard testbed of this
+// repository's experiments.
+func NewMem(capacity int64, clock *sim.Clock) *Disk {
+	geom := GeometryForCapacity(capacity)
+	d, err := New(NewMemStore(geom.TotalBytes()), geom, WrenIVModel(), clock)
+	if err != nil {
+		panic(err) // geometry and model are valid by construction
+	}
+	return d
+}
+
+// Clock returns the simulated clock the disk charges time against.
+func (d *Disk) Clock() *sim.Clock { return d.clock }
+
+// Geometry returns the disk geometry.
+func (d *Disk) Geometry() Geometry { return d.geom }
+
+// Perf returns the service-time model.
+func (d *Disk) Perf() PerfModel { return d.perf }
+
+// Capacity returns the usable capacity in bytes.
+func (d *Disk) Capacity() int64 { return d.geom.TotalBytes() }
+
+// Sectors returns the usable capacity in sectors.
+func (d *Disk) Sectors() int64 { return d.geom.TotalSectors() }
+
+// Stats returns a snapshot of the activity counters.
+func (d *Disk) Stats() Stats { return d.stats }
+
+// ResetStats zeroes the activity counters.
+func (d *Disk) ResetStats() { d.stats = Stats{} }
+
+// SetTracer attaches a tracer receiving every request; nil detaches.
+func (d *Disk) SetTracer(t Tracer) { d.tracer = t }
+
+// BusyUntil returns the time the disk arm becomes free.
+func (d *Disk) BusyUntil() sim.Time { return d.busyUntil }
+
+// Drain advances the clock until all queued asynchronous writes have
+// completed, and returns the new current time.
+func (d *Disk) Drain() sim.Time {
+	return d.clock.AdvanceTo(d.busyUntil)
+}
+
+// checkRange validates a request's alignment and bounds.
+func (d *Disk) checkRange(sector int64, n int) error {
+	if n == 0 || n%SectorSize != 0 {
+		return fmt.Errorf("disk: request length %d not a positive multiple of the sector size", n)
+	}
+	count := int64(n / SectorSize)
+	if sector < 0 || sector+count > d.geom.TotalSectors() {
+		return fmt.Errorf("disk: request [%d,%d) outside disk of %d sectors", sector, sector+count, d.geom.TotalSectors())
+	}
+	return nil
+}
+
+// service computes the service time of a request and updates head
+// position and statistics. It returns the modelled duration plus
+// whether the request was sequential and the seek distance paid.
+func (d *Disk) service(sector int64, nbytes int) (dur sim.Duration, sequential bool, seekCyl int) {
+	sequential = d.nextSector == sector
+	dur = d.perf.PerRequest + d.perf.TransferTime(int64(nbytes))
+	if !sequential {
+		from := 0
+		if d.nextSector >= 0 {
+			from = d.geom.CylinderOf(d.nextSector)
+		}
+		to := d.geom.CylinderOf(sector)
+		seekCyl = to - from
+		if seekCyl < 0 {
+			seekCyl = -seekCyl
+		}
+		dur += d.perf.SeekTime(seekCyl, d.geom.Cylinders) + d.perf.RotationalLatency()
+		d.stats.Seeks++
+		d.stats.SeekCylinders += int64(seekCyl)
+	}
+	d.nextSector = sector + int64(nbytes/SectorSize)
+	d.stats.BusyTime += dur
+	return dur, sequential, seekCyl
+}
+
+// begin returns the request start time: the disk must be free and, for
+// blocking requests, the caller must have reached that point too.
+func (d *Disk) begin() sim.Time {
+	return sim.MaxTime(d.clock.Now(), d.busyUntil)
+}
+
+func (d *Disk) trace(ev Event) {
+	if d.tracer != nil {
+		d.tracer.Record(ev)
+	}
+}
+
+// ReadSectors performs a blocking read of len(p) bytes starting at the
+// given sector, advancing the clock to the request's completion. The
+// label annotates traces.
+func (d *Disk) ReadSectors(sector int64, p []byte, label string) error {
+	if d.faults.frozen {
+		return fmt.Errorf("disk: device is frozen (crashed)")
+	}
+	if err := d.checkRange(sector, len(p)); err != nil {
+		return err
+	}
+	if err, ok := d.faults.readErrors[sector]; ok {
+		return fmt.Errorf("disk: injected read error at sector %d: %w", sector, err)
+	}
+	start := d.begin()
+	dur, seq, seekCyl := d.service(sector, len(p))
+	d.busyUntil = start.Add(dur)
+	d.clock.AdvanceTo(d.busyUntil)
+	d.stats.Reads++
+	d.stats.SectorsRead += int64(len(p) / SectorSize)
+	d.trace(Event{Time: start, Kind: OpRead, Sector: sector, Sectors: len(p) / SectorSize,
+		Sync: true, Sequential: seq, SeekCylinders: seekCyl, Service: dur, Label: label})
+	return d.store.ReadAt(p, sector*SectorSize)
+}
+
+// WriteSectors writes len(p) bytes starting at the given sector. When
+// sync is true the clock advances to the request's completion (the
+// issuing process blocks, as FFS does for inode and directory writes);
+// otherwise only the disk's busy horizon is extended (LFS-style
+// asynchronous segment writes that overlap computation).
+func (d *Disk) WriteSectors(sector int64, p []byte, sync bool, label string) error {
+	if d.faults.frozen {
+		return fmt.Errorf("disk: device is frozen (crashed)")
+	}
+	if d.faults.writesFail != nil {
+		return fmt.Errorf("disk: injected write failure: %w", d.faults.writesFail)
+	}
+	if err := d.checkRange(sector, len(p)); err != nil {
+		return err
+	}
+	start := d.begin()
+	dur, seq, seekCyl := d.service(sector, len(p))
+	d.busyUntil = start.Add(dur)
+	if sync {
+		d.clock.AdvanceTo(d.busyUntil)
+		d.stats.SyncWrites++
+	}
+	d.stats.Writes++
+	d.stats.SectorsWritten += int64(len(p) / SectorSize)
+	d.trace(Event{Time: start, Kind: OpWrite, Sector: sector, Sectors: len(p) / SectorSize,
+		Sync: sync, Sequential: seq, SeekCylinders: seekCyl, Service: dur, Label: label})
+	data := p
+	if d.faults.tearNext {
+		// A torn write persists only a prefix, simulating power
+		// loss mid-transfer; the tail of the request keeps its old
+		// contents.
+		d.faults.tearNext = false
+		half := len(p) / 2 / SectorSize * SectorSize
+		if half == 0 {
+			half = SectorSize
+			if len(p) < SectorSize {
+				half = len(p)
+			}
+		}
+		data = p[:half]
+	}
+	return d.store.WriteAt(data, sector*SectorSize)
+}
+
+// InjectReadError makes every read starting at the given sector fail
+// with err until ClearFaults is called.
+func (d *Disk) InjectReadError(sector int64, err error) {
+	if d.faults.readErrors == nil {
+		d.faults.readErrors = make(map[int64]error)
+	}
+	d.faults.readErrors[sector] = err
+}
+
+// TearNextWrite makes the next write persist only its first half,
+// simulating power loss mid-transfer.
+func (d *Disk) TearNextWrite() { d.faults.tearNext = true }
+
+// FailWrites makes all subsequent writes fail with err (nil restores
+// normal operation).
+func (d *Disk) FailWrites(err error) { d.faults.writesFail = err }
+
+// Freeze rejects all subsequent traffic, simulating a crashed machine.
+// Data already written remains readable after Thaw.
+func (d *Disk) Freeze() { d.faults.frozen = true }
+
+// Thaw re-enables traffic after Freeze, as when a crashed machine
+// reboots and remounts the disk.
+func (d *Disk) Thaw() { d.faults.frozen = false }
+
+// ClearFaults removes all injected faults.
+func (d *Disk) ClearFaults() { d.faults = faultState{} }
+
+// Store exposes the persistence backend, letting tools (lfsdump,
+// lfsck) parse the raw image without going through the time model.
+func (d *Disk) Store() Store { return d.store }
+
+// Close releases the backing store.
+func (d *Disk) Close() error { return d.store.Close() }

@@ -1,0 +1,59 @@
+package disk
+
+import "fmt"
+
+// Geometry describes the physical layout of a simulated disk. Only the
+// mapping from sector number to cylinder matters for the time model
+// (seek distance is measured in cylinders), but the full geometry keeps
+// the model honest and lets experiments vary track sizes.
+type Geometry struct {
+	// SectorsPerTrack is the number of 512-byte sectors on one track.
+	SectorsPerTrack int
+	// TracksPerCylinder is the number of recording surfaces.
+	TracksPerCylinder int
+	// Cylinders is the number of cylinder positions of the head
+	// assembly.
+	Cylinders int
+}
+
+// Validate reports whether the geometry is usable.
+func (g Geometry) Validate() error {
+	if g.SectorsPerTrack <= 0 || g.TracksPerCylinder <= 0 || g.Cylinders <= 0 {
+		return fmt.Errorf("disk: invalid geometry %+v", g)
+	}
+	return nil
+}
+
+// SectorsPerCylinder returns the number of sectors under the heads at
+// one cylinder position.
+func (g Geometry) SectorsPerCylinder() int64 {
+	return int64(g.SectorsPerTrack) * int64(g.TracksPerCylinder)
+}
+
+// TotalSectors returns the disk capacity in sectors.
+func (g Geometry) TotalSectors() int64 {
+	return g.SectorsPerCylinder() * int64(g.Cylinders)
+}
+
+// TotalBytes returns the disk capacity in bytes.
+func (g Geometry) TotalBytes() int64 {
+	return g.TotalSectors() * SectorSize
+}
+
+// CylinderOf returns the cylinder containing the given sector.
+func (g Geometry) CylinderOf(sector int64) int {
+	return int(sector / g.SectorsPerCylinder())
+}
+
+// GeometryForCapacity builds a WREN-IV-like geometry (42 sectors per
+// track, 9 tracks per cylinder) with enough cylinders to hold at least
+// capacity bytes. The returned geometry's TotalBytes is >= capacity.
+func GeometryForCapacity(capacity int64) Geometry {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("disk: non-positive capacity %d", capacity))
+	}
+	g := Geometry{SectorsPerTrack: 42, TracksPerCylinder: 9}
+	cylBytes := g.SectorsPerCylinder() * SectorSize
+	g.Cylinders = int((capacity + cylBytes - 1) / cylBytes)
+	return g
+}

@@ -1,0 +1,87 @@
+package disk
+
+import (
+	"fmt"
+
+	"lfs/internal/sim"
+)
+
+// PerfModel is the service-time model of a simulated disk.
+//
+// A request that continues exactly where the previous one ended pays
+// only transfer time (the head is already positioned and the surface
+// is streaming past it). Any other request pays a seek — linear in
+// cylinder distance between MinSeek and MaxSeek — plus the average
+// rotational latency (half a revolution), plus transfer time at
+// Bandwidth. This two-regime model is precisely the property the LFS
+// paper exploits: sequential I/O runs an order of magnitude faster
+// than small random I/O.
+type PerfModel struct {
+	// RPM is the rotational speed; average rotational latency is
+	// half a revolution.
+	RPM float64
+	// MinSeek is the single-cylinder (track-to-track) seek time.
+	MinSeek sim.Duration
+	// MaxSeek is the full-stroke seek time.
+	MaxSeek sim.Duration
+	// Bandwidth is the sustained transfer rate in bytes per second.
+	Bandwidth float64
+	// PerRequest is fixed controller/command overhead per request.
+	PerRequest sim.Duration
+}
+
+// WrenIVModel returns the performance model of the CDC WREN IV used in
+// the paper's evaluation: 1.3 MB/s maximum transfer bandwidth and
+// 17.5 ms average seek time. With MinSeek = 3 ms and MaxSeek = 46.5 ms
+// the mean seek over uniformly random request pairs (average cylinder
+// distance ≈ one third of the stroke) is 3 + (46.5-3)/3 = 17.5 ms.
+func WrenIVModel() PerfModel {
+	return PerfModel{
+		RPM:        3600,
+		MinSeek:    3 * sim.Millisecond,
+		MaxSeek:    46500 * sim.Microsecond,
+		Bandwidth:  1.3e6,
+		PerRequest: 500 * sim.Microsecond,
+	}
+}
+
+// Validate reports whether the model is usable.
+func (m PerfModel) Validate() error {
+	if m.RPM <= 0 || m.Bandwidth <= 0 || m.MinSeek < 0 || m.MaxSeek < m.MinSeek || m.PerRequest < 0 {
+		return fmt.Errorf("disk: invalid perf model %+v", m)
+	}
+	return nil
+}
+
+// RotationalLatency returns the average rotational delay (half a
+// revolution).
+func (m PerfModel) RotationalLatency() sim.Duration {
+	revNs := 60.0 / m.RPM * 1e9
+	return sim.Duration(revNs / 2)
+}
+
+// SeekTime returns the time to move the head assembly dist cylinders
+// within a disk of the given stroke (total cylinders). A zero distance
+// costs nothing: the head is already on-cylinder.
+func (m PerfModel) SeekTime(dist, cylinders int) sim.Duration {
+	if dist <= 0 {
+		return 0
+	}
+	if cylinders <= 1 {
+		return m.MinSeek
+	}
+	frac := float64(dist) / float64(cylinders-1)
+	if frac > 1 {
+		frac = 1
+	}
+	return m.MinSeek + sim.Duration(float64(m.MaxSeek-m.MinSeek)*frac)
+}
+
+// TransferTime returns the time to move n bytes at the sustained
+// bandwidth.
+func (m PerfModel) TransferTime(n int64) sim.Duration {
+	if n <= 0 {
+		return 0
+	}
+	return sim.Duration(float64(n) / m.Bandwidth * 1e9)
+}

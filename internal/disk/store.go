@@ -1,0 +1,204 @@
+// Package disk implements the simulated block device the file systems
+// run on: a sector-addressed store with an explicit service-time model
+// (seek proportional to cylinder distance, rotational latency, transfer
+// at a configurable bandwidth), I/O statistics, access tracing, and
+// fault injection.
+//
+// The paper's testbed was a WREN IV disk (1.3 MB/s maximum transfer
+// bandwidth, 17.5 ms average seek) on a Sun-4/260. The package's
+// WrenIV constructor reproduces those parameters; all experiments in
+// this repository are run against it unless they sweep disk parameters
+// explicitly.
+//
+// Time model: every request computes a service time from the current
+// head position and the request geometry. Synchronous requests advance
+// the simulated clock to the request's completion. Asynchronous writes
+// only extend the disk's busy horizon, modelling background I/O that
+// overlaps computation; Drain waits for the horizon.
+package disk
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// SectorSize is the unit of disk addressing, in bytes.
+const SectorSize = 512
+
+// Store is the persistence backend of a simulated disk. Offsets and
+// lengths are in bytes and always sector-aligned when called through
+// Disk. Implementations must be safe for use by a single goroutine;
+// Disk adds no locking of its own.
+type Store interface {
+	// ReadAt fills p from the store at off. Unwritten regions read
+	// as zero bytes.
+	ReadAt(p []byte, off int64) error
+	// WriteAt stores p at off.
+	WriteAt(p []byte, off int64) error
+	// Size returns the store capacity in bytes.
+	Size() int64
+	// Close releases resources held by the store.
+	Close() error
+}
+
+// memChunkSize is the lazy-allocation granule of MemStore. One
+// megabyte matches the default LFS segment size, so a freshly
+// formatted file system allocates memory only for segments it touches.
+const memChunkSize = 1 << 20
+
+// MemStore is a lazily allocated in-memory Store. Chunks are allocated
+// on first write, so a mostly empty multi-hundred-megabyte disk costs
+// almost nothing.
+type MemStore struct {
+	size   int64
+	chunks map[int64][]byte // chunk index -> chunk bytes
+}
+
+// NewMemStore returns an empty in-memory store of the given capacity.
+func NewMemStore(size int64) *MemStore {
+	if size <= 0 {
+		panic(fmt.Sprintf("disk: non-positive MemStore size %d", size))
+	}
+	return &MemStore{size: size, chunks: make(map[int64][]byte)}
+}
+
+// Size returns the store capacity in bytes.
+func (m *MemStore) Size() int64 { return m.size }
+
+// Close releases the chunk map.
+func (m *MemStore) Close() error {
+	m.chunks = nil
+	return nil
+}
+
+func (m *MemStore) checkRange(p []byte, off int64) error {
+	if off < 0 || off+int64(len(p)) > m.size {
+		return fmt.Errorf("disk: store access [%d,%d) outside capacity %d", off, off+int64(len(p)), m.size)
+	}
+	if m.chunks == nil {
+		return fmt.Errorf("disk: store is closed")
+	}
+	return nil
+}
+
+// ReadAt fills p from the store; unallocated chunks read as zeros.
+func (m *MemStore) ReadAt(p []byte, off int64) error {
+	if err := m.checkRange(p, off); err != nil {
+		return err
+	}
+	for len(p) > 0 {
+		ci := off / memChunkSize
+		co := off % memChunkSize
+		n := memChunkSize - co
+		if n > int64(len(p)) {
+			n = int64(len(p))
+		}
+		if chunk, ok := m.chunks[ci]; ok {
+			copy(p[:n], chunk[co:co+n])
+		} else {
+			for i := range p[:n] {
+				p[i] = 0
+			}
+		}
+		p = p[n:]
+		off += n
+	}
+	return nil
+}
+
+// WriteAt stores p at off, allocating chunks as needed.
+func (m *MemStore) WriteAt(p []byte, off int64) error {
+	if err := m.checkRange(p, off); err != nil {
+		return err
+	}
+	for len(p) > 0 {
+		ci := off / memChunkSize
+		co := off % memChunkSize
+		n := memChunkSize - co
+		if n > int64(len(p)) {
+			n = int64(len(p))
+		}
+		chunk, ok := m.chunks[ci]
+		if !ok {
+			chunk = make([]byte, memChunkSize)
+			m.chunks[ci] = chunk
+		}
+		copy(chunk[co:co+n], p[:n])
+		p = p[n:]
+		off += n
+	}
+	return nil
+}
+
+// AllocatedBytes reports how much backing memory the store has
+// actually allocated; useful in tests of laziness.
+func (m *MemStore) AllocatedBytes() int64 {
+	return int64(len(m.chunks)) * memChunkSize
+}
+
+// FileStore is a Store backed by a file on the host file system, used
+// by the command-line tools (mklfs, lfsck, lfsdump) to operate on disk
+// images that persist between runs.
+type FileStore struct {
+	mu   sync.Mutex
+	f    *os.File
+	size int64
+}
+
+// OpenFileStore opens (or creates) path as a disk image of the given
+// capacity. If the file already exists and is at least size bytes, its
+// contents are preserved; otherwise it is extended with zeros.
+func OpenFileStore(path string, size int64) (*FileStore, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("disk: non-positive FileStore size %d", size)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if info.Size() < size {
+		if err := f.Truncate(size); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return &FileStore{f: f, size: size}, nil
+}
+
+// Size returns the store capacity in bytes.
+func (s *FileStore) Size() int64 { return s.size }
+
+// ReadAt fills p from the image file.
+func (s *FileStore) ReadAt(p []byte, off int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if off < 0 || off+int64(len(p)) > s.size {
+		return fmt.Errorf("disk: store access [%d,%d) outside capacity %d", off, off+int64(len(p)), s.size)
+	}
+	_, err := s.f.ReadAt(p, off)
+	if err == io.EOF {
+		err = nil // sparse tail reads as zeros via Truncate
+	}
+	return err
+}
+
+// WriteAt stores p in the image file.
+func (s *FileStore) WriteAt(p []byte, off int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if off < 0 || off+int64(len(p)) > s.size {
+		return fmt.Errorf("disk: store access [%d,%d) outside capacity %d", off, off+int64(len(p)), s.size)
+	}
+	_, err := s.f.WriteAt(p, off)
+	return err
+}
+
+// Close closes the image file.
+func (s *FileStore) Close() error { return s.f.Close() }

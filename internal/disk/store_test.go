@@ -1,0 +1,173 @@
+package disk
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func TestMemStoreReadsZeroWhenUnwritten(t *testing.T) {
+	s := NewMemStore(1 << 22)
+	buf := make([]byte, 4096)
+	for i := range buf {
+		buf[i] = 0xFF
+	}
+	if err := s.ReadAt(buf, 12345*1); err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range buf {
+		if b != 0 {
+			t.Fatalf("byte %d = %#x, want 0", i, b)
+		}
+	}
+}
+
+func TestMemStoreRoundTrip(t *testing.T) {
+	s := NewMemStore(1 << 22)
+	want := bytes.Repeat([]byte{0xAB, 0xCD}, 4096)
+	// Straddle a chunk boundary on purpose.
+	off := int64(memChunkSize - 1000)
+	if err := s.WriteAt(want, off); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(want))
+	if err := s.ReadAt(got, off); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("round trip mismatch across chunk boundary")
+	}
+}
+
+func TestMemStoreLazyAllocation(t *testing.T) {
+	s := NewMemStore(1 << 30) // 1 GB capacity
+	if s.AllocatedBytes() != 0 {
+		t.Fatalf("fresh store allocated %d bytes", s.AllocatedBytes())
+	}
+	if err := s.WriteAt(make([]byte, 512), 0); err != nil {
+		t.Fatal(err)
+	}
+	if s.AllocatedBytes() != memChunkSize {
+		t.Fatalf("one-sector write allocated %d bytes, want one chunk (%d)", s.AllocatedBytes(), memChunkSize)
+	}
+}
+
+func TestMemStoreBounds(t *testing.T) {
+	s := NewMemStore(4096)
+	if err := s.WriteAt(make([]byte, 512), 4096-256); err == nil {
+		t.Fatal("out-of-range write succeeded")
+	}
+	if err := s.ReadAt(make([]byte, 512), -1); err == nil {
+		t.Fatal("negative-offset read succeeded")
+	}
+}
+
+func TestMemStoreClosed(t *testing.T) {
+	s := NewMemStore(4096)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ReadAt(make([]byte, 512), 0); err == nil {
+		t.Fatal("read after Close succeeded")
+	}
+}
+
+func TestMemStoreInvalidSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-size store did not panic")
+		}
+	}()
+	NewMemStore(0)
+}
+
+// Property: for any set of writes, reading back each write's range
+// returns the last data written there. We model the store against a
+// plain byte slice.
+func TestMemStoreMatchesFlatArrayProperty(t *testing.T) {
+	const size = 1 << 21 // two chunks
+	type op struct {
+		Off  uint32
+		Data []byte
+	}
+	f := func(ops []op) bool {
+		s := NewMemStore(size)
+		model := make([]byte, size)
+		for _, o := range ops {
+			off := int64(o.Off) % (size - 1)
+			data := o.Data
+			if int64(len(data)) > size-off {
+				data = data[:size-off]
+			}
+			if len(data) == 0 {
+				continue
+			}
+			if err := s.WriteAt(data, off); err != nil {
+				return false
+			}
+			copy(model[off:], data)
+		}
+		got := make([]byte, size)
+		if err := s.ReadAt(got, 0); err != nil {
+			return false
+		}
+		return bytes.Equal(got, model)
+	}
+	cfg := &quick.Config{MaxCount: 30}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFileStorePersistsAcrossReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "img")
+	s, err := OpenFileStore(path, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := bytes.Repeat([]byte{7}, 1024)
+	if err := s.WriteAt(want, 4096); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := OpenFileStore(path, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	got := make([]byte, 1024)
+	if err := s2.ReadAt(got, 4096); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("data did not persist across reopen")
+	}
+	if s2.Size() != 1<<20 {
+		t.Fatalf("Size = %d", s2.Size())
+	}
+}
+
+func TestFileStoreBounds(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "img")
+	s, err := OpenFileStore(path, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.WriteAt(make([]byte, 8192), 0); err == nil {
+		t.Fatal("oversized write succeeded")
+	}
+	if err := s.ReadAt(make([]byte, 512), 4096); err == nil {
+		t.Fatal("out-of-range read succeeded")
+	}
+}
+
+func TestFileStoreInvalidSize(t *testing.T) {
+	if _, err := OpenFileStore(filepath.Join(t.TempDir(), "img"), 0); err == nil {
+		t.Fatal("zero-size FileStore succeeded")
+	}
+}

@@ -1,0 +1,273 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"lfs/internal/core"
+	"lfs/internal/workload"
+)
+
+// newPolicyRNG returns the deterministic RNG driving the hot/cold
+// overwrite pattern.
+func newPolicyRNG(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// --- segment size ablation ---------------------------------------------
+
+// SegSizeRow measures how segment size affects log write bandwidth on
+// a fragmented disk. §4.3: "What really matters is that the log is
+// written in large enough pieces to support I/O at near-maximum disk
+// bandwidth ... sizing segments so that the disk seek at the start of
+// a segment write is amortized across a long data transfer time." On
+// an aged disk whose clean segments alternate with live ones, every
+// segment transition pays a seek and rotational delay; small segments
+// pay it per few hundred kilobytes, large segments per megabyte.
+type SegSizeRow struct {
+	SegmentKB int
+	// WriteKBps is the effective log write bandwidth for a large
+	// sync-bounded write on the fragmented volume.
+	WriteKBps float64
+	// CreatePS is small-file creation throughput on the same
+	// volume.
+	CreatePS float64
+}
+
+// SegSizeOpts parameterises the sweep.
+type SegSizeOpts struct {
+	Capacity int64
+	// Files sizes the small-file phase.
+	Files int
+	// WriteMB is the size of the bandwidth-probe write.
+	WriteMB      int
+	SegmentSizes []int
+}
+
+// DefaultSegSizeOpts sweeps 128 KB to 4 MB around the paper's 1 MB.
+func DefaultSegSizeOpts() SegSizeOpts {
+	return SegSizeOpts{
+		Capacity:     64 << 20,
+		Files:        2000,
+		WriteMB:      12,
+		SegmentSizes: []int{128 << 10, 256 << 10, 512 << 10, 1 << 20, 2 << 20, 4 << 20},
+	}
+}
+
+// SegSizeAblation ages each volume so that clean segments alternate
+// with live ones (file A and file B written in alternating
+// segment-sized chunks, then A deleted and its dead segments
+// reclaimed), then measures the effective bandwidth of a large write
+// that must hop across the scattered clean segments.
+func SegSizeAblation(opts SegSizeOpts) ([]SegSizeRow, error) {
+	var rows []SegSizeRow
+	for _, ss := range opts.SegmentSizes {
+		cfg := defaultLFSConfig()
+		cfg.SegmentSize = ss
+		sys, err := NewLFS(opts.Capacity, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("segsize %d: %w", ss, err)
+		}
+		lfs := sys.System.(*core.FS)
+
+		// Age the volume: alternate segment-sized chunks of two
+		// files so segment ownership alternates, then delete one
+		// file and reclaim its (fully dead) segments.
+		if err := sys.Create("/a"); err != nil {
+			return nil, err
+		}
+		if err := sys.Create("/b"); err != nil {
+			return nil, err
+		}
+		chunk := make([]byte, ss*3/4) // leaves room for metadata in the same segment
+		// Fill ~60% of the disk alternately.
+		total := opts.Capacity * 6 / 10
+		var offA, offB int64
+		for written := int64(0); written < total; written += 2 * int64(len(chunk)) {
+			if err := sys.Write("/a", offA, chunk); err != nil {
+				return nil, err
+			}
+			if err := sys.Sync(); err != nil {
+				return nil, err
+			}
+			offA += int64(len(chunk))
+			if err := sys.Write("/b", offB, chunk); err != nil {
+				return nil, err
+			}
+			if err := sys.Sync(); err != nil {
+				return nil, err
+			}
+			offB += int64(len(chunk))
+		}
+		if err := sys.Remove("/a"); err != nil {
+			return nil, err
+		}
+		if err := sys.Sync(); err != nil {
+			return nil, err
+		}
+		if _, err := lfs.CleanUntil(int(opts.Capacity) / ss); err != nil {
+			return nil, err
+		}
+
+		// Bandwidth probe: a large write through the scattered
+		// clean segments.
+		if err := sys.Create("/probe"); err != nil {
+			return nil, err
+		}
+		probe := make([]byte, 64<<10)
+		start := sys.Clock().Now()
+		for off := int64(0); off < int64(opts.WriteMB)<<20; off += int64(len(probe)) {
+			if err := sys.Write("/probe", off, probe); err != nil {
+				return nil, err
+			}
+		}
+		if err := sys.Sync(); err != nil {
+			return nil, err
+		}
+		elapsed := sys.Clock().Now().Sub(start)
+		row := SegSizeRow{
+			SegmentKB: ss >> 10,
+			WriteKBps: float64(opts.WriteMB<<20) / 1024 / elapsed.Seconds(),
+		}
+
+		// Small-file phase on the same aged volume.
+		res, err := workload.SmallFile(sys, workload.SmallFileOpts{
+			NumFiles: opts.Files, FileSize: 1024, Dir: "/s", SyncBetweenPhases: true,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("segsize %d small files: %w", ss, err)
+		}
+		row.CreatePS = res.Create.OpsPerSec()
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatSegSize renders the sweep.
+func FormatSegSize(rows []SegSizeRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation - segment size vs log bandwidth on a fragmented disk\n")
+	fmt.Fprintf(&b, "%-12s %14s %12s\n", "segment", "write KB/s", "create/s")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %14.0f %12.1f\n", fmt.Sprintf("%dKB", r.SegmentKB), r.WriteKBps, r.CreatePS)
+	}
+	return b.String()
+}
+
+// --- cleaning policy ablation -------------------------------------------
+
+// PolicyRow compares cleaning policies under a hot/cold workload: 90%
+// of overwrites hit 10% of the files, the locality pattern for which
+// the authors' later work introduced cost-benefit selection.
+type PolicyRow struct {
+	Policy string
+	// SegmentsCleaned and LiveCopied over the whole run.
+	SegmentsCleaned int64
+	LiveCopied      int64
+	// CopyPerSegment = LiveCopied / SegmentsCleaned: the copying
+	// the cleaner causes per reclaimed segment (lower is better).
+	CopyPerSegment float64
+	// WriteAmp is total log bytes written per user byte, including
+	// metadata, summaries, and cleaner copies.
+	WriteAmp float64
+	// ElapsedSec is the simulated time of the whole churn run.
+	ElapsedSec float64
+}
+
+// PolicyOpts parameterises the comparison.
+type PolicyOpts struct {
+	Capacity int64
+	// Files is the file population; Overwrites is the number of
+	// overwrite operations issued.
+	Files      int
+	Overwrites int
+	// HotFraction of files receives HotBias of the overwrites.
+	HotFraction float64
+	HotBias     float64
+}
+
+// DefaultPolicyOpts uses a 90/10 hot/cold split on a small,
+// highly-utilised disk (≈two thirds live) so cleaned segments carry
+// live cold data and the policies actually differ.
+func DefaultPolicyOpts() PolicyOpts {
+	return PolicyOpts{
+		Capacity:    24 << 20,
+		Files:       4000,
+		Overwrites:  10000,
+		HotFraction: 0.1,
+		HotBias:     0.9,
+	}
+}
+
+// PolicyAblation runs the hot/cold churn under each policy.
+func PolicyAblation(opts PolicyOpts) ([]PolicyRow, error) {
+	var rows []PolicyRow
+	for _, pol := range []core.CleanPolicy{core.CleanGreedy, core.CleanCostBenefit} {
+		cfg := defaultLFSConfig()
+		cfg.Policy = pol
+		cfg.CacheBlocks = 512
+		sys, err := NewLFS(opts.Capacity, cfg)
+		if err != nil {
+			return nil, err
+		}
+		lfs := sys.System.(*core.FS)
+		payload := make([]byte, 4096)
+		name := func(i int) string { return fmt.Sprintf("/f%06d", i) }
+		for i := 0; i < opts.Files; i++ {
+			if err := sys.Create(name(i)); err != nil {
+				return nil, err
+			}
+			if err := sys.Write(name(i), 0, payload); err != nil {
+				return nil, err
+			}
+		}
+		if err := sys.Sync(); err != nil {
+			return nil, err
+		}
+		start := sys.Clock().Now()
+		hot := int(float64(opts.Files) * opts.HotFraction)
+		if hot < 1 {
+			hot = 1
+		}
+		rng := newPolicyRNG(17)
+		for i := 0; i < opts.Overwrites; i++ {
+			var idx int
+			if rng.Float64() < opts.HotBias {
+				idx = rng.Intn(hot)
+			} else {
+				idx = hot + rng.Intn(opts.Files-hot)
+			}
+			payload[0] = byte(i)
+			if err := sys.Write(name(idx), 0, payload); err != nil {
+				return nil, err
+			}
+		}
+		if err := sys.Sync(); err != nil {
+			return nil, err
+		}
+		st := lfs.Stats()
+		row := PolicyRow{
+			Policy:          pol.String(),
+			SegmentsCleaned: st.SegmentsCleaned,
+			LiveCopied:      st.CleanerLiveCopied,
+			WriteAmp:        st.WriteAmplification(cfg.BlockSize),
+			ElapsedSec:      sys.Clock().Now().Sub(start).Seconds(),
+		}
+		if st.SegmentsCleaned > 0 {
+			row.CopyPerSegment = float64(st.CleanerLiveCopied) / float64(st.SegmentsCleaned)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatPolicy renders the comparison.
+func FormatPolicy(rows []PolicyRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation - cleaning policy under 90/10 hot/cold overwrites\n")
+	fmt.Fprintf(&b, "%-14s %10s %12s %14s %10s %12s\n", "policy", "cleaned", "live copied", "copies/segment", "write amp", "elapsed (s)")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s %10d %12d %14.1f %10.2f %12.1f\n",
+			r.Policy, r.SegmentsCleaned, r.LiveCopied, r.CopyPerSegment, r.WriteAmp, r.ElapsedSec)
+	}
+	return b.String()
+}

@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+)
+
+// Every experiment can emit machine-readable CSV alongside its text
+// table, for plotting. Each CSV function writes a header row followed
+// by one record per measurement.
+
+// writeCSV writes rows with a uniform error path.
+func writeCSV(w io.Writer, header []string, rows [][]string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := cw.Write(r); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func f(v float64) string { return fmt.Sprintf("%.3f", v) }
+func i(v int64) string   { return fmt.Sprintf("%d", v) }
+
+// CSVFig3 writes Figure 3 rows.
+func CSVFig3(w io.Writer, rows []Fig3Row) error {
+	var recs [][]string
+	for _, r := range rows {
+		recs = append(recs, []string{r.FS, i(int64(r.FileSize)), i(int64(r.NumFiles)),
+			f(r.CreatePS), f(r.ReadPS), f(r.DeletePS)})
+	}
+	return writeCSV(w, []string{"fs", "file_size", "files", "create_per_s", "read_per_s", "delete_per_s"}, recs)
+}
+
+// CSVFig4 writes Figure 4 rows.
+func CSVFig4(w io.Writer, rows []Fig4Row) error {
+	var recs [][]string
+	for _, r := range rows {
+		recs = append(recs, []string{r.FS, r.Phase, f(r.KBps)})
+	}
+	return writeCSV(w, []string{"fs", "phase", "kb_per_s"}, recs)
+}
+
+// CSVFig5 writes Figure 5 rows.
+func CSVFig5(w io.Writer, rows []Fig5Row) error {
+	var recs [][]string
+	for _, r := range rows {
+		recs = append(recs, []string{f(r.Utilization), f(r.RateKBps),
+			i(int64(r.SegmentsCleaned)), i(int64(r.LiveCopied)), i(int64(r.BlocksExamined))})
+	}
+	return writeCSV(w, []string{"utilization", "clean_kb_per_s", "segments", "live_copied", "examined"}, recs)
+}
+
+// CSVScaling writes §3.1 rows.
+func CSVScaling(w io.Writer, rows []ScalingRow) error {
+	var recs [][]string
+	for _, r := range rows {
+		recs = append(recs, []string{r.FS, f(r.MIPS), f(r.PerFileMs)})
+	}
+	return writeCSV(w, []string{"fs", "mips", "ms_per_file"}, recs)
+}
+
+// CSVRecovery writes §4.4 rows.
+func CSVRecovery(w io.Writer, rows []RecoveryRow) error {
+	var recs [][]string
+	for _, r := range rows {
+		recs = append(recs, []string{i(r.CapacityMB), f(r.LFSMountMs),
+			i(r.LFSRollForwardUnits), f(r.FFSFsckMs)})
+	}
+	return writeCSV(w, []string{"disk_mb", "lfs_mount_ms", "rolled_forward_units", "ffs_fsck_ms"}, recs)
+}
+
+// CSVSegSize writes the segment-size ablation.
+func CSVSegSize(w io.Writer, rows []SegSizeRow) error {
+	var recs [][]string
+	for _, r := range rows {
+		recs = append(recs, []string{i(int64(r.SegmentKB)), f(r.WriteKBps), f(r.CreatePS)})
+	}
+	return writeCSV(w, []string{"segment_kb", "write_kb_per_s", "create_per_s"}, recs)
+}
+
+// CSVBlockSize writes the block-size ablation.
+func CSVBlockSize(w io.Writer, rows []BlockSizeRow) error {
+	var recs [][]string
+	for _, r := range rows {
+		recs = append(recs, []string{i(int64(r.BlockSize)), f(r.CreatePS), f(r.ReadPS), f(r.StorageOverhead)})
+	}
+	return writeCSV(w, []string{"block_size", "create_per_s", "read_per_s", "live_bytes_per_user_byte"}, recs)
+}
+
+// CSVPolicy writes the cleaning-policy ablation.
+func CSVPolicy(w io.Writer, rows []PolicyRow) error {
+	var recs [][]string
+	for _, r := range rows {
+		recs = append(recs, []string{r.Policy, i(r.SegmentsCleaned), i(r.LiveCopied),
+			f(r.CopyPerSegment), f(r.WriteAmp), f(r.ElapsedSec)})
+	}
+	return writeCSV(w, []string{"policy", "segments_cleaned", "live_copied", "copies_per_segment", "write_amplification", "elapsed_s"}, recs)
+}
+
+// CSVCkpt writes the checkpoint-interval ablation.
+func CSVCkpt(w io.Writer, rows []CkptRow) error {
+	var recs [][]string
+	for _, r := range rows {
+		recs = append(recs, []string{f(r.IntervalSec), i(r.Checkpoints), f(r.ThroughputOpsSec),
+			i(int64(r.LostFiles)), i(int64(r.LiveFiles)), f(r.MountMs)})
+	}
+	return writeCSV(w, []string{"interval_s", "checkpoints", "trace_ops_per_s", "files_lost", "window_files", "mount_ms"}, recs)
+}
+
+// CSVUtilization writes the utilization-distribution histogram.
+func CSVUtilization(w io.Writer, r *UtilizationResult, policy string) error {
+	var recs [][]string
+	for bin, n := range r.Histogram {
+		recs = append(recs, []string{policy, fmt.Sprintf("%d", bin*10), fmt.Sprintf("%d", (bin+1)*10), i(int64(n))})
+	}
+	return writeCSV(w, []string{"policy", "bin_low_pct", "bin_high_pct", "segments"}, recs)
+}

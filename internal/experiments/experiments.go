@@ -1,0 +1,71 @@
+// Package experiments reproduces every figure of the paper's
+// evaluation (§5) plus the §3.1 CPU-scaling observation and the §4.4
+// recovery comparison. Each experiment builds fresh file systems on
+// simulated WREN IV disks, runs the paper's workload, and returns the
+// same rows/series the paper plots. cmd/lfsbench prints them; the
+// repository's tests assert their shapes; bench_test.go exposes them
+// as Go benchmarks.
+package experiments
+
+import (
+	"fmt"
+
+	"lfs/internal/core"
+	"lfs/internal/disk"
+	"lfs/internal/ffs"
+	"lfs/internal/sim"
+	"lfs/internal/workload"
+)
+
+// DiskCapacity is the evaluation volume size: the paper formatted
+// "around 300 megabytes of usable storage".
+const DiskCapacity = 300 << 20
+
+// System bundles a mounted file system with its disk for
+// instrumentation.
+type System struct {
+	workload.System
+	Name string
+	Disk *disk.Disk
+}
+
+// NewLFS formats and mounts an LFS on a fresh simulated disk.
+func NewLFS(capacity int64, cfg core.Config) (*System, error) {
+	d := disk.NewMem(capacity, sim.NewClock())
+	if err := core.Format(d, cfg); err != nil {
+		return nil, err
+	}
+	fs, err := core.Mount(d, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &System{System: fs, Name: "LFS", Disk: d}, nil
+}
+
+// NewFFS formats and mounts the SunOS-style baseline on a fresh
+// simulated disk.
+func NewFFS(capacity int64, cfg ffs.Config) (*System, error) {
+	d := disk.NewMem(capacity, sim.NewClock())
+	if err := ffs.Format(d, cfg); err != nil {
+		return nil, err
+	}
+	fs, err := ffs.Mount(d, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &System{System: fs, Name: "SunFFS", Disk: d}, nil
+}
+
+// BothSystems returns a fresh LFS and FFS pair with default (paper)
+// configurations on capacity-sized disks.
+func BothSystems(capacity int64) (*System, *System, error) {
+	l, err := NewLFS(capacity, core.DefaultConfig())
+	if err != nil {
+		return nil, nil, fmt.Errorf("experiments: building LFS: %w", err)
+	}
+	f, err := NewFFS(capacity, ffs.DefaultConfig())
+	if err != nil {
+		return nil, nil, fmt.Errorf("experiments: building FFS: %w", err)
+	}
+	return l, f, nil
+}

@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"lfs/internal/disk"
+	"lfs/internal/trace"
+)
+
+// Fig1Result holds the traces behind Figures 1 and 2: the disk
+// accesses caused by creating two single-block files in different
+// directories under each file system.
+type Fig1Result struct {
+	FFSEvents []disk.Event
+	LFSEvents []disk.Event
+	FFS       trace.Summary
+	LFS       trace.Summary
+}
+
+// Fig1 reproduces the Figure 1 / Figure 2 pair. The workload is the
+// paper's:
+//
+//	fd = creat("dir1/file1", 0); write(fd, buffer, blockSize); close(fd);
+//	fd = creat("dir2/file2", 0); write(fd, buffer, blockSize); close(fd);
+//
+// followed by the delayed write-back (a sync). Figure 1 shows FFS
+// issuing small random writes, half of them synchronous; Figure 2
+// shows LFS issuing a single large sequential asynchronous transfer.
+func Fig1(capacity int64) (*Fig1Result, error) {
+	res := &Fig1Result{}
+	for _, which := range []string{"ffs", "lfs"} {
+		var sys *System
+		var err error
+		if which == "ffs" {
+			sys, err = NewFFS(capacity, defaultFFSConfig())
+		} else {
+			sys, err = NewLFS(capacity, defaultLFSConfig())
+		}
+		if err != nil {
+			return nil, err
+		}
+		if err := sys.Mkdir("/dir1"); err != nil {
+			return nil, err
+		}
+		if err := sys.Mkdir("/dir2"); err != nil {
+			return nil, err
+		}
+		if err := sys.Sync(); err != nil {
+			return nil, err
+		}
+		var rec trace.Recorder
+		sys.Disk.SetTracer(&rec)
+		blockSize := 4096
+		buf := make([]byte, blockSize)
+		for i, p := range []string{"/dir1/file1", "/dir2/file2"} {
+			buf[0] = byte(i)
+			if err := sys.Create(p); err != nil {
+				return nil, err
+			}
+			if err := sys.Write(p, 0, buf); err != nil {
+				return nil, err
+			}
+		}
+		// The delayed write-back.
+		if err := sys.Sync(); err != nil {
+			return nil, err
+		}
+		sys.Disk.SetTracer(nil)
+		if which == "ffs" {
+			res.FFSEvents = rec.Events()
+			res.FFS = trace.Summarize(rec.Events())
+		} else {
+			res.LFSEvents = rec.Events()
+			res.LFS = trace.Summarize(rec.Events())
+		}
+	}
+	return res, nil
+}
+
+// Format renders both traces and their summaries.
+func (r *Fig1Result) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 1 - BSD FFS file creation (two 1-block files in two directories)\n")
+	b.WriteString(trace.FormatTable(r.FFSEvents))
+	fmt.Fprintf(&b, "summary: %v\n\n", r.FFS)
+	fmt.Fprintf(&b, "Figure 2 - LFS file creation (same workload)\n")
+	b.WriteString(trace.FormatTable(r.LFSEvents))
+	fmt.Fprintf(&b, "summary: %v\n", r.LFS)
+	return b.String()
+}

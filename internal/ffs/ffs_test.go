@@ -1,0 +1,607 @@
+package ffs_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"lfs/internal/disk"
+	"lfs/internal/ffs"
+	"lfs/internal/fstest"
+	"lfs/internal/sim"
+	"lfs/internal/vfs"
+)
+
+// newFS formats and mounts an FFS on a fresh memory disk.
+func newFS(t *testing.T, capacity int64) *ffs.FS {
+	t.Helper()
+	d := disk.NewMem(capacity, sim.NewClock())
+	cfg := ffs.DefaultConfig()
+	if err := ffs.Format(d, cfg); err != nil {
+		t.Fatal(err)
+	}
+	fs, err := ffs.Mount(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func TestFFSConformance(t *testing.T) {
+	fstest.RunConformance(t, func(t *testing.T) vfs.FileSystem {
+		return newFS(t, 64<<20)
+	})
+}
+
+func TestFFSModelEquivalence(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			fstest.RunEquivalence(t, func(t *testing.T) vfs.FileSystem {
+				return newFS(t, 64<<20)
+			}, seed, 400)
+		})
+	}
+}
+
+func TestFFSDurabilityEquivalence(t *testing.T) {
+	for seed := int64(20); seed <= 22; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			cfg := ffs.DefaultConfig()
+			fstest.RunDurabilityEquivalence(t, func(t *testing.T) (vfs.FileSystem, func() vfs.FileSystem) {
+				d := disk.NewMem(64<<20, sim.NewClock())
+				if err := ffs.Format(d, cfg); err != nil {
+					t.Fatal(err)
+				}
+				fs, err := ffs.Mount(d, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return fs, func() vfs.FileSystem {
+					fs2, err := ffs.Mount(d, cfg)
+					if err != nil {
+						t.Fatalf("remount: %v", err)
+					}
+					return fs2
+				}
+			}, seed, 300)
+		})
+	}
+}
+
+func TestFormatValidation(t *testing.T) {
+	d := disk.NewMem(8<<20, sim.NewClock())
+	bad := ffs.DefaultConfig()
+	bad.BlockSize = 1000
+	if err := ffs.Format(d, bad); err == nil {
+		t.Fatal("bad block size accepted")
+	}
+	tiny := disk.NewMem(1<<20, sim.NewClock())
+	if err := ffs.Format(tiny, ffs.DefaultConfig()); err == nil {
+		t.Fatal("disk smaller than one group accepted")
+	}
+}
+
+func TestMountRejectsUnformattedDisk(t *testing.T) {
+	d := disk.NewMem(16<<20, sim.NewClock())
+	if _, err := ffs.Mount(d, ffs.DefaultConfig()); err == nil {
+		t.Fatal("mounted an unformatted disk")
+	}
+}
+
+func TestMountRejectsMismatchedBlockSize(t *testing.T) {
+	d := disk.NewMem(16<<20, sim.NewClock())
+	cfg := ffs.DefaultConfig()
+	if err := ffs.Format(d, cfg); err != nil {
+		t.Fatal(err)
+	}
+	cfg.BlockSize = 4096
+	cfg.BlocksPerGroup = 512
+	if _, err := ffs.Mount(d, cfg); err == nil {
+		t.Fatal("mounted with the wrong block size")
+	}
+}
+
+// countSync counts synchronous writes recorded by the tracer.
+type syncCounter struct {
+	syncWrites  int
+	totalWrites int
+	events      []disk.Event
+}
+
+func (c *syncCounter) Record(ev disk.Event) {
+	if ev.Kind == disk.OpWrite {
+		c.totalWrites++
+		if ev.Sync {
+			c.syncWrites++
+		}
+	}
+	c.events = append(c.events, ev)
+}
+
+// TestCreateIsSynchronous verifies the baseline's defining behaviour:
+// each small-file creation performs synchronous disk writes (the inode
+// and the directory block), which is what Figure 1 of the paper shows.
+func TestCreateIsSynchronous(t *testing.T) {
+	fs := newFS(t, 64<<20)
+	if err := fs.Mkdir("/dir1"); err != nil {
+		t.Fatal(err)
+	}
+	var c syncCounter
+	fs.Disk().SetTracer(&c)
+	before := fs.Clock().Now()
+	if err := fs.Create("/dir1/file1"); err != nil {
+		t.Fatal(err)
+	}
+	if c.syncWrites < 2 {
+		t.Fatalf("creat performed %d sync writes, want >= 2 (inode + dir data)", c.syncWrites)
+	}
+	// The caller's clock advanced by at least two random-write
+	// latencies: creation speed is coupled to disk latency.
+	elapsed := fs.Clock().Now().Sub(before)
+	if elapsed < 20*sim.Millisecond {
+		t.Fatalf("creat took %v of simulated time, want >= 20ms (synchronous random writes)", elapsed)
+	}
+}
+
+func TestUnlinkIsSynchronous(t *testing.T) {
+	fs := newFS(t, 64<<20)
+	if err := fs.Create("/f"); err != nil {
+		t.Fatal(err)
+	}
+	var c syncCounter
+	fs.Disk().SetTracer(&c)
+	if err := fs.Remove("/f"); err != nil {
+		t.Fatal(err)
+	}
+	if c.syncWrites < 2 {
+		t.Fatalf("unlink performed %d sync writes, want >= 2", c.syncWrites)
+	}
+}
+
+// TestDataWritesAreDelayed verifies that file data is not written at
+// write() time but by the delayed write-back.
+func TestDataWritesAreDelayed(t *testing.T) {
+	fs := newFS(t, 64<<20)
+	if err := fs.Create("/f"); err != nil {
+		t.Fatal(err)
+	}
+	var c syncCounter
+	fs.Disk().SetTracer(&c)
+	if err := fs.Write("/f", 0, bytes.Repeat([]byte{1}, 8192)); err != nil {
+		t.Fatal(err)
+	}
+	if c.totalWrites != 0 {
+		t.Fatalf("write() issued %d disk writes, want 0 (delayed write-back)", c.totalWrites)
+	}
+	if err := fs.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if c.totalWrites == 0 {
+		t.Fatal("sync issued no writes")
+	}
+}
+
+func TestDataPersistsAcrossRemount(t *testing.T) {
+	d := disk.NewMem(64<<20, sim.NewClock())
+	cfg := ffs.DefaultConfig()
+	if err := ffs.Format(d, cfg); err != nil {
+		t.Fatal(err)
+	}
+	fs, err := ffs.Mount(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := bytes.Repeat([]byte{0xC3}, 20000)
+	if err := fs.Mkdir("/d"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Create("/d/f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Write("/d/f", 0, want); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Unmount(); err != nil {
+		t.Fatal(err)
+	}
+
+	fs2, err := ffs.Mount(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(want))
+	n, err := fs2.Read("/d/f", 0, got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(want) || !bytes.Equal(got, want) {
+		t.Fatal("data lost across remount")
+	}
+}
+
+// TestCrashLosesOnlyUnsyncedData: after a crash, synchronously written
+// metadata survives (the file exists) but unsynced data is gone.
+func TestCrashLosesOnlyUnsyncedData(t *testing.T) {
+	d := disk.NewMem(64<<20, sim.NewClock())
+	cfg := ffs.DefaultConfig()
+	if err := ffs.Format(d, cfg); err != nil {
+		t.Fatal(err)
+	}
+	fs, err := ffs.Mount(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Create("/synced"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Write("/synced", 0, []byte("durable")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Create("/unsynced"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Write("/unsynced", 0, []byte("volatile")); err != nil {
+		t.Fatal(err)
+	}
+	fs.Crash()
+
+	fs2, err := ffs.Mount(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 16)
+	n, err := fs2.Read("/synced", 0, buf)
+	if err != nil || string(buf[:n]) != "durable" {
+		t.Fatalf("synced file damaged: %q, %v", buf[:n], err)
+	}
+	// The unsynced file's creation was synchronous, so the name
+	// survives — but its data was only in the cache.
+	fi, err := fs2.Stat("/unsynced")
+	if err != nil {
+		t.Fatalf("unsynced file name lost: %v", err)
+	}
+	if fi.Size != 0 {
+		n, _ := fs2.Read("/unsynced", 0, buf)
+		if string(buf[:n]) == "volatile" {
+			t.Fatal("unsynced data unexpectedly survived the crash")
+		}
+	}
+}
+
+func TestFsckCleanFilesystem(t *testing.T) {
+	d := disk.NewMem(64<<20, sim.NewClock())
+	cfg := ffs.DefaultConfig()
+	if err := ffs.Format(d, cfg); err != nil {
+		t.Fatal(err)
+	}
+	fs, err := ffs.Mount(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Mkdir("/d"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		p := fmt.Sprintf("/d/f%d", i)
+		if err := fs.Create(p); err != nil {
+			t.Fatal(err)
+		}
+		if err := fs.Write(p, 0, bytes.Repeat([]byte{byte(i)}, 10000)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fs.Unmount(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ffs.Fsck(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Problems) != 0 {
+		t.Fatalf("fsck found problems on a clean fs: %v", rep.Problems)
+	}
+	if rep.FilesFound != 22 { // root + /d + 20 files
+		t.Fatalf("fsck found %d files, want 22", rep.FilesFound)
+	}
+	if rep.Duration <= 0 {
+		t.Fatal("fsck took no simulated time")
+	}
+}
+
+// TestFsckCostScalesWithDiskSize: the recovery-cost property LFS
+// attacks — fsck reads all metadata regardless of damage.
+func TestFsckCostScalesWithDiskSize(t *testing.T) {
+	durationFor := func(capacity int64) sim.Duration {
+		d := disk.NewMem(capacity, sim.NewClock())
+		cfg := ffs.DefaultConfig()
+		if err := ffs.Format(d, cfg); err != nil {
+			t.Fatal(err)
+		}
+		rep, err := ffs.Fsck(d, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.Duration
+	}
+	small := durationFor(16 << 20)
+	large := durationFor(128 << 20)
+	if ratio := float64(large) / float64(small); ratio < 3 {
+		t.Fatalf("fsck on 8x disk only %.1fx slower; cost should scale with disk size", ratio)
+	}
+}
+
+func TestFreeSpaceDecreasesAndRecovers(t *testing.T) {
+	fs := newFS(t, 32<<20)
+	// Warm the root directory's data block so it doesn't count as
+	// "lost" space below (directories never shrink).
+	if err := fs.Create("/warm"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Remove("/warm"); err != nil {
+		t.Fatal(err)
+	}
+	before := fs.FreeSpace()
+	if err := fs.Create("/f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Write("/f", 0, make([]byte, 1<<20)); err != nil {
+		t.Fatal(err)
+	}
+	mid := fs.FreeSpace()
+	if mid >= before {
+		t.Fatal("free space did not decrease after 1MB write")
+	}
+	if err := fs.Remove("/f"); err != nil {
+		t.Fatal(err)
+	}
+	after := fs.FreeSpace()
+	if after != before {
+		t.Fatalf("free space %d after remove, want %d", after, before)
+	}
+}
+
+func TestNoSpace(t *testing.T) {
+	// A minimal disk: fill it and expect ErrNoSpace, not corruption.
+	d := disk.NewMem(4<<20, sim.NewClock())
+	cfg := ffs.DefaultConfig()
+	cfg.CacheBlocks = 64
+	if err := ffs.Format(d, cfg); err != nil {
+		t.Fatal(err)
+	}
+	fs, err := ffs.Mount(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Create("/hog"); err != nil {
+		t.Fatal(err)
+	}
+	var wErr error
+	for i := 0; i < 4096; i++ {
+		wErr = fs.Write("/hog", int64(i)<<13, make([]byte, 8192))
+		if wErr != nil {
+			break
+		}
+	}
+	if !errors.Is(wErr, vfs.ErrNoSpace) {
+		t.Fatalf("filling the disk returned %v, want ErrNoSpace", wErr)
+	}
+}
+
+func TestInodeExhaustion(t *testing.T) {
+	// One group => InodesPerGroup inodes (minus root). Exhaust them.
+	d := disk.NewMem(4<<20, sim.NewClock())
+	cfg := ffs.DefaultConfig()
+	cfg.InodesPerGroup = 16
+	if err := ffs.Format(d, cfg); err != nil {
+		t.Fatal(err)
+	}
+	fs, err := ffs.Mount(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cErr error
+	for i := 0; i < 64; i++ {
+		cErr = fs.Create(fmt.Sprintf("/f%d", i))
+		if cErr != nil {
+			break
+		}
+	}
+	if !errors.Is(cErr, vfs.ErrNoSpace) {
+		t.Fatalf("inode exhaustion returned %v, want ErrNoSpace", cErr)
+	}
+}
+
+func TestDropCaches(t *testing.T) {
+	fs := newFS(t, 32<<20)
+	if err := fs.Create("/f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Write("/f", 0, make([]byte, 64<<10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	fs.DropCaches()
+	// Reads now must hit the disk.
+	before := fs.Disk().Stats().Reads
+	buf := make([]byte, 64<<10)
+	if _, err := fs.Read("/f", 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Disk().Stats().Reads == before {
+		t.Fatal("read after DropCaches hit no disk")
+	}
+}
+
+func TestAtimeUpdatedOnRead(t *testing.T) {
+	fs := newFS(t, 32<<20)
+	if err := fs.Create("/f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Write("/f", 0, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	fi1, _ := fs.Stat("/f")
+	if _, err := fs.Read("/f", 0, make([]byte, 1)); err != nil {
+		t.Fatal(err)
+	}
+	fi2, _ := fs.Stat("/f")
+	if fi2.Atime < fi1.Atime {
+		t.Fatal("atime went backwards")
+	}
+	if fi2.Mtime != fi1.Mtime {
+		t.Fatal("read changed mtime")
+	}
+}
+
+// TestFsckDetectsCorruption: fsck must report manufactured damage,
+// not just bless clean volumes.
+func TestFsckDetectsCorruption(t *testing.T) {
+	d := disk.NewMem(32<<20, sim.NewClock())
+	cfg := ffs.DefaultConfig()
+	if err := ffs.Format(d, cfg); err != nil {
+		t.Fatal(err)
+	}
+	fs, err := ffs.Mount(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Create("/f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Write("/f", 0, bytes.Repeat([]byte{1}, 30000)); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Unmount(); err != nil {
+		t.Fatal(err)
+	}
+	// Damage the volume behind the file system's back: zero the
+	// first group's bitmap block, so every allocated block appears
+	// free.
+	bs := cfg.BlockSize
+	zero := make([]byte, bs)
+	// Group 0 bitmap lives at block 1.
+	if err := d.Store().WriteAt(zero, int64(bs)); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ffs.Fsck(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Problems) == 0 {
+		t.Fatal("fsck blessed a volume with a zeroed bitmap")
+	}
+}
+
+// TestDoubleIndirectLifecycle exercises FFS's double-indirect paths:
+// sparse writes land blocks in the double-indirect region, reads find
+// them (and holes around them), and truncation releases the whole
+// pointer tree.
+func TestDoubleIndirectLifecycle(t *testing.T) {
+	fs := newFS(t, 64<<20)
+	if err := fs.Create("/sparse"); err != nil {
+		t.Fatal(err)
+	}
+	bs := int64(8192)
+	// Block offsets: one direct, one single-indirect, several
+	// double-indirect (including two different outer slots).
+	apb := int64(8192 / 4)
+	offsets := []int64{
+		0,                           // direct
+		(12 + 5) * bs,               // single indirect
+		(12 + apb + 3) * bs,         // double indirect, outer 0
+		(12 + apb + apb + 7) * bs,   // double indirect, outer 1
+		(12 + apb + 2*apb + 1) * bs, // double indirect, outer 2
+	}
+	for i, off := range offsets {
+		data := bytes.Repeat([]byte{byte(i + 1)}, 8192)
+		if err := fs.Write("/sparse", off, data); err != nil {
+			t.Fatalf("write at %d: %v", off, err)
+		}
+	}
+	if err := fs.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	fs.DropCaches()
+	buf := make([]byte, 8192)
+	for i, off := range offsets {
+		n, err := fs.Read("/sparse", off, buf)
+		if err != nil || n != 8192 {
+			t.Fatalf("read at %d: n=%d err=%v", off, n, err)
+		}
+		if buf[0] != byte(i+1) {
+			t.Fatalf("block at %d reads %d, want %d", off, buf[0], i+1)
+		}
+	}
+	// A hole between two double-indirect blocks reads zero.
+	n, err := fs.Read("/sparse", (12+apb+10)*bs, buf)
+	if err != nil || n != 8192 {
+		t.Fatalf("hole read: n=%d err=%v", n, err)
+	}
+	for _, b := range buf {
+		if b != 0 {
+			t.Fatal("hole not zero")
+		}
+	}
+	// Partial truncation keeps outer slot 0, releases slots 1-2.
+	keep := (12 + apb + apb) * bs // everything below outer slot 1
+	if err := fs.Truncate("/sparse", keep); err != nil {
+		t.Fatal(err)
+	}
+	n, err = fs.Read("/sparse", offsets[2], buf)
+	if err != nil || n != 8192 || buf[0] != 3 {
+		t.Fatalf("outer-0 block lost by partial truncate: n=%d err=%v b=%d", n, err, buf[0])
+	}
+	// Full release: all blocks (and indirect blocks) come back as
+	// free space.
+	before := fs.FreeSpace()
+	if err := fs.Remove("/sparse"); err != nil {
+		t.Fatal(err)
+	}
+	if fs.FreeSpace() <= before {
+		t.Fatal("remove of sparse file freed nothing")
+	}
+	// The volume stays consistent.
+	if err := fs.Unmount(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ffs.Fsck(fs.Disk(), ffs.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Problems) != 0 {
+		t.Fatalf("fsck after double-indirect lifecycle: %v", rep.Problems)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	base := ffs.DefaultConfig()
+	cases := []func(*ffs.Config){
+		func(c *ffs.Config) { c.BlockSize = 0 },
+		func(c *ffs.Config) { c.BlockSize = 1000 },
+		func(c *ffs.Config) { c.BlocksPerGroup = 2 },
+		func(c *ffs.Config) { c.InodesPerGroup = 0 },
+		func(c *ffs.Config) { c.InodesPerGroup = 7 },
+		func(c *ffs.Config) { c.CacheBlocks = 1 },
+		func(c *ffs.Config) { c.WritebackAge = 0 },
+		func(c *ffs.Config) { c.MIPS = 0 },
+		func(c *ffs.Config) { c.BlocksPerGroup = 9; c.InodesPerGroup = 4096 },
+	}
+	for i, mutate := range cases {
+		cfg := base
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted: %+v", i, cfg)
+		}
+	}
+	if err := base.Validate(); err != nil {
+		t.Errorf("default config rejected: %v", err)
+	}
+}

@@ -1,0 +1,227 @@
+package ffs
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"lfs/internal/disk"
+	"lfs/internal/layout"
+)
+
+// inodeSlotSize is the on-disk inode record size.
+const inodeSlotSize = layout.InodeSize
+
+// ffsMagic identifies an FFS superblock.
+const ffsMagic = 0x46465331 // "FFS1"
+
+// superblock is the FFS on-disk root structure, stored in block 0.
+type superblock struct {
+	BlockSize      uint32
+	BlocksPerGroup uint32
+	InodesPerGroup uint32
+	Groups         uint32
+	TotalBlocks    uint64
+}
+
+// encode writes the superblock into p (one block).
+func (sb *superblock) encode(p []byte) {
+	for i := range p {
+		p[i] = 0
+	}
+	le := binary.LittleEndian
+	le.PutUint32(p[0:], ffsMagic)
+	le.PutUint32(p[4:], sb.BlockSize)
+	le.PutUint32(p[8:], sb.BlocksPerGroup)
+	le.PutUint32(p[12:], sb.InodesPerGroup)
+	le.PutUint32(p[16:], sb.Groups)
+	le.PutUint64(p[24:], sb.TotalBlocks)
+	le.PutUint32(p[60:], layout.Checksum(p[:60]))
+}
+
+// decodeSuperblock parses and verifies a superblock.
+func decodeSuperblock(p []byte) (superblock, error) {
+	le := binary.LittleEndian
+	if le.Uint32(p[0:]) != ffsMagic {
+		return superblock{}, fmt.Errorf("ffs: bad magic %#x", le.Uint32(p[0:]))
+	}
+	if got, want := layout.Checksum(p[:60]), le.Uint32(p[60:]); got != want {
+		return superblock{}, fmt.Errorf("ffs: superblock checksum mismatch")
+	}
+	return superblock{
+		BlockSize:      le.Uint32(p[4:]),
+		BlocksPerGroup: le.Uint32(p[8:]),
+		InodesPerGroup: le.Uint32(p[12:]),
+		Groups:         le.Uint32(p[16:]),
+		TotalBlocks:    le.Uint64(p[24:]),
+	}, nil
+}
+
+// Format initialises the disk as an empty FFS with a root directory.
+func Format(d *disk.Disk, cfg Config) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	totalBlocks := d.Capacity() / int64(cfg.BlockSize)
+	// Block 0 is the superblock; groups follow.
+	groups := (totalBlocks - 1) / int64(cfg.BlocksPerGroup)
+	if groups < 1 {
+		return fmt.Errorf("ffs: disk too small for one cylinder group (%d blocks)", totalBlocks)
+	}
+	sb := superblock{
+		BlockSize:      uint32(cfg.BlockSize),
+		BlocksPerGroup: uint32(cfg.BlocksPerGroup),
+		InodesPerGroup: uint32(cfg.InodesPerGroup),
+		Groups:         uint32(groups),
+		TotalBlocks:    uint64(totalBlocks),
+	}
+	buf := make([]byte, cfg.BlockSize)
+	sb.encode(buf)
+	if err := d.WriteSectors(0, buf, true, "format: superblock"); err != nil {
+		return err
+	}
+
+	lay := newLayout(sb)
+	// Write each group's bitmap block with metadata blocks marked
+	// allocated.
+	for g := 0; g < int(groups); g++ {
+		bm := make([]byte, cfg.BlockSize)
+		for b := 0; b < cfg.metaBlocksPerGroup(); b++ {
+			setBit(bm, b)
+		}
+		if g == 0 {
+			// Root inode occupies slot 0 of group 0.
+			setBit(bm[lay.inodeBitmapOff:], 0)
+		}
+		if err := d.WriteSectors(lay.bitmapBlock(g)*lay.sectorsPerBlock, bm, true, "format: bitmap"); err != nil {
+			return err
+		}
+		// Zero the inode table so stale inodes cannot be mistaken
+		// for live ones.
+		zero := make([]byte, cfg.BlockSize)
+		for b := 0; b < cfg.inodeTableBlocks(); b++ {
+			pb := lay.inodeTableStart(g) + int64(b)
+			if err := d.WriteSectors(pb*lay.sectorsPerBlock, zero, true, "format: inode table"); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Write the root directory inode.
+	root := layout.NewInode(layout.RootIno, layout.ModeDir|0o755)
+	root.Nlink = 2
+	itBuf := make([]byte, cfg.BlockSize)
+	pb := lay.inodeBlock(layout.RootIno)
+	if err := d.ReadSectors(pb*lay.sectorsPerBlock, itBuf, "format"); err != nil {
+		return err
+	}
+	root.Encode(itBuf[lay.inodeOffsetInBlock(layout.RootIno):])
+	return d.WriteSectors(pb*lay.sectorsPerBlock, itBuf, true, "format: root inode")
+}
+
+// diskLayout precomputes the address arithmetic of an FFS instance.
+type diskLayout struct {
+	sb              superblock
+	sectorsPerBlock int64
+	inodeBitmapOff  int // byte offset of the inode bitmap within the bitmap block
+	inodesPerBlock  int
+	itBlocks        int // inode table blocks per group
+	metaBlocks      int
+}
+
+func newLayout(sb superblock) diskLayout {
+	bs := int(sb.BlockSize)
+	itBytes := int(sb.InodesPerGroup) * inodeSlotSize
+	itBlocks := (itBytes + bs - 1) / bs
+	return diskLayout{
+		sb:              sb,
+		sectorsPerBlock: int64(bs / 512),
+		inodeBitmapOff:  (int(sb.BlocksPerGroup) + 7) / 8,
+		inodesPerBlock:  bs / inodeSlotSize,
+		itBlocks:        itBlocks,
+		metaBlocks:      1 + itBlocks,
+	}
+}
+
+// groupStart returns the first block of group g.
+func (l diskLayout) groupStart(g int) int64 {
+	return 1 + int64(g)*int64(l.sb.BlocksPerGroup)
+}
+
+// bitmapBlock returns the physical block holding group g's bitmaps.
+func (l diskLayout) bitmapBlock(g int) int64 { return l.groupStart(g) }
+
+// inodeTableStart returns the first inode-table block of group g.
+func (l diskLayout) inodeTableStart(g int) int64 { return l.groupStart(g) + 1 }
+
+// dataStart returns the first data block of group g.
+func (l diskLayout) dataStart(g int) int64 {
+	return l.groupStart(g) + int64(l.metaBlocks)
+}
+
+// groupOf returns the cylinder group holding ino.
+func (l diskLayout) groupOf(ino layout.Ino) int {
+	return int((uint32(ino) - 1) / l.sb.InodesPerGroup)
+}
+
+// slotOf returns ino's slot within its group's inode table.
+func (l diskLayout) slotOf(ino layout.Ino) int {
+	return int((uint32(ino) - 1) % l.sb.InodesPerGroup)
+}
+
+// inoFor returns the inode number of (group, slot).
+func (l diskLayout) inoFor(g, slot int) layout.Ino {
+	return layout.Ino(uint32(g)*l.sb.InodesPerGroup + uint32(slot) + 1)
+}
+
+// inodeBlock returns the physical block holding ino's record.
+func (l diskLayout) inodeBlock(ino layout.Ino) int64 {
+	g := l.groupOf(ino)
+	return l.inodeTableStart(g) + int64(l.slotOf(ino)/l.inodesPerBlock)
+}
+
+// inodeOffsetInBlock returns ino's byte offset within its block.
+func (l diskLayout) inodeOffsetInBlock(ino layout.Ino) int {
+	return (l.slotOf(ino) % l.inodesPerBlock) * inodeSlotSize
+}
+
+// maxIno returns the largest valid inode number.
+func (l diskLayout) maxIno() layout.Ino {
+	return layout.Ino(l.sb.Groups * l.sb.InodesPerGroup)
+}
+
+// validIno reports whether ino is in range.
+func (l diskLayout) validIno(ino layout.Ino) bool {
+	return ino >= 1 && ino <= l.maxIno()
+}
+
+// blockToGroup returns the group containing physical block pb, or -1
+// for the superblock.
+func (l diskLayout) blockToGroup(pb int64) int {
+	if pb < 1 {
+		return -1
+	}
+	return int((pb - 1) / int64(l.sb.BlocksPerGroup))
+}
+
+// sectorOf converts a physical block number to its first sector.
+func (l diskLayout) sectorOf(pb int64) int64 { return pb * l.sectorsPerBlock }
+
+// addrOf converts a physical block number to an inode DiskAddr
+// (sector address).
+func (l diskLayout) addrOf(pb int64) layout.DiskAddr {
+	return layout.DiskAddr(pb * l.sectorsPerBlock)
+}
+
+// blockOf converts an inode DiskAddr back to a physical block number.
+func (l diskLayout) blockOf(a layout.DiskAddr) int64 {
+	return int64(a) / l.sectorsPerBlock
+}
+
+// setBit sets bit i of the bitmap.
+func setBit(bm []byte, i int) { bm[i/8] |= 1 << (i % 8) }
+
+// clearBit clears bit i of the bitmap.
+func clearBit(bm []byte, i int) { bm[i/8] &^= 1 << (i % 8) }
+
+// testBit reports bit i of the bitmap.
+func testBit(bm []byte, i int) bool { return bm[i/8]&(1<<(i%8)) != 0 }

@@ -1,0 +1,310 @@
+package fstest
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"lfs/internal/vfs"
+)
+
+// RunEquivalence drives the implementation produced by open and the
+// in-memory model with the same pseudo-random operation sequence and
+// fails on the first observable divergence: differing error classes,
+// differing read contents, differing directory listings, or a
+// differing final tree.
+func RunEquivalence(t *testing.T, open Factory, seed int64, nOps int) {
+	t.Helper()
+	fs := open(t)
+	model := vfs.NewModel(nil)
+	rng := rand.New(rand.NewSource(seed))
+	g := newOpGen(rng)
+
+	for i := 0; i < nOps; i++ {
+		op := g.next()
+		applyBoth(t, fs, model, op, i)
+	}
+	compareTrees(t, fs, model, "/")
+}
+
+// errClass maps an error to the sentinel it wraps, so two
+// implementations agree as long as they fail the same way.
+func errClass(err error) string {
+	switch {
+	case err == nil:
+		return "ok"
+	case errors.Is(err, vfs.ErrNotExist):
+		return "not-exist"
+	case errors.Is(err, vfs.ErrExist):
+		return "exist"
+	case errors.Is(err, vfs.ErrIsDir):
+		return "is-dir"
+	case errors.Is(err, vfs.ErrNotDir):
+		return "not-dir"
+	case errors.Is(err, vfs.ErrNotEmpty):
+		return "not-empty"
+	case errors.Is(err, vfs.ErrNoSpace):
+		return "no-space"
+	case errors.Is(err, vfs.ErrTooLarge):
+		return "too-large"
+	case errors.Is(err, vfs.ErrInvalid):
+		return "invalid"
+	default:
+		return "other:" + err.Error()
+	}
+}
+
+// op is one generated operation.
+type op struct {
+	kind    string
+	path    string
+	path2   string
+	off     int64
+	data    []byte
+	readLen int
+	size    int64
+}
+
+// String renders the op for failure messages.
+func (o op) String() string {
+	switch o.kind {
+	case "write":
+		return fmt.Sprintf("write %s off=%d len=%d", o.path, o.off, len(o.data))
+	case "read":
+		return fmt.Sprintf("read %s off=%d len=%d", o.path, o.off, o.readLen)
+	case "rename":
+		return fmt.Sprintf("rename %s -> %s", o.path, o.path2)
+	case "link":
+		return fmt.Sprintf("link %s -> %s", o.path, o.path2)
+	case "truncate":
+		return fmt.Sprintf("truncate %s to %d", o.path, o.size)
+	default:
+		return o.kind + " " + o.path
+	}
+}
+
+// opGen generates operations biased toward paths that exist, so the
+// sequence exercises deep behaviour rather than erroring constantly.
+type opGen struct {
+	rng   *rand.Rand
+	dirs  []string // existing directories, always contains "/"
+	files []string // paths that were created as files (may be stale)
+	next_ int
+}
+
+func newOpGen(rng *rand.Rand) *opGen {
+	return &opGen{rng: rng, dirs: []string{"/"}}
+}
+
+func (g *opGen) randDir() string { return g.dirs[g.rng.Intn(len(g.dirs))] }
+
+func (g *opGen) randFile() string {
+	if len(g.files) == 0 || g.rng.Intn(10) == 0 {
+		// Occasionally reference a plausible but maybe-missing path.
+		return g.join(g.randDir(), fmt.Sprintf("f%d", g.rng.Intn(30)))
+	}
+	return g.files[g.rng.Intn(len(g.files))]
+}
+
+func (g *opGen) join(dir, name string) string {
+	if dir == "/" {
+		return "/" + name
+	}
+	return dir + "/" + name
+}
+
+func (g *opGen) newName(prefix string) string {
+	g.next_++
+	return fmt.Sprintf("%s%d-%d", prefix, g.next_, g.rng.Intn(8))
+}
+
+func (g *opGen) next() op {
+	r := g.rng.Intn(100)
+	switch {
+	case r < 20: // create
+		p := g.join(g.randDir(), g.newName("f"))
+		g.files = append(g.files, p)
+		return op{kind: "create", path: p}
+	case r < 45: // write
+		size := g.rng.Intn(20_000) + 1
+		data := make([]byte, size)
+		g.rng.Read(data)
+		return op{kind: "write", path: g.randFile(), off: int64(g.rng.Intn(60_000)), data: data}
+	case r < 60: // read
+		return op{kind: "read", path: g.randFile(), off: int64(g.rng.Intn(80_000)), readLen: g.rng.Intn(30_000) + 1}
+	case r < 70: // remove (files mostly, sometimes dirs)
+		if g.rng.Intn(5) == 0 && len(g.dirs) > 1 {
+			return op{kind: "remove", path: g.dirs[1+g.rng.Intn(len(g.dirs)-1)]}
+		}
+		return op{kind: "remove", path: g.randFile()}
+	case r < 78: // mkdir
+		p := g.join(g.randDir(), g.newName("d"))
+		g.dirs = append(g.dirs, p)
+		return op{kind: "mkdir", path: p}
+	case r < 83: // readdir
+		return op{kind: "readdir", path: g.randDir()}
+	case r < 90: // truncate
+		return op{kind: "truncate", path: g.randFile(), size: int64(g.rng.Intn(70_000))}
+	case r < 92: // rename
+		dst := g.join(g.randDir(), g.newName("r"))
+		g.files = append(g.files, dst)
+		return op{kind: "rename", path: g.randFile(), path2: dst}
+	case r < 94: // hard link
+		dst := g.join(g.randDir(), g.newName("l"))
+		g.files = append(g.files, dst)
+		return op{kind: "link", path: g.randFile(), path2: dst}
+	case r < 97: // sync (exercises flush interleavings)
+		return op{kind: "sync"}
+	default: // stat
+		return op{kind: "stat", path: g.randFile()}
+	}
+}
+
+func applyBoth(t *testing.T, fs vfs.FileSystem, model *vfs.Model, o op, step int) {
+	t.Helper()
+	fail := func(format string, args ...any) {
+		t.Helper()
+		t.Fatalf("step %d (%s): %s", step, o, fmt.Sprintf(format, args...))
+	}
+	switch o.kind {
+	case "create":
+		a, b := fs.Create(o.path), model.Create(o.path)
+		if errClass(a) != errClass(b) {
+			fail("fs err %v, model err %v", a, b)
+		}
+	case "mkdir":
+		a, b := fs.Mkdir(o.path), model.Mkdir(o.path)
+		if errClass(a) != errClass(b) {
+			fail("fs err %v, model err %v", a, b)
+		}
+	case "write":
+		a, b := fs.Write(o.path, o.off, o.data), model.Write(o.path, o.off, o.data)
+		if errClass(a) != errClass(b) {
+			fail("fs err %v, model err %v", a, b)
+		}
+	case "read":
+		bufA := make([]byte, o.readLen)
+		bufB := make([]byte, o.readLen)
+		nA, a := fs.Read(o.path, o.off, bufA)
+		nB, b := model.Read(o.path, o.off, bufB)
+		if errClass(a) != errClass(b) {
+			fail("fs err %v, model err %v", a, b)
+		}
+		if a == nil {
+			if nA != nB {
+				fail("fs read %d bytes, model %d", nA, nB)
+			}
+			if !bytes.Equal(bufA[:nA], bufB[:nB]) {
+				fail("read contents differ")
+			}
+		}
+	case "remove":
+		a, b := fs.Remove(o.path), model.Remove(o.path)
+		if errClass(a) != errClass(b) {
+			fail("fs err %v, model err %v", a, b)
+		}
+	case "readdir":
+		entA, a := fs.ReadDir(o.path)
+		entB, b := model.ReadDir(o.path)
+		if errClass(a) != errClass(b) {
+			fail("fs err %v, model err %v", a, b)
+		}
+		if a == nil {
+			if len(entA) != len(entB) {
+				fail("fs lists %d entries, model %d", len(entA), len(entB))
+			}
+			for i := range entA {
+				if entA[i].Name != entB[i].Name {
+					fail("entry %d: fs %q, model %q", i, entA[i].Name, entB[i].Name)
+				}
+			}
+		}
+	case "truncate":
+		a, b := fs.Truncate(o.path, o.size), model.Truncate(o.path, o.size)
+		if errClass(a) != errClass(b) {
+			fail("fs err %v, model err %v", a, b)
+		}
+	case "rename":
+		a, b := fs.Rename(o.path, o.path2), model.Rename(o.path, o.path2)
+		if errClass(a) != errClass(b) {
+			fail("fs err %v, model err %v", a, b)
+		}
+	case "link":
+		a, b := fs.Link(o.path, o.path2), model.Link(o.path, o.path2)
+		if errClass(a) != errClass(b) {
+			fail("fs err %v, model err %v", a, b)
+		}
+	case "sync":
+		a, b := fs.Sync(), model.Sync()
+		if errClass(a) != errClass(b) {
+			fail("fs err %v, model err %v", a, b)
+		}
+	case "stat":
+		fiA, a := fs.Stat(o.path)
+		fiB, b := model.Stat(o.path)
+		if errClass(a) != errClass(b) {
+			fail("fs err %v, model err %v", a, b)
+		}
+		if a == nil {
+			if fiA.Size != fiB.Size || fiA.IsDir() != fiB.IsDir() {
+				fail("fs stat %+v, model stat %+v", fiA, fiB)
+			}
+		}
+	default:
+		fail("unknown op kind")
+	}
+}
+
+// compareTrees walks both hierarchies and requires identical structure
+// and file contents.
+func compareTrees(t *testing.T, fs vfs.FileSystem, model *vfs.Model, dir string) {
+	t.Helper()
+	entA, errA := fs.ReadDir(dir)
+	entB, errB := model.ReadDir(dir)
+	if errA != nil || errB != nil {
+		t.Fatalf("final walk of %s: fs err %v, model err %v", dir, errA, errB)
+	}
+	if len(entA) != len(entB) {
+		t.Fatalf("final walk of %s: fs %d entries, model %d", dir, len(entA), len(entB))
+	}
+	for i := range entA {
+		if entA[i].Name != entB[i].Name {
+			t.Fatalf("final walk of %s entry %d: %q vs %q", dir, i, entA[i].Name, entB[i].Name)
+		}
+		child := dir + "/" + entA[i].Name
+		if dir == "/" {
+			child = "/" + entA[i].Name
+		}
+		fiA, err := fs.Stat(child)
+		if err != nil {
+			t.Fatalf("final stat %s: %v", child, err)
+		}
+		fiB, err := model.Stat(child)
+		if err != nil {
+			t.Fatalf("final model stat %s: %v", child, err)
+		}
+		if fiA.IsDir() != fiB.IsDir() {
+			t.Fatalf("final walk: %s type differs", child)
+		}
+		if fiA.IsDir() {
+			compareTrees(t, fs, model, child)
+			continue
+		}
+		if fiA.Size != fiB.Size {
+			t.Fatalf("final walk: %s size %d vs %d", child, fiA.Size, fiB.Size)
+		}
+		bufA := make([]byte, fiA.Size)
+		bufB := make([]byte, fiB.Size)
+		if _, err := fs.Read(child, 0, bufA); err != nil {
+			t.Fatalf("final read %s: %v", child, err)
+		}
+		if _, err := model.Read(child, 0, bufB); err != nil {
+			t.Fatalf("final model read %s: %v", child, err)
+		}
+		if !bytes.Equal(bufA, bufB) {
+			t.Fatalf("final walk: %s contents differ", child)
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package layout
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// Directory blocks hold a packed sequence of variable-length entries:
+// a uint16 record count followed by records of the form
+//
+//	ino (4 bytes) | name length (2 bytes) | name bytes
+//
+// Entries never straddle blocks. Insertion and removal rewrite the
+// block compactly; directory blocks are small enough (4–8 KB) that the
+// rewrite cost is charged through the CPU model, not worth an in-place
+// scheme.
+
+// MaxNameLen is the longest permitted file name, matching BSD.
+const MaxNameLen = 255
+
+// DirEntry is one name-to-inode binding.
+type DirEntry struct {
+	Ino  Ino
+	Name string
+}
+
+// DirEntrySize returns the encoded size of an entry with the given
+// name.
+func DirEntrySize(name string) int { return 4 + 2 + len(name) }
+
+// dirHeaderSize is the per-block overhead (the record count).
+const dirHeaderSize = 2
+
+// ValidName reports an error for names that cannot be stored: empty,
+// too long, or containing a path separator or NUL.
+func ValidName(name string) error {
+	if name == "" {
+		return fmt.Errorf("layout: empty file name")
+	}
+	if len(name) > MaxNameLen {
+		return fmt.Errorf("layout: file name longer than %d bytes", MaxNameLen)
+	}
+	for i := 0; i < len(name); i++ {
+		if name[i] == '/' || name[i] == 0 {
+			return fmt.Errorf("layout: file name %q contains %q", name, name[i])
+		}
+	}
+	return nil
+}
+
+// InitDirBlock formats p as an empty directory block.
+func InitDirBlock(p []byte) {
+	for i := range p {
+		p[i] = 0
+	}
+}
+
+// DirBlockEntries decodes all entries in the block.
+func DirBlockEntries(p []byte) ([]DirEntry, error) {
+	if len(p) < dirHeaderSize {
+		return nil, fmt.Errorf("layout: directory block shorter than header")
+	}
+	count := int(binary.LittleEndian.Uint16(p))
+	entries := make([]DirEntry, 0, count)
+	off := dirHeaderSize
+	for i := 0; i < count; i++ {
+		if off+6 > len(p) {
+			return nil, fmt.Errorf("layout: directory block truncated at entry %d", i)
+		}
+		ino := Ino(binary.LittleEndian.Uint32(p[off:]))
+		nlen := int(binary.LittleEndian.Uint16(p[off+4:]))
+		off += 6
+		if nlen == 0 || nlen > MaxNameLen || off+nlen > len(p) {
+			return nil, fmt.Errorf("layout: directory entry %d has bad name length %d", i, nlen)
+		}
+		entries = append(entries, DirEntry{Ino: ino, Name: string(p[off : off+nlen])})
+		off += nlen
+	}
+	return entries, nil
+}
+
+// encodeDirBlock writes entries into p; the caller guarantees they fit.
+func encodeDirBlock(entries []DirEntry, p []byte) {
+	InitDirBlock(p)
+	binary.LittleEndian.PutUint16(p, uint16(len(entries)))
+	off := dirHeaderSize
+	for _, e := range entries {
+		binary.LittleEndian.PutUint32(p[off:], uint32(e.Ino))
+		binary.LittleEndian.PutUint16(p[off+4:], uint16(len(e.Name)))
+		off += 6
+		copy(p[off:], e.Name)
+		off += len(e.Name)
+	}
+}
+
+// dirBlockUsed returns the bytes consumed by the given entries.
+func dirBlockUsed(entries []DirEntry) int {
+	used := dirHeaderSize
+	for _, e := range entries {
+		used += DirEntrySize(e.Name)
+	}
+	return used
+}
+
+// DirBlockInsert adds an entry to the block, returning false when the
+// block has no room. It rejects invalid names and duplicate names
+// within the block.
+func DirBlockInsert(p []byte, e DirEntry) (bool, error) {
+	if err := ValidName(e.Name); err != nil {
+		return false, err
+	}
+	entries, err := DirBlockEntries(p)
+	if err != nil {
+		return false, err
+	}
+	for _, x := range entries {
+		if x.Name == e.Name {
+			return false, fmt.Errorf("layout: duplicate directory entry %q", e.Name)
+		}
+	}
+	if dirBlockUsed(entries)+DirEntrySize(e.Name) > len(p) {
+		return false, nil
+	}
+	entries = append(entries, e)
+	encodeDirBlock(entries, p)
+	return true, nil
+}
+
+// DirBlockRemove deletes the named entry, reporting whether it was
+// present.
+func DirBlockRemove(p []byte, name string) (bool, error) {
+	entries, err := DirBlockEntries(p)
+	if err != nil {
+		return false, err
+	}
+	for i, e := range entries {
+		if e.Name == name {
+			entries = append(entries[:i], entries[i+1:]...)
+			encodeDirBlock(entries, p)
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// DirBlockFind looks the name up in the block.
+func DirBlockFind(p []byte, name string) (Ino, bool, error) {
+	entries, err := DirBlockEntries(p)
+	if err != nil {
+		return 0, false, err
+	}
+	for _, e := range entries {
+		if e.Name == name {
+			return e.Ino, true, nil
+		}
+	}
+	return 0, false, nil
+}
+
+// DirBlockCount returns the number of entries in the block.
+func DirBlockCount(p []byte) (int, error) {
+	if len(p) < dirHeaderSize {
+		return 0, fmt.Errorf("layout: directory block shorter than header")
+	}
+	return int(binary.LittleEndian.Uint16(p)), nil
+}
+
+// SortEntries orders entries by name, for deterministic ReadDir
+// output.
+func SortEntries(entries []DirEntry) {
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Name < entries[j].Name })
+}

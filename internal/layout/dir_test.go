@@ -1,0 +1,181 @@
+package layout
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func freshDirBlock(size int) []byte {
+	p := make([]byte, size)
+	InitDirBlock(p)
+	return p
+}
+
+func TestDirBlockInsertFind(t *testing.T) {
+	p := freshDirBlock(4096)
+	ok, err := DirBlockInsert(p, DirEntry{Ino: 10, Name: "hello.txt"})
+	if err != nil || !ok {
+		t.Fatalf("insert: ok=%v err=%v", ok, err)
+	}
+	ino, found, err := DirBlockFind(p, "hello.txt")
+	if err != nil || !found || ino != 10 {
+		t.Fatalf("find: ino=%d found=%v err=%v", ino, found, err)
+	}
+	if _, found, _ := DirBlockFind(p, "other"); found {
+		t.Fatal("found nonexistent name")
+	}
+	n, err := DirBlockCount(p)
+	if err != nil || n != 1 {
+		t.Fatalf("count = %d, err = %v", n, err)
+	}
+}
+
+func TestDirBlockRemove(t *testing.T) {
+	p := freshDirBlock(4096)
+	for i := 1; i <= 5; i++ {
+		if ok, err := DirBlockInsert(p, DirEntry{Ino: Ino(i), Name: fmt.Sprintf("f%d", i)}); !ok || err != nil {
+			t.Fatal(err)
+		}
+	}
+	removed, err := DirBlockRemove(p, "f3")
+	if err != nil || !removed {
+		t.Fatalf("remove: %v %v", removed, err)
+	}
+	if _, found, _ := DirBlockFind(p, "f3"); found {
+		t.Fatal("f3 still present after removal")
+	}
+	for _, name := range []string{"f1", "f2", "f4", "f5"} {
+		if _, found, _ := DirBlockFind(p, name); !found {
+			t.Fatalf("%s lost after removing f3", name)
+		}
+	}
+	removed, err = DirBlockRemove(p, "f3")
+	if err != nil || removed {
+		t.Fatal("second removal of f3 reported success")
+	}
+}
+
+func TestDirBlockDuplicateRejected(t *testing.T) {
+	p := freshDirBlock(4096)
+	if _, err := DirBlockInsert(p, DirEntry{Ino: 1, Name: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DirBlockInsert(p, DirEntry{Ino: 2, Name: "x"}); err == nil {
+		t.Fatal("duplicate name accepted")
+	}
+}
+
+func TestDirBlockFull(t *testing.T) {
+	p := freshDirBlock(64) // tiny block
+	inserted := 0
+	for i := 0; ; i++ {
+		ok, err := DirBlockInsert(p, DirEntry{Ino: Ino(i + 1), Name: fmt.Sprintf("file%03d", i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		inserted++
+	}
+	if inserted == 0 {
+		t.Fatal("no entries fit in a 64-byte block")
+	}
+	entries, err := DirBlockEntries(p)
+	if err != nil || len(entries) != inserted {
+		t.Fatalf("entries = %d, want %d (err %v)", len(entries), inserted, err)
+	}
+}
+
+func TestValidName(t *testing.T) {
+	for _, bad := range []string{"", strings.Repeat("x", MaxNameLen+1), "a/b", "nul\x00byte"} {
+		if err := ValidName(bad); err == nil {
+			t.Errorf("ValidName(%q) accepted", bad)
+		}
+	}
+	for _, good := range []string{"a", strings.Repeat("x", MaxNameLen), ".hidden", "UPPER case 日本語"} {
+		if err := ValidName(good); err != nil {
+			t.Errorf("ValidName(%q) rejected: %v", good, err)
+		}
+	}
+}
+
+func TestDirBlockDecodeCorrupt(t *testing.T) {
+	// Count claims entries that are not there.
+	p := freshDirBlock(64)
+	p[0] = 200
+	if _, err := DirBlockEntries(p); err == nil {
+		t.Fatal("truncated block decoded")
+	}
+	if _, err := DirBlockEntries(make([]byte, 1)); err == nil {
+		t.Fatal("sub-header block decoded")
+	}
+	if _, err := DirBlockCount(make([]byte, 1)); err == nil {
+		t.Fatal("sub-header count succeeded")
+	}
+}
+
+func TestSortEntries(t *testing.T) {
+	e := []DirEntry{{3, "c"}, {1, "a"}, {2, "b"}}
+	SortEntries(e)
+	if e[0].Name != "a" || e[1].Name != "b" || e[2].Name != "c" {
+		t.Fatalf("sorted = %v", e)
+	}
+}
+
+// Property: a random sequence of inserts and removes applied to a
+// directory block matches the same sequence applied to a map.
+func TestDirBlockMatchesMapProperty(t *testing.T) {
+	type step struct {
+		Insert bool
+		NameID uint8
+		Ino    uint16
+	}
+	f := func(steps []step) bool {
+		p := freshDirBlock(2048)
+		model := map[string]Ino{}
+		for _, s := range steps {
+			name := fmt.Sprintf("n%d", s.NameID)
+			if s.Insert {
+				if _, dup := model[name]; dup {
+					if _, err := DirBlockInsert(p, DirEntry{Ino: Ino(s.Ino), Name: name}); err == nil {
+						return false // duplicate must be rejected
+					}
+					continue
+				}
+				ok, err := DirBlockInsert(p, DirEntry{Ino: Ino(s.Ino), Name: name})
+				if err != nil {
+					return false
+				}
+				if ok {
+					model[name] = Ino(s.Ino)
+				}
+			} else {
+				removed, err := DirBlockRemove(p, name)
+				if err != nil {
+					return false
+				}
+				_, inModel := model[name]
+				if removed != inModel {
+					return false
+				}
+				delete(model, name)
+			}
+		}
+		entries, err := DirBlockEntries(p)
+		if err != nil || len(entries) != len(model) {
+			return false
+		}
+		for _, e := range entries {
+			if model[e.Name] != e.Ino {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,91 @@
+// Package sim provides the simulated-time substrate used by the whole
+// repository: a deterministic virtual clock, a CPU cost model expressed
+// in instructions at a configurable MIPS rating, and duration helpers.
+//
+// The LFS paper's results are produced by the gap between disk latency
+// and disk bandwidth, and by the gap between CPU speed and both. To
+// reproduce those shapes deterministically on modern hardware, all
+// "elapsed time" in this repository is simulated: file systems charge
+// CPU instructions for the work they do, and the simulated disk charges
+// seek/rotation/transfer time for every I/O. Synchronous I/O advances
+// the caller's clock; asynchronous I/O only extends the disk's busy
+// horizon, modelling overlap of computation with background writes.
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Time is a point on the simulated timeline, in nanoseconds since the
+// start of the simulation. It is intentionally a distinct type from
+// time.Time so that wall-clock time cannot leak into measurements.
+type Time int64
+
+// Duration is a span of simulated time in nanoseconds. It converts
+// freely to and from time.Duration, which is also nanoseconds.
+type Duration = time.Duration
+
+// Common durations re-exported for convenience.
+const (
+	Nanosecond  = time.Nanosecond
+	Microsecond = time.Microsecond
+	Millisecond = time.Millisecond
+	Second      = time.Second
+)
+
+// Add returns the time t+d.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Seconds returns the time as a float64 number of seconds since the
+// simulation epoch.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// String formats the time as a duration since the simulation epoch.
+func (t Time) String() string { return Duration(t).String() }
+
+// MaxTime returns the later of a and b.
+func MaxTime(a, b Time) Time {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Clock is the simulated process timeline. It is not safe for
+// concurrent use; the owning file system serialises access under its
+// own lock, which mirrors the single-system-image semantics of the
+// paper's measurements.
+type Clock struct {
+	now Time
+}
+
+// NewClock returns a clock positioned at the simulation epoch.
+func NewClock() *Clock { return &Clock{} }
+
+// Now returns the current simulated time.
+func (c *Clock) Now() Time { return c.now }
+
+// Advance moves the clock forward by d. Negative advances are a
+// programming error and panic: simulated time never runs backwards.
+func (c *Clock) Advance(d Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative clock advance %v", d))
+	}
+	c.now += Time(d)
+}
+
+// AdvanceTo moves the clock forward to t if t is in the future; it is
+// a no-op when t is in the past. It returns the new current time.
+func (c *Clock) AdvanceTo(t Time) Time {
+	if t > c.now {
+		c.now = t
+	}
+	return c.now
+}
+
+// Reset rewinds the clock to the epoch. Only tests should call this.
+func (c *Clock) Reset() { c.now = 0 }

@@ -1,0 +1,111 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestClockStartsAtEpoch(t *testing.T) {
+	c := NewClock()
+	if c.Now() != 0 {
+		t.Fatalf("new clock at %v, want 0", c.Now())
+	}
+}
+
+func TestClockAdvance(t *testing.T) {
+	c := NewClock()
+	c.Advance(5 * Millisecond)
+	if got := c.Now(); got != Time(5*Millisecond) {
+		t.Fatalf("Now() = %v, want 5ms", got)
+	}
+	c.Advance(0)
+	if got := c.Now(); got != Time(5*Millisecond) {
+		t.Fatalf("zero advance moved clock to %v", got)
+	}
+}
+
+func TestClockAdvanceNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative Advance did not panic")
+		}
+	}()
+	NewClock().Advance(-1)
+}
+
+func TestClockAdvanceTo(t *testing.T) {
+	c := NewClock()
+	c.Advance(10 * Millisecond)
+	// Past target is a no-op.
+	if got := c.AdvanceTo(Time(3 * Millisecond)); got != Time(10*Millisecond) {
+		t.Fatalf("AdvanceTo(past) = %v, want 10ms", got)
+	}
+	if got := c.AdvanceTo(Time(25 * Millisecond)); got != Time(25*Millisecond) {
+		t.Fatalf("AdvanceTo(future) = %v, want 25ms", got)
+	}
+}
+
+func TestClockReset(t *testing.T) {
+	c := NewClock()
+	c.Advance(time.Hour)
+	c.Reset()
+	if c.Now() != 0 {
+		t.Fatalf("after Reset Now() = %v, want 0", c.Now())
+	}
+}
+
+func TestTimeHelpers(t *testing.T) {
+	a := Time(0).Add(3 * Second)
+	if a != Time(3*Second) {
+		t.Fatalf("Add = %v", a)
+	}
+	if d := a.Sub(Time(Second)); d != 2*Second {
+		t.Fatalf("Sub = %v, want 2s", d)
+	}
+	if s := a.Seconds(); s != 3.0 {
+		t.Fatalf("Seconds = %v, want 3", s)
+	}
+	if MaxTime(a, Time(Second)) != a || MaxTime(Time(Second), a) != a {
+		t.Fatal("MaxTime wrong")
+	}
+	if a.String() != "3s" {
+		t.Fatalf("String = %q", a.String())
+	}
+}
+
+// Property: clock time is the sum of all advances, for any sequence of
+// non-negative advances.
+func TestClockAdvanceSumProperty(t *testing.T) {
+	f := func(steps []uint16) bool {
+		c := NewClock()
+		var sum int64
+		for _, s := range steps {
+			c.Advance(Duration(s))
+			sum += int64(s)
+		}
+		return c.Now() == Time(sum)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: AdvanceTo is monotone — the clock never moves backwards.
+func TestClockMonotoneProperty(t *testing.T) {
+	f := func(targets []int32) bool {
+		c := NewClock()
+		prev := c.Now()
+		for _, raw := range targets {
+			c.AdvanceTo(Time(raw))
+			if c.Now() < prev {
+				return false
+			}
+			prev = c.Now()
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,93 @@
+// Package trace records and formats disk access traces. Figures 1
+// and 2 of the paper are qualitative pictures of the disk accesses
+// caused by creating two small files under BSD FFS (many small random
+// synchronous writes) and under LFS (one large sequential
+// asynchronous write); this package renders those pictures as tables
+// from real traces of the two implementations.
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"lfs/internal/disk"
+)
+
+// Recorder collects disk events; it implements disk.Tracer.
+type Recorder struct {
+	events []disk.Event
+}
+
+// Record appends an event.
+func (r *Recorder) Record(ev disk.Event) { r.events = append(r.events, ev) }
+
+// Events returns the recorded events.
+func (r *Recorder) Events() []disk.Event { return r.events }
+
+// Reset discards recorded events.
+func (r *Recorder) Reset() { r.events = nil }
+
+// Summary aggregates a trace into the numbers the paper quotes for
+// Figure 1 ("8 random writes of which half are synchronous").
+type Summary struct {
+	Reads        int
+	Writes       int
+	SyncWrites   int
+	SeqWrites    int // writes that continued the previous transfer
+	BytesRead    int64
+	BytesWritten int64
+	Seeks        int
+}
+
+// Summarize aggregates the events.
+func Summarize(events []disk.Event) Summary {
+	var s Summary
+	for _, ev := range events {
+		n := int64(ev.Sectors) * disk.SectorSize
+		if ev.Kind == disk.OpRead {
+			s.Reads++
+			s.BytesRead += n
+			continue
+		}
+		s.Writes++
+		s.BytesWritten += n
+		if ev.Sync {
+			s.SyncWrites++
+		}
+		if ev.Sequential {
+			s.SeqWrites++
+		}
+	}
+	for _, ev := range events {
+		if !ev.Sequential {
+			s.Seeks++
+		}
+	}
+	return s
+}
+
+// String formats the summary on one line.
+func (s Summary) String() string {
+	return fmt.Sprintf("writes=%d (sync=%d, sequential=%d) reads=%d seeks=%d written=%dB",
+		s.Writes, s.SyncWrites, s.SeqWrites, s.Reads, s.Seeks, s.BytesWritten)
+}
+
+// FormatTable renders the trace as an aligned table, one row per disk
+// request.
+func FormatTable(events []disk.Event) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %-5s %10s %8s %5s %5s %s\n",
+		"time", "op", "sector", "bytes", "sync", "seek", "label")
+	for _, ev := range events {
+		sync, seek := "-", "-"
+		if ev.Sync {
+			sync = "yes"
+		}
+		if !ev.Sequential {
+			seek = "yes"
+		}
+		fmt.Fprintf(&b, "%-12v %-5s %10d %8d %5s %5s %s\n",
+			ev.Time, ev.Kind, ev.Sector, ev.Sectors*disk.SectorSize, sync, seek, ev.Label)
+	}
+	return b.String()
+}

@@ -1,0 +1,45 @@
+package vfs
+
+import (
+	"fmt"
+	"strings"
+
+	"lfs/internal/layout"
+)
+
+// SplitPath validates an absolute path and returns its components.
+// "/" returns an empty slice. Empty components (from "//") are
+// rejected, as are "." and ".." — the workloads and tools in this
+// repository always use canonical paths, and rejecting the relative
+// forms keeps every implementation's lookup identical.
+func SplitPath(path string) ([]string, error) {
+	if path == "" || path[0] != '/' {
+		return nil, fmt.Errorf("%w: path %q is not absolute", ErrInvalid, path)
+	}
+	if path == "/" {
+		return nil, nil
+	}
+	parts := strings.Split(strings.TrimSuffix(path[1:], "/"), "/")
+	for _, p := range parts {
+		if p == "" || p == "." || p == ".." {
+			return nil, fmt.Errorf("%w: path %q has component %q", ErrInvalid, path, p)
+		}
+		if err := layout.ValidName(p); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrInvalid, err)
+		}
+	}
+	return parts, nil
+}
+
+// SplitDirBase validates path and returns the parent components and
+// the final name. The root itself has no base and is rejected.
+func SplitDirBase(path string) (dir []string, base string, err error) {
+	parts, err := SplitPath(path)
+	if err != nil {
+		return nil, "", err
+	}
+	if len(parts) == 0 {
+		return nil, "", fmt.Errorf("%w: root has no parent", ErrInvalid)
+	}
+	return parts[: len(parts)-1 : len(parts)-1], parts[len(parts)-1], nil
+}

@@ -1,0 +1,166 @@
+package vfs_test
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"lfs/internal/fstest"
+	"lfs/internal/layout"
+	"lfs/internal/sim"
+	"lfs/internal/vfs"
+)
+
+func TestModelConformance(t *testing.T) {
+	fstest.RunConformance(t, func(t *testing.T) vfs.FileSystem {
+		return vfs.NewModel(nil)
+	})
+}
+
+func TestSplitPath(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+		err  bool
+	}{
+		{"/", nil, false},
+		{"/a", []string{"a"}, false},
+		{"/a/b/c", []string{"a", "b", "c"}, false},
+		{"/a/", []string{"a"}, false},
+		{"", nil, true},
+		{"a/b", nil, true},
+		{"/a//b", nil, true},
+		{"/a/./b", nil, true},
+		{"/a/../b", nil, true},
+	}
+	for _, c := range cases {
+		got, err := vfs.SplitPath(c.in)
+		if c.err {
+			if err == nil {
+				t.Errorf("SplitPath(%q) accepted", c.in)
+			} else if !errors.Is(err, vfs.ErrInvalid) {
+				t.Errorf("SplitPath(%q) error %v not ErrInvalid", c.in, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("SplitPath(%q) failed: %v", c.in, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("SplitPath(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSplitDirBase(t *testing.T) {
+	dir, base, err := vfs.SplitDirBase("/a/b/c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(dir, []string{"a", "b"}) || base != "c" {
+		t.Fatalf("SplitDirBase = %v, %q", dir, base)
+	}
+	dir, base, err = vfs.SplitDirBase("/x")
+	if err != nil || len(dir) != 0 || base != "x" {
+		t.Fatalf("SplitDirBase(/x) = %v, %q, %v", dir, base, err)
+	}
+	if _, _, err := vfs.SplitDirBase("/"); err == nil {
+		t.Fatal("SplitDirBase(/) accepted")
+	}
+}
+
+func TestModelTimestamps(t *testing.T) {
+	clock := sim.NewClock()
+	m := vfs.NewModel(clock)
+	if err := m.Create("/f"); err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(10 * sim.Second)
+	if err := m.Write("/f", 0, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := m.Stat("/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Mtime != sim.Time(10*sim.Second) {
+		t.Fatalf("Mtime = %v", fi.Mtime)
+	}
+	clock.Advance(5 * sim.Second)
+	if _, err := m.Read("/f", 0, make([]byte, 1)); err != nil {
+		t.Fatal(err)
+	}
+	fi, _ = m.Stat("/f")
+	if fi.Atime != sim.Time(15*sim.Second) {
+		t.Fatalf("Atime = %v, want 15s", fi.Atime)
+	}
+	if fi.Mtime != sim.Time(10*sim.Second) {
+		t.Fatal("read changed Mtime")
+	}
+}
+
+func TestModelMaxFileSize(t *testing.T) {
+	m := vfs.NewModel(nil)
+	m.MaxFileSize = 1000
+	if err := m.Create("/f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Write("/f", 990, make([]byte, 20)); !errors.Is(err, vfs.ErrTooLarge) {
+		t.Fatalf("oversize write: %v", err)
+	}
+	if err := m.Truncate("/f", 2000); !errors.Is(err, vfs.ErrTooLarge) {
+		t.Fatalf("oversize truncate: %v", err)
+	}
+	if err := m.Write("/f", 0, make([]byte, 1000)); err != nil {
+		t.Fatalf("exact-size write rejected: %v", err)
+	}
+}
+
+func TestModelRootIno(t *testing.T) {
+	m := vfs.NewModel(nil)
+	fi, err := m.Stat("/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Ino != layout.RootIno {
+		t.Fatalf("root ino = %d", fi.Ino)
+	}
+}
+
+// Property: SplitPath of a path rebuilt from valid components returns
+// exactly those components.
+func TestSplitPathRoundTripProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		var parts []string
+		for _, r := range raw {
+			parts = append(parts, fmt.Sprintf("c%d", r))
+			if len(parts) == 8 {
+				break
+			}
+		}
+		path := "/" + strings.Join(parts, "/")
+		if len(parts) == 0 {
+			path = "/"
+		}
+		got, err := vfs.SplitPath(path)
+		if err != nil {
+			return false
+		}
+		if len(got) != len(parts) {
+			return false
+		}
+		for i := range got {
+			if got[i] != parts[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,99 @@
+package vfs_test
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"lfs/internal/vfs"
+)
+
+func buildTree(t *testing.T) *vfs.Model {
+	t.Helper()
+	m := vfs.NewModel(nil)
+	for _, dir := range []string{"/a", "/a/sub", "/b"} {
+		if err := m.Mkdir(dir); err != nil {
+			t.Fatal(err)
+		}
+	}
+	files := map[string]int{"/top": 10, "/a/one": 20, "/a/sub/two": 30, "/b/three": 0}
+	for p, size := range files {
+		if err := m.Create(p); err != nil {
+			t.Fatal(err)
+		}
+		if size > 0 {
+			if err := m.Write(p, 0, make([]byte, size)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return m
+}
+
+func TestWalkOrder(t *testing.T) {
+	m := buildTree(t)
+	var visited []string
+	err := vfs.Walk(m, "/", func(path string, fi vfs.FileInfo) error {
+		visited = append(visited, path)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"/", "/a", "/a/one", "/a/sub", "/a/sub/two", "/b", "/b/three", "/top"}
+	if !reflect.DeepEqual(visited, want) {
+		t.Fatalf("walk order:\n got %v\nwant %v", visited, want)
+	}
+}
+
+func TestWalkSubtree(t *testing.T) {
+	m := buildTree(t)
+	var visited []string
+	if err := vfs.Walk(m, "/a", func(path string, fi vfs.FileInfo) error {
+		visited = append(visited, path)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"/a", "/a/one", "/a/sub", "/a/sub/two"}
+	if !reflect.DeepEqual(visited, want) {
+		t.Fatalf("subtree walk = %v", visited)
+	}
+}
+
+func TestWalkAbortsOnError(t *testing.T) {
+	m := buildTree(t)
+	boom := errors.New("stop")
+	count := 0
+	err := vfs.Walk(m, "/", func(path string, fi vfs.FileInfo) error {
+		count++
+		if count == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if count != 3 {
+		t.Fatalf("visited %d after abort", count)
+	}
+}
+
+func TestWalkMissingRoot(t *testing.T) {
+	m := vfs.NewModel(nil)
+	if err := vfs.Walk(m, "/nope", func(string, vfs.FileInfo) error { return nil }); !errors.Is(err, vfs.ErrNotExist) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTreeSize(t *testing.T) {
+	m := buildTree(t)
+	bytes, files, dirs, err := vfs.TreeSize(m, "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes != 60 || files != 4 || dirs != 4 {
+		t.Fatalf("TreeSize = %d bytes, %d files, %d dirs", bytes, files, dirs)
+	}
+}

@@ -1,0 +1,119 @@
+package workload
+
+import "fmt"
+
+// LargeFileOpts parameterises the Figure 4 workload.
+type LargeFileOpts struct {
+	// FileSize is the file size (100 MB in the paper).
+	FileSize int64
+	// RequestSize is the I/O request size (8 KB in the paper).
+	RequestSize int
+	// Path is the file's path.
+	Path string
+	// Seed drives the random phases.
+	Seed int64
+}
+
+// DefaultLargeFile returns the paper's 100 MB / 8 KB configuration.
+func DefaultLargeFile() LargeFileOpts {
+	return LargeFileOpts{FileSize: 100 << 20, RequestSize: 8192, Path: "/bigfile", Seed: 7}
+}
+
+// LargeFileResult holds the five measured phases of Figure 4.
+type LargeFileResult struct {
+	SeqWrite  Phase
+	SeqRead   Phase
+	RandWrite Phase
+	RandRead  Phase
+	SeqReread Phase
+}
+
+// Phases returns the results in figure order.
+func (r LargeFileResult) Phases() []Phase {
+	return []Phase{r.SeqWrite, r.SeqRead, r.RandWrite, r.RandRead, r.SeqReread}
+}
+
+// LargeFile runs the large-file test of §5.2: write a FileSize file
+// sequentially, read it sequentially, write FileSize bytes randomly
+// (with replacement — the paper notes the random writes "were not
+// unique"), read FileSize bytes randomly, and finally reread the file
+// sequentially. Rates are in KB per simulated second. The cache is
+// flushed between phases so each phase measures disk behaviour.
+func LargeFile(sys System, opts LargeFileOpts) (LargeFileResult, error) {
+	var res LargeFileResult
+	if opts.FileSize <= 0 || opts.RequestSize <= 0 || opts.FileSize%int64(opts.RequestSize) != 0 {
+		return res, fmt.Errorf("workload: bad large-file opts %+v", opts)
+	}
+	if err := sys.Create(opts.Path); err != nil {
+		return res, err
+	}
+	nReq := int(opts.FileSize / int64(opts.RequestSize))
+	buf := make([]byte, opts.RequestSize)
+	fill(buf, 99)
+	rng := newRNG(opts.Seed)
+
+	var err error
+	res.SeqWrite, err = measure(sys, "seq write", nReq, opts.FileSize, func() error {
+		for i := 0; i < nReq; i++ {
+			if err := sys.Write(opts.Path, int64(i)*int64(opts.RequestSize), buf); err != nil {
+				return err
+			}
+		}
+		return sys.Sync()
+	})
+	if err != nil {
+		return res, err
+	}
+
+	sys.DropCaches()
+	res.SeqRead, err = measure(sys, "seq read", nReq, opts.FileSize, func() error {
+		for i := 0; i < nReq; i++ {
+			if _, err := sys.Read(opts.Path, int64(i)*int64(opts.RequestSize), buf); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return res, err
+	}
+
+	sys.DropCaches()
+	res.RandWrite, err = measure(sys, "rand write", nReq, opts.FileSize, func() error {
+		for i := 0; i < nReq; i++ {
+			off := int64(rng.Intn(nReq)) * int64(opts.RequestSize)
+			if err := sys.Write(opts.Path, off, buf); err != nil {
+				return err
+			}
+		}
+		return sys.Sync()
+	})
+	if err != nil {
+		return res, err
+	}
+
+	sys.DropCaches()
+	res.RandRead, err = measure(sys, "rand read", nReq, opts.FileSize, func() error {
+		for i := 0; i < nReq; i++ {
+			off := int64(rng.Intn(nReq)) * int64(opts.RequestSize)
+			if _, err := sys.Read(opts.Path, off, buf); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return res, err
+	}
+
+	sys.DropCaches()
+	res.SeqReread, err = measure(sys, "seq reread", nReq, opts.FileSize, func() error {
+		for i := 0; i < nReq; i++ {
+			if _, err := sys.Read(opts.Path, int64(i)*int64(opts.RequestSize), buf); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	return res, err
+}

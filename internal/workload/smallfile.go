@@ -1,0 +1,107 @@
+package workload
+
+import (
+	"fmt"
+)
+
+// SmallFileOpts parameterises the Figure 3 workload.
+type SmallFileOpts struct {
+	// NumFiles is how many files to create (10000 in the paper for
+	// 1 KB files, 1000 for 10 KB files — 10 MB of data either way).
+	NumFiles int
+	// FileSize is the per-file payload (1 KB or 10 KB).
+	FileSize int
+	// Dir is the directory the files go in; created if missing.
+	Dir string
+	// SyncBetweenPhases forces buffered writes out before the
+	// timer stops, so the create phase pays for its disk traffic.
+	SyncBetweenPhases bool
+}
+
+// DefaultSmallFile1K returns the paper's 10000 × 1 KB configuration.
+func DefaultSmallFile1K() SmallFileOpts {
+	return SmallFileOpts{NumFiles: 10000, FileSize: 1024, Dir: "/small1k", SyncBetweenPhases: true}
+}
+
+// DefaultSmallFile10K returns the paper's 1000 × 10 KB configuration.
+func DefaultSmallFile10K() SmallFileOpts {
+	return SmallFileOpts{NumFiles: 1000, FileSize: 10240, Dir: "/small10k", SyncBetweenPhases: true}
+}
+
+// SmallFileResult holds the three measured phases of Figure 3.
+type SmallFileResult struct {
+	Create Phase
+	Read   Phase
+	Delete Phase
+}
+
+// SmallFile runs the small-file test of §5.1: create NumFiles files of
+// FileSize bytes, flush the file cache, read them all in creation
+// order, then delete them all. Results are files per second per
+// phase.
+func SmallFile(sys System, opts SmallFileOpts) (SmallFileResult, error) {
+	var res SmallFileResult
+	if opts.NumFiles <= 0 || opts.FileSize <= 0 {
+		return res, fmt.Errorf("workload: bad small-file opts %+v", opts)
+	}
+	if err := sys.Mkdir(opts.Dir); err != nil {
+		return res, err
+	}
+	name := func(i int) string { return fmt.Sprintf("%s/f%06d", opts.Dir, i) }
+	payload := make([]byte, opts.FileSize)
+	fill(payload, 42)
+	totalBytes := int64(opts.NumFiles) * int64(opts.FileSize)
+
+	var err error
+	res.Create, err = measure(sys, "create", opts.NumFiles, totalBytes, func() error {
+		for i := 0; i < opts.NumFiles; i++ {
+			if err := sys.Create(name(i)); err != nil {
+				return err
+			}
+			if err := sys.Write(name(i), 0, payload); err != nil {
+				return err
+			}
+		}
+		if opts.SyncBetweenPhases {
+			return sys.Sync()
+		}
+		return nil
+	})
+	if err != nil {
+		return res, err
+	}
+
+	// "Following the creation, the file cache was flushed and all
+	// the files were read (in the same order as they were
+	// created)."
+	sys.DropCaches()
+	buf := make([]byte, opts.FileSize)
+	res.Read, err = measure(sys, "read", opts.NumFiles, totalBytes, func() error {
+		for i := 0; i < opts.NumFiles; i++ {
+			n, err := sys.Read(name(i), 0, buf)
+			if err != nil {
+				return err
+			}
+			if n != opts.FileSize {
+				return fmt.Errorf("short read of %s: %d", name(i), n)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return res, err
+	}
+
+	res.Delete, err = measure(sys, "delete", opts.NumFiles, totalBytes, func() error {
+		for i := 0; i < opts.NumFiles; i++ {
+			if err := sys.Remove(name(i)); err != nil {
+				return err
+			}
+		}
+		if opts.SyncBetweenPhases {
+			return sys.Sync()
+		}
+		return nil
+	})
+	return res, err
+}

@@ -1,0 +1,146 @@
+// Package lfs is a Go implementation of the LFS storage manager from
+// Rosenblum & Ousterhout, "The LFS Storage Manager" (USENIX 1990): a
+// log-structured file system that treats the disk as a segmented
+// append-only log, together with the substrate the paper's evaluation
+// needs — a simulated disk with an explicit service-time model, a
+// buffer cache, and a BSD-FFS-style update-in-place baseline.
+//
+// # Quick start
+//
+//	d := lfs.NewMemDisk(64 << 20)
+//	cfg := lfs.DefaultConfig()
+//	if err := lfs.Format(d, cfg); err != nil { ... }
+//	fs, err := lfs.Mount(d, cfg)
+//	if err != nil { ... }
+//	fs.Create("/hello")
+//	fs.Write("/hello", 0, []byte("world"))
+//	fs.Unmount()
+//
+// All time in this package is simulated: file systems charge CPU
+// instructions at a configurable MIPS rating and the disk charges
+// seek/rotation/transfer time, so the performance characteristics the
+// paper measures (synchronous random I/O vs asynchronous sequential
+// logging) are reproducible and deterministic. Read wall-clock-free
+// timings from fs.Clock().
+//
+// The package root re-exports the pieces a user needs; the full
+// implementations live in internal/ (internal/core is the
+// log-structured storage manager itself).
+package lfs
+
+import (
+	"lfs/internal/core"
+	"lfs/internal/disk"
+	"lfs/internal/layout"
+	"lfs/internal/sim"
+	"lfs/internal/vfs"
+)
+
+// Core types re-exported from the implementation packages.
+type (
+	// FS is a mounted log-structured file system.
+	FS = core.FS
+	// Config carries LFS tunables (block size, segment size,
+	// cleaning policy, checkpoint interval, ...).
+	Config = core.Config
+	// CleanPolicy selects the cleaner's victim policy.
+	CleanPolicy = core.CleanPolicy
+	// CleanResult summarises a cleaner activation.
+	CleanResult = core.CleanResult
+	// Stats counts internal LFS activity.
+	Stats = core.Stats
+	// Disk is the simulated block device file systems run on.
+	Disk = disk.Disk
+	// DiskGeometry describes a simulated disk's physical layout.
+	DiskGeometry = disk.Geometry
+	// DiskPerfModel is the disk service-time model.
+	DiskPerfModel = disk.PerfModel
+	// DiskStats counts disk activity.
+	DiskStats = disk.Stats
+	// FileSystem is the operation set shared by LFS and the FFS
+	// baseline.
+	FileSystem = vfs.FileSystem
+	// FileInfo describes a file, as returned by Stat.
+	FileInfo = vfs.FileInfo
+	// DirEntry is one directory entry.
+	DirEntry = layout.DirEntry
+	// Ino is an inode number.
+	Ino = layout.Ino
+	// Clock is the simulated clock.
+	Clock = sim.Clock
+	// Time is a point in simulated time.
+	Time = sim.Time
+)
+
+// Cleaning policies.
+const (
+	// CleanGreedy picks the least-utilised segments (the paper's
+	// policy).
+	CleanGreedy = core.CleanGreedy
+	// CleanCostBenefit weights free space by data age.
+	CleanCostBenefit = core.CleanCostBenefit
+)
+
+// Sentinel errors, tested with errors.Is.
+var (
+	ErrNotExist  = vfs.ErrNotExist
+	ErrExist     = vfs.ErrExist
+	ErrIsDir     = vfs.ErrIsDir
+	ErrNotDir    = vfs.ErrNotDir
+	ErrNotEmpty  = vfs.ErrNotEmpty
+	ErrNoSpace   = vfs.ErrNoSpace
+	ErrTooLarge  = vfs.ErrTooLarge
+	ErrInvalid   = vfs.ErrInvalid
+	ErrUnmounted = vfs.ErrUnmounted
+)
+
+// DefaultConfig returns the paper's evaluation configuration: 4 KB
+// blocks, 1 MB segments, ~15 MB cache, 30-second write-back and
+// checkpoint intervals, greedy cleaning, roll-forward recovery on.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// NewMemDisk returns a memory-backed simulated disk of at least the
+// given capacity, modelled on the paper's CDC WREN IV (1.3 MB/s
+// transfer bandwidth, 17.5 ms average seek) and driven by a fresh
+// simulated clock.
+func NewMemDisk(capacity int64) *Disk {
+	return disk.NewMem(capacity, sim.NewClock())
+}
+
+// NewMemDiskWithClock is NewMemDisk with a caller-provided clock, for
+// sharing one timeline across several devices.
+func NewMemDiskWithClock(capacity int64, clock *Clock) *Disk {
+	return disk.NewMem(capacity, clock)
+}
+
+// OpenImage opens (or creates) a file-backed disk image, so volumes
+// survive process restarts; used by the command-line tools.
+func OpenImage(path string, capacity int64) (*Disk, error) {
+	geom := disk.GeometryForCapacity(capacity)
+	store, err := disk.OpenFileStore(path, geom.TotalBytes())
+	if err != nil {
+		return nil, err
+	}
+	return disk.New(store, geom, disk.WrenIVModel(), sim.NewClock())
+}
+
+// Format initialises the disk as an empty log-structured file system.
+func Format(d *Disk, cfg Config) error { return core.Format(d, cfg) }
+
+// Mount attaches a formatted LFS volume, running crash recovery: the
+// newest valid checkpoint is loaded and, unless disabled in the
+// config, the log tail is rolled forward through the segment
+// summaries.
+func Mount(d *Disk, cfg Config) (*FS, error) { return core.Mount(d, cfg) }
+
+// Walk visits every file and directory under root in depth-first,
+// name-sorted order.
+func Walk(fsys FileSystem, root string, fn func(path string, fi FileInfo) error) error {
+	return vfs.Walk(fsys, root, fn)
+}
+
+// TreeSize returns the total bytes of regular files under root plus
+// file and directory counts.
+func TreeSize(fsys FileSystem, root string) (bytes int64, files, dirs int, err error) {
+	return vfs.TreeSize(fsys, root)
+}

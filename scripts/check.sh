@@ -1,0 +1,25 @@
+#!/bin/sh
+# check.sh — full verification: build, vet, tests, benches (one
+# iteration each), and a quick end-to-end tool exercise on a temp
+# image. Mirrors what CI would run.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== build =="
+go build ./...
+echo "== vet =="
+go vet ./...
+echo "== tests =="
+go test ./...
+echo "== race (core packages) =="
+go test -race ./internal/core/ ./internal/ffs/ ./internal/cache/
+echo "== benchmarks (1 iteration) =="
+go test -bench=. -benchtime=1x -benchmem .
+echo "== tools =="
+img="$(mktemp -d)/vol.img"
+go run ./cmd/mklfs -image "$img" -size 32M
+go run ./cmd/lfsck -image "$img" -size 32M
+go run ./cmd/lfsdump -image "$img" -size 32M > /dev/null
+echo "== quick experiments =="
+go run ./cmd/lfsbench -experiment fig1 > /dev/null
+echo "all checks passed"
