@@ -41,6 +41,17 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	// Opening a missing or short image would silently create or
+	// zero-extend it, turning obvious truncation into confusing
+	// "corruption" reports — refuse and warn instead.
+	info, err := os.Stat(*image)
+	if err != nil {
+		fail(fmt.Errorf("image: %w", err))
+	}
+	if want := lfs.ImageBytes(capacity); info.Size() < want {
+		fmt.Fprintf(os.Stderr, "lfsck: warning: image is %d bytes, expected %d; the missing tail reads as zeros\n",
+			info.Size(), want)
+	}
 	d, err := lfs.OpenImage(*image, capacity)
 	if err != nil {
 		fail(err)
@@ -52,13 +63,9 @@ func main() {
 	cfg.SegmentSize = int(segSize)
 	cfg.MaxInodes = *inodes
 	cfg.RollForward = !*noroll
-	fs, err := lfs.Mount(d, cfg)
+	rep, err := lfs.Fsck(d, cfg)
 	if err != nil {
 		fail(fmt.Errorf("mount: %w", err))
-	}
-	rep, err := fs.Check()
-	if err != nil {
-		fail(err)
 	}
 	fmt.Printf("lfsck: %d files, %d directories, %d data blocks, %d orphaned inodes (simulated %v)\n",
 		rep.Files, rep.Dirs, rep.DataBlocks, rep.OrphanedInodes, rep.Duration)

@@ -3,6 +3,12 @@
 // tail forward through the segment summaries — never scanning the
 // disk — while the update-in-place baseline needs an fsck pass whose
 // cost grows with the volume.
+//
+// The crash here is not a polite shutdown: a fault-injection policy on
+// the simulated disk cuts power in the middle of a write, tearing it
+// at a sector boundary, exactly the failure a real disk hands a file
+// system. A final sweep replays the same workload once per disk write,
+// cutting power during each one, and verifies recovery at every point.
 package main
 
 import (
@@ -11,6 +17,8 @@ import (
 	"log"
 
 	"lfs"
+	"lfs/internal/disk"
+	"lfs/internal/fstest"
 )
 
 func main() {
@@ -50,17 +58,26 @@ func main() {
 	}
 	fmt.Println("wrote and synced /journal after the checkpoint")
 
-	// Work still sitting in the file cache: lost by the crash (the
-	// paper's bounded vulnerability window, at most one checkpoint
-	// interval).
+	// Now arm the fault policy: power dies during the next disk
+	// write, which persists only a torn prefix. The next checkpoint
+	// attempt (trying to make /scratch durable) is the victim, so
+	// /scratch never reaches the log and the checkpoint regions still
+	// describe the pre-/journal state.
+	d.SetFaultPolicy(&disk.CrashPlan{CutWrite: 1, TearFatalWrite: true})
 	if err := fs.Create("/scratch"); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("created /scratch (still only in the cache)")
 
-	fmt.Println("\n*** CRASH ***")
-	fs.Crash()
+	fmt.Println("\n*** POWER CUT (write torn at a sector boundary) ***")
+	if err := fs.Checkpoint(); !errors.Is(err, disk.ErrPowerLoss) {
+		log.Fatalf("expected power loss during the checkpoint, got %v", err)
+	}
 
+	// Power comes back: the disk thaws with whatever the platters
+	// held, and mount runs crash recovery.
+	d.Thaw()
+	d.SetFaultPolicy(nil)
 	before := d.Clock().Now()
 	recovered, err := lfs.Mount(d, cfg)
 	if err != nil {
@@ -92,6 +109,30 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("\nlfsck: %d files, %d dirs, problems: %d\n", rep.Files, rep.Dirs, len(rep.Problems))
+
+	// One lucky crash point proves little. Sweep them all: replay the
+	// same kind of workload once per disk write, cut power during each
+	// write in turn, and verify recovery (checkpoint load,
+	// roll-forward, tree consistency, durability of checkpointed
+	// files) at every single point.
+	sweepCfg := lfs.DefaultConfig()
+	sweepCfg.SegmentSize = 64 << 10
+	sweepCfg.CacheBlocks = 64
+	sweepCfg.MaxInodes = 512
+	sweep, err := fstest.RunCrashPoints(fstest.CrashConfig{
+		FSConfig:     sweepCfg,
+		DiskCapacity: 8 << 20,
+		Workload:     fstest.MixedWorkload(24, sweepCfg.BlockSize),
+		Torn:         true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncrash-point sweep: %d crash points (%d needed roll-forward), %d recovery failures\n",
+		sweep.Points, sweep.RollForwardPoints, len(sweep.Failures))
+	for _, f := range sweep.Failures {
+		fmt.Printf("  FAILURE: %s\n", f.String())
+	}
 
 	// The baseline's alternative: a full-disk scan.
 	fd := lfs.NewMemDisk(capacity)

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"lfs/internal/disk"
 	"lfs/internal/layout"
 	"lfs/internal/sim"
 )
@@ -26,6 +27,19 @@ type CheckReport struct {
 
 // Ok reports whether no problems were found.
 func (r *CheckReport) Ok() bool { return len(r.Problems) == 0 }
+
+// Fsck mounts the volume with the given configuration and runs the
+// consistency check — the shared implementation behind cmd/lfsck and
+// the crash-point harness. Mounting runs full crash recovery, so a
+// roll-forward (and the checkpoint stabilising it) may write to the
+// device.
+func Fsck(d *disk.Disk, cfg Config) (*CheckReport, error) {
+	fs, err := Mount(d, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return fs.Check()
+}
 
 // Check verifies the consistency of a mounted LFS: every reachable
 // file's blocks must be addressable and live in non-clean segments,

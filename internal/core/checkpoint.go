@@ -60,6 +60,11 @@ func encodeCheckpoint(st checkpointState, p []byte) {
 
 // decodeCheckpoint parses and verifies a checkpoint region.
 func decodeCheckpoint(p []byte) (checkpointState, error) {
+	if len(p) < ckptHeaderSize {
+		// Truncated images (a cut-short dd, a partial download) must
+		// fail cleanly in lfsck/lfsdump, not panic on a header read.
+		return checkpointState{}, fmt.Errorf("lfs: checkpoint region truncated: %d bytes", len(p))
+	}
 	le := binary.LittleEndian
 	if le.Uint32(p[0:]) != ckptMagic {
 		return checkpointState{}, fmt.Errorf("lfs: bad checkpoint magic")
@@ -113,7 +118,31 @@ func (fs *FS) checkpoint() error {
 	if err := fs.flush(flushCheckpoint); err != nil {
 		return err
 	}
+	// Release cleaner-reclaimed segments between the flush and the
+	// region write: the flush just logged the relocated copies and
+	// the new inode map, so the region write about to be issued lands
+	// after them in the store, and any mount that reads this
+	// checkpoint also sees the relocations. If the region write never
+	// persists, recovery falls back to the previous checkpoint — and
+	// since nothing can write into the released segments before this
+	// function returns, their old contents are still intact for it.
+	fs.flipPendingClean()
 	return fs.writeCheckpoint()
+}
+
+// flipPendingClean makes every segPending segment reusable. Only
+// checkpoint may call it; see the ordering argument there.
+func (fs *FS) flipPendingClean() {
+	if fs.pendingClean == 0 {
+		return
+	}
+	for i := range fs.usage {
+		if fs.usage[i].State == segPending {
+			fs.usage[i].State = segClean
+			fs.cleanCount++
+		}
+	}
+	fs.pendingClean = 0
 }
 
 // writeCheckpoint serialises the current state into the next
@@ -194,6 +223,12 @@ func Mount(d *disk.Disk, cfg Config) (*FS, error) {
 	if len(best.Usage) != int(sb.Segments) || len(best.ImapAddrs) != fs.imap.blockCount() {
 		return nil, fmt.Errorf("lfs: checkpoint geometry mismatch")
 	}
+	// The simulated clock restarts at zero with every process, but the
+	// volume's history does not: advance to the checkpoint's capture
+	// time so everything stamped from here on — log units, checkpoint
+	// timestamps, cleaner age estimates — postdates everything already
+	// in the log. Roll-forward's stale-unit filter relies on this.
+	fs.clock.AdvanceTo(best.Timestamp)
 	fs.ckptSerial = best.Serial
 	fs.writeSerial = best.WriteSerial
 	fs.curSeg = best.HeadSeg
@@ -202,6 +237,14 @@ func Mount(d *disk.Disk, cfg Config) (*FS, error) {
 	fs.liveBytes = best.LiveBytes
 	copy(fs.usage, best.Usage)
 	copy(fs.imap.blockAddrs, best.ImapAddrs)
+	for i := range fs.usage {
+		// segPending is never written to a checkpoint; seeing it in
+		// an image means corruption. Demote to dirty: the cleaner
+		// will re-examine the segment instead of overwriting it.
+		if fs.usage[i].State == segPending {
+			fs.usage[i].State = segDirty
+		}
+	}
 	fs.usage[fs.curSeg].State = segActive
 
 	// Load the inode map blocks named by the checkpoint.
@@ -220,7 +263,7 @@ func Mount(d *disk.Disk, cfg Config) (*FS, error) {
 	fs.lastCkpt = fs.clock.Now()
 
 	if cfg.RollForward {
-		if err := fs.rollForward(); err != nil {
+		if err := fs.rollForward(best.Timestamp); err != nil {
 			return nil, err
 		}
 	} else {
@@ -250,7 +293,15 @@ func (fs *FS) recountClean() {
 // as the inode map"). Units must appear at the expected position with
 // the expected serial and an intact data checksum; the first mismatch
 // is the end of the recoverable log.
-func (fs *FS) rollForward() error {
+//
+// ckptTime is the recovered checkpoint's capture time: any unit
+// stamped earlier predates the checkpoint and cannot be new work, no
+// matter what its serial claims. The serial check alone is not
+// airtight — after a crash, recovery, and a second crash, the head can
+// sit over leftovers of an earlier epoch whose serials coincide with
+// the expected ones (the clock advance in Mount keeps the comparison
+// sound across process restarts).
+func (fs *FS) rollForward(ckptTime sim.Time) error {
 	bs := fs.cfg.BlockSize
 	recovered := 0
 	for {
@@ -280,6 +331,9 @@ func (fs *FS) rollForward() error {
 		if errProbe != nil || probe.Serial != fs.writeSerial {
 			break // end of log (or torn header)
 		}
+		if probe.Timestamp < ckptTime {
+			break // stale unit from an earlier log epoch
+		}
 		if probe.SumBlocks < 1 || fs.curBlk+probe.SumBlocks+probe.NBlocks > fs.cfg.blocksPerSegment() {
 			break
 		}
@@ -289,7 +343,7 @@ func (fs *FS) rollForward() error {
 			return err
 		}
 		h, refs, err := decodeSummary(unit)
-		if err != nil || h.Serial != fs.writeSerial {
+		if err != nil || h.Serial != fs.writeSerial || h.Timestamp < ckptTime {
 			break
 		}
 		data := unit[h.SumBlocks*bs:]

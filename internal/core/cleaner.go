@@ -60,7 +60,7 @@ func (fs *FS) cleanUntil(target int) (CleanResult, error) {
 	// bounded number of passes suffices; anything beyond means the
 	// target is unreachable (the disk is simply full of live data).
 	maxIters := 2*int(fs.sb.Segments) + 16
-	for iter := 0; fs.cleanCount < target && iter < maxIters; iter++ {
+	for iter := 0; fs.cleanCount+fs.pendingClean < target && iter < maxIters; iter++ {
 		victim, ok := fs.selectVictim()
 		if !ok {
 			break
@@ -72,20 +72,33 @@ func (fs *FS) cleanUntil(target int) (CleanResult, error) {
 		res.SegmentsCleaned++
 		res.BlocksExamined += r.BlocksExamined
 		res.LiveCopied += r.LiveCopied
-		net := int64(fs.sb.SegmentSize) - int64(r.LiveCopied)*int64(fs.cfg.BlockSize)
-		if net > 0 {
-			res.BytesReclaimed += net
-		}
+		// Net clean space is signed per victim: cleaning a segment
+		// more than one-segment's-worth full of live data (possible
+		// when the estimate drifted) costs more space than it frees,
+		// and dropping those negatives would overstate the total.
+		res.BytesReclaimed += int64(fs.sb.SegmentSize) - int64(r.LiveCopied)*int64(fs.cfg.BlockSize)
 		cleaned = true
+		// Reclaimed segments stay segPending — unusable — until a
+		// checkpoint records the relocations. Checkpoint mid-run
+		// before truly clean segments run out, so the next victim's
+		// relocation flush always has somewhere to go.
+		if fs.cleanCount < 2 {
+			if err := fs.checkpoint(); err != nil {
+				return res, err
+			}
+		}
 	}
 	if cleaned {
-		// A checkpoint pins the relocated blocks' new addresses
-		// before the reclaimed segments can be overwritten;
-		// without it a crash could resurrect pointers into
-		// segments we are about to reuse.
+		// A checkpoint pins the relocated blocks' new addresses and
+		// releases the pending segments for reuse; without it a
+		// crash could resurrect pointers into segments we are about
+		// to overwrite.
 		if err := fs.checkpoint(); err != nil {
 			return res, err
 		}
+	}
+	if res.BytesReclaimed < 0 {
+		res.BytesReclaimed = 0
 	}
 	fs.stats.CleanerBytesReclaimed += res.BytesReclaimed
 	return res, nil
@@ -179,13 +192,15 @@ func (fs *FS) cleanSegment(seg int) (CleanResult, error) {
 	if err := fs.flush(flushAll); err != nil {
 		return res, err
 	}
-	// The segment is now free: every live block has been relocated
-	// (the pointer updates in the flush decremented this segment's
-	// live estimate).
+	// Every live block has been relocated (the pointer updates in
+	// the flush decremented this segment's live estimate), but the
+	// segment is only pending: until a checkpoint records the
+	// relocations, a crash recovers from a checkpoint whose
+	// pointers still reach into it, so it must not be rewritten.
 	fs.killRemaining(seg)
-	fs.usage[seg].State = segClean
+	fs.usage[seg].State = segPending
 	fs.usage[seg].Live = 0
-	fs.cleanCount++
+	fs.pendingClean++
 	fs.stats.SegmentsCleaned++
 	return res, nil
 }
@@ -283,9 +298,12 @@ func (fs *FS) reviveBlock(ref blockRef, addr layout.DiskAddr, data []byte) (bool
 			if !e.Allocated || e.Addr != wantAddr || int(e.Slot) != slot%inodesPerSector {
 				continue
 			}
-			// Live: pull it in core and queue a rewrite.
+			// Live: pull it in core and queue a rewrite. On failure,
+			// report the liveness found so far — earlier slots were
+			// already marked dirty, and discarding them would leave
+			// the caller's copy accounting inconsistent.
 			if _, err := fs.getInode(rec.Ino); err != nil {
-				return false, err
+				return live, err
 			}
 			fs.markInodeDirty(rec.Ino)
 			live = true

@@ -47,6 +47,9 @@ func (sb *superblock) encode(p []byte) {
 }
 
 func decodeSuperblock(p []byte) (superblock, error) {
+	if len(p) < 64 {
+		return superblock{}, fmt.Errorf("lfs: superblock truncated: %d bytes", len(p))
+	}
 	le := binary.LittleEndian
 	if le.Uint32(p[0:]) != lfsMagic {
 		return superblock{}, fmt.Errorf("lfs: bad magic %#x", le.Uint32(p[0:]))

@@ -104,6 +104,9 @@ type FS struct {
 	// liveBytes is the total live-data estimate across segments.
 	liveBytes  int64
 	cleanCount int
+	// pendingClean counts segPending segments: reclaimed by the
+	// cleaner, reusable only after the next checkpoint.
+	pendingClean int
 
 	cleaning  bool
 	unmounted bool

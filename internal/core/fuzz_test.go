@@ -47,10 +47,9 @@ func FuzzDecodeCheckpoint(f *testing.F) {
 	encodeCheckpoint(st, valid)
 	f.Add(valid)
 	f.Add(make([]byte, 1024))
+	f.Add(valid[:ckptHeaderSize-1]) // truncated mid-header
+	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, data []byte) {
-		if len(data) < ckptHeaderSize {
-			return
-		}
 		st, err := decodeCheckpoint(data)
 		if err == nil {
 			// Accepted checkpoints must have internally consistent
@@ -69,10 +68,9 @@ func FuzzDecodeSuperblockLFS(f *testing.F) {
 	sb.encode(valid)
 	f.Add(valid)
 	f.Add(make([]byte, 4096))
+	f.Add(valid[:63]) // truncated mid-header
+	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, data []byte) {
-		if len(data) < 64 {
-			return
-		}
 		_, _ = decodeSuperblock(data)
 	})
 }

@@ -1,0 +1,268 @@
+package core
+
+// Regression tests for the recovery and cleaner-accounting bugs found
+// by code review and the crash-point harness (internal/fstest).
+
+import (
+	"bytes"
+	"testing"
+
+	"lfs/internal/layout"
+)
+
+// TestDecodeCheckpointTruncated: header fields used to be read before
+// any length check, so a checkpoint region shorter than the header
+// (a truncated image fed to lfsck/lfsdump) panicked instead of
+// returning an error.
+func TestDecodeCheckpointTruncated(t *testing.T) {
+	for _, n := range []int{0, 1, 3, 4, 20, ckptHeaderSize - 1} {
+		if _, err := decodeCheckpoint(make([]byte, n)); err == nil {
+			t.Errorf("decodeCheckpoint accepted a %d-byte region", n)
+		}
+	}
+}
+
+// TestDecodeSuperblockTruncated: same guard for the superblock
+// decoder, which read the magic and checksum words unconditionally.
+func TestDecodeSuperblockTruncated(t *testing.T) {
+	for _, n := range []int{0, 3, 59, 63} {
+		if _, err := decodeSuperblock(make([]byte, n)); err == nil {
+			t.Errorf("decodeSuperblock accepted a %d-byte buffer", n)
+		}
+	}
+}
+
+// fragmentedFS builds a volume with several partially-live dirty
+// segments: many small files, every other one removed, all flushed.
+func fragmentedFS(t *testing.T) *FS {
+	t.Helper()
+	cfg := smallConfig()
+	cfg.SegmentSize = 64 << 10
+	cfg.CacheBlocks = 64
+	cfg.MaxInodes = 512
+	fs := newTestFS(t, 8<<20, cfg)
+	for i := 0; i < 40; i++ {
+		p := pathOf(i)
+		if err := fs.Create(p); err != nil {
+			t.Fatal(err)
+		}
+		if err := fs.Write(p, 0, bytes.Repeat([]byte{byte(i)}, 8192)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fs.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i += 2 {
+		if err := fs.Remove(pathOf(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fs.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func pathOf(i int) string {
+	return "/f" + string(rune('a'+i/26)) + string(rune('a'+i%26))
+}
+
+// TestCleanerBytesReclaimedNet pins the cleaner's net-space
+// accounting: the run total must be exactly segments reclaimed minus
+// the space the relocated live blocks consume at the head, clamped at
+// zero only as a whole. The old code clamped each victim separately,
+// silently dropping negative nets and overstating the total.
+func TestCleanerBytesReclaimedNet(t *testing.T) {
+	fs := fragmentedFS(t)
+	before := fs.stats.CleanerBytesReclaimed
+	res, err := fs.CleanUntil(fs.CleanSegments() + 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SegmentsCleaned == 0 {
+		t.Fatal("cleaner found nothing to clean; test setup is wrong")
+	}
+	want := int64(res.SegmentsCleaned)*int64(fs.sb.SegmentSize) -
+		int64(res.LiveCopied)*int64(fs.cfg.BlockSize)
+	if want < 0 {
+		want = 0
+	}
+	if res.BytesReclaimed != want {
+		t.Errorf("BytesReclaimed = %d, want signed net %d", res.BytesReclaimed, want)
+	}
+	if got := fs.stats.CleanerBytesReclaimed - before; got != res.BytesReclaimed {
+		t.Errorf("stats accumulated %d, result says %d", got, res.BytesReclaimed)
+	}
+}
+
+// TestReclaimedSegmentPendingUntilCheckpoint: a reclaimed segment must
+// not become reusable before a checkpoint records the relocation of
+// its live blocks. The old code marked victims clean immediately, so
+// later writes in the same cleaner run could overwrite blocks that
+// the only durable checkpoint still referenced — a crash then
+// resurrected garbage (found by the crash-point sweep as corrupted
+// root inodes from one crash point onward).
+func TestReclaimedSegmentPendingUntilCheckpoint(t *testing.T) {
+	fs := fragmentedFS(t)
+	victim, ok := fs.selectVictim()
+	if !ok {
+		t.Fatal("no victim on a fragmented volume")
+	}
+	cleanBefore := fs.cleanCount
+	fs.cleaning = true
+	_, err := fs.cleanSegment(victim)
+	fs.cleaning = false
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := fs.usage[victim].State; st != segPending {
+		t.Fatalf("victim state = %d after cleaning, want segPending (%d)", st, segPending)
+	}
+	if fs.pendingClean != 1 {
+		t.Fatalf("pendingClean = %d, want 1", fs.pendingClean)
+	}
+	if fs.cleanCount != cleanBefore {
+		t.Fatalf("cleanCount moved from %d to %d before the checkpoint", cleanBefore, fs.cleanCount)
+	}
+	if err := fs.checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if st := fs.usage[victim].State; st != segClean {
+		t.Fatalf("victim state = %d after checkpoint, want segClean", st)
+	}
+	if fs.pendingClean != 0 {
+		t.Fatalf("pendingClean = %d after checkpoint, want 0", fs.pendingClean)
+	}
+	if fs.cleanCount != cleanBefore+1 {
+		t.Fatalf("cleanCount = %d after checkpoint, want %d", fs.cleanCount, cleanBefore+1)
+	}
+}
+
+// TestReviveBlockInodeErrorKeepsLiveness: when reviving an inode block
+// fails partway (getInode error on a later slot), earlier slots were
+// already marked dirty, so the liveness found so far must be reported
+// with the error instead of discarded — otherwise the caller's copy
+// accounting no longer matches the dirtied cache.
+func TestReviveBlockInodeErrorKeepsLiveness(t *testing.T) {
+	fs := newTestFS(t, 16<<20, smallConfig())
+	if err := fs.Create("/a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Create("/b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	fiA, err := fs.Stat("/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fiB, err := fs.Stat("/b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eA, eB := fs.imap.get(fiA.Ino), fs.imap.get(fiB.Ino)
+	blockOf := func(addr layout.DiskAddr) int64 {
+		seg := fs.segOf(addr)
+		spb := fs.cfg.sectorsPerBlock()
+		rel := int64(addr) - fs.segFirstSector(seg)
+		return fs.segFirstSector(seg) + rel/spb*spb
+	}
+	blockStart := blockOf(eA.Addr)
+	if blockOf(eB.Addr) != blockStart {
+		t.Fatal("inodes landed in different blocks; test setup is wrong")
+	}
+	// /a must occupy an earlier slot than /b so the error hits after
+	// liveness was found.
+	if eA.Addr > eB.Addr || (eA.Addr == eB.Addr && eA.Slot >= eB.Slot) {
+		eA, eB = eB, eA
+	}
+	// Snapshot the intact block — the cleaner reads the victim
+	// segment before examining it.
+	blk := make([]byte, fs.cfg.BlockSize)
+	if err := fs.d.ReadSectors(blockStart, blk, "test"); err != nil {
+		t.Fatal(err)
+	}
+	// Zero /b's slot on the medium and evict both inodes so the
+	// revive path must fetch them from disk; /b's fetch then fails.
+	off := int64(eB.Addr)*512 + int64(eB.Slot)*int64(layout.InodeSize)
+	if err := fs.d.Store().WriteAt(make([]byte, layout.InodeSize), off); err != nil {
+		t.Fatal(err)
+	}
+	delete(fs.inodes, fiA.Ino)
+	delete(fs.inodes, fiB.Ino)
+
+	live, err := fs.reviveBlock(blockRef{Kind: kindInodes}, layout.DiskAddr(blockStart), blk)
+	if err == nil {
+		t.Fatal("reviveBlock succeeded despite the corrupted slot")
+	}
+	if !live {
+		t.Fatal("reviveBlock dropped the liveness found before the error")
+	}
+}
+
+// TestRollForwardRejectsStaleEpochUnit: a unit whose serial matches
+// the checkpoint's expectation but whose timestamp predates the
+// checkpoint is a leftover from an earlier log epoch (or a forgery)
+// and must not be replayed. Without the timestamp filter the crafted
+// unit below redirects a live file's inode to garbage.
+func TestRollForwardRejectsStaleEpochUnit(t *testing.T) {
+	fs := newTestFS(t, 16<<20, smallConfig())
+	content := bytes.Repeat([]byte{0xAB}, 4096)
+	if err := fs.Create("/f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Write("/f", 0, content); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := fs.Stat("/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs := fs.cfg.BlockSize
+	headSector := fs.blockSector(fs.curSeg, fs.curBlk)
+	serial := fs.writeSerial
+	d := fs.d
+	fs.Crash()
+
+	// Craft a valid-looking unit at the head: expected serial, intact
+	// checksums, but a timestamp of zero — before the checkpoint was
+	// taken. Its payload is an inode block that would redirect /f to
+	// an empty inode if replayed.
+	forged := layout.NewInode(fi.Ino, layout.ModeFile|0o644)
+	inodeBlk := make([]byte, bs)
+	forged.Encode(inodeBlk)
+	h := summaryHeader{
+		Serial:    serial,
+		NBlocks:   1,
+		SumBlocks: 1,
+		Timestamp: 0,
+		DataCRC:   layout.Checksum(inodeBlk),
+	}
+	unit := make([]byte, 2*bs)
+	encodeSummary(h, []blockRef{{Kind: kindInodes}}, unit[:bs])
+	copy(unit[bs:], inodeBlk)
+	if err := d.WriteSectors(headSector, unit, true, "test: stale unit"); err != nil {
+		t.Fatal(err)
+	}
+
+	fs2, err := Mount(d, fs.cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := fs2.Stats().RollForwardUnits; n != 0 {
+		t.Fatalf("roll-forward replayed %d stale unit(s)", n)
+	}
+	got := make([]byte, len(content))
+	if _, err := fs2.Read("/f", 0, got); err != nil {
+		t.Fatalf("reading /f after recovery: %v", err)
+	}
+	if !bytes.Equal(got, content) {
+		t.Fatal("/f lost its checkpointed content")
+	}
+}

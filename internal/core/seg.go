@@ -16,6 +16,14 @@ const (
 	segDirty
 	// segActive is the segment currently being appended to.
 	segActive
+	// segPending segments were reclaimed by the cleaner but must not
+	// be reused until a checkpoint records the relocation of their
+	// live blocks: a crash before that checkpoint recovers from the
+	// previous one, whose pointers still reach into these segments,
+	// so their old contents must survive untouched. A checkpoint
+	// flips them to segClean between its log flush and its region
+	// write (never persisted: no checkpoint image contains it).
+	segPending
 )
 
 // segUsage is one segment usage array entry (§4.3.4): an estimate of

@@ -124,6 +124,12 @@ type Disk struct {
 	stats  Stats
 	tracer Tracer
 	faults faultState
+
+	// policy, when non-nil, is consulted on every request; the
+	// counters number requests since the policy was attached.
+	policy       FaultPolicy
+	policyWrites int64
+	policyReads  int64
 }
 
 // New assembles a disk from its parts. The store must be at least as
@@ -246,13 +252,20 @@ func (d *Disk) trace(ev Event) {
 // label annotates traces.
 func (d *Disk) ReadSectors(sector int64, p []byte, label string) error {
 	if d.faults.frozen {
-		return fmt.Errorf("disk: device is frozen (crashed)")
+		return fmt.Errorf("disk: device is frozen (crashed): %w", ErrPowerLoss)
 	}
 	if err := d.checkRange(sector, len(p)); err != nil {
 		return err
 	}
 	if err, ok := d.faults.readErrors[sector]; ok {
 		return fmt.Errorf("disk: injected read error at sector %d: %w", sector, err)
+	}
+	if d.policy != nil {
+		d.policyReads++
+		op := ReadOp{Seq: d.policyReads, Sector: sector, Sectors: len(p) / SectorSize, Label: label}
+		if err := d.policy.Read(op); err != nil {
+			return fmt.Errorf("disk: injected read fault at sector %d: %w", sector, err)
+		}
 	}
 	start := d.begin()
 	dur, seq, seekCyl := d.service(sector, len(p))
@@ -272,13 +285,39 @@ func (d *Disk) ReadSectors(sector int64, p []byte, label string) error {
 // asynchronous segment writes that overlap computation).
 func (d *Disk) WriteSectors(sector int64, p []byte, sync bool, label string) error {
 	if d.faults.frozen {
-		return fmt.Errorf("disk: device is frozen (crashed)")
+		return fmt.Errorf("disk: device is frozen (crashed): %w", ErrPowerLoss)
 	}
 	if d.faults.writesFail != nil {
 		return fmt.Errorf("disk: injected write failure: %w", d.faults.writesFail)
 	}
 	if err := d.checkRange(sector, len(p)); err != nil {
 		return err
+	}
+	var dec WriteDecision
+	if d.policy != nil {
+		d.policyWrites++
+		dec = d.policy.Write(WriteOp{Seq: d.policyWrites, Sector: sector,
+			Sectors: len(p) / SectorSize, Sync: sync, Label: label})
+	}
+	if dec.PowerCut {
+		// Power dies during this transfer: persist whatever the
+		// decision keeps, then refuse all further traffic. The
+		// issuing process never observes completion, so no service
+		// time is charged and no statistics are recorded.
+		d.faults.frozen = true
+		keep := 0
+		if dec.Action == WriteTear {
+			keep = dec.KeepSectors
+			if keep > len(p)/SectorSize {
+				keep = len(p) / SectorSize
+			}
+		}
+		if keep > 0 {
+			if err := d.store.WriteAt(p[:keep*SectorSize], sector*SectorSize); err != nil {
+				return err
+			}
+		}
+		return fmt.Errorf("disk: power cut during write of sector %d: %w", sector, ErrPowerLoss)
 	}
 	start := d.begin()
 	dur, seq, seekCyl := d.service(sector, len(p))
@@ -291,6 +330,20 @@ func (d *Disk) WriteSectors(sector int64, p []byte, sync bool, label string) err
 	d.stats.SectorsWritten += int64(len(p) / SectorSize)
 	d.trace(Event{Time: start, Kind: OpWrite, Sector: sector, Sectors: len(p) / SectorSize,
 		Sync: sync, Sequential: seq, SeekCylinders: seekCyl, Service: dur, Label: label})
+	switch dec.Action {
+	case WriteDrop:
+		// Silently lost: the caller sees success, nothing persists.
+		return nil
+	case WriteTear:
+		keep := dec.KeepSectors
+		if keep > len(p)/SectorSize {
+			keep = len(p) / SectorSize
+		}
+		if keep <= 0 {
+			return nil
+		}
+		return d.store.WriteAt(p[:keep*SectorSize], sector*SectorSize)
+	}
 	data := p
 	if d.faults.tearNext {
 		// A torn write persists only a prefix, simulating power

@@ -1,0 +1,152 @@
+package disk
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrPowerLoss is the error all requests fail with once an injected
+// power cut has frozen the disk. Recovery harnesses detect the crash
+// point with errors.Is(err, ErrPowerLoss), discard the in-memory file
+// system, and remount.
+var ErrPowerLoss = errors.New("disk: power lost")
+
+// WriteOp describes one write request presented to a FaultPolicy.
+type WriteOp struct {
+	// Seq is the 1-based index of this write, counted from the moment
+	// the policy was attached with SetFaultPolicy.
+	Seq int64
+	// Sector is the first sector of the request.
+	Sector int64
+	// Sectors is the request length in sectors.
+	Sectors int
+	// Sync reports whether the issuing process blocks on the request.
+	Sync bool
+	// Label is the file-system-provided annotation.
+	Label string
+}
+
+// ReadOp describes one read request presented to a FaultPolicy.
+type ReadOp struct {
+	// Seq is the 1-based index of this read since the policy was
+	// attached.
+	Seq int64
+	// Sector is the first sector of the request.
+	Sector int64
+	// Sectors is the request length in sectors.
+	Sectors int
+	// Label is the file-system-provided annotation.
+	Label string
+}
+
+// WriteAction selects what part of a write persists.
+type WriteAction int
+
+const (
+	// WritePersist stores the full request (normal operation).
+	WritePersist WriteAction = iota
+	// WriteTear persists only the leading KeepSectors sectors of the
+	// request; the tail keeps its old contents, as when power dies
+	// mid-transfer.
+	WriteTear
+	// WriteDrop persists nothing but reports success — a silently
+	// lost write.
+	WriteDrop
+)
+
+// WriteDecision is a FaultPolicy's verdict for one write.
+type WriteDecision struct {
+	// Action selects what persists. The zero value persists normally.
+	Action WriteAction
+	// KeepSectors is the persisted prefix length for WriteTear,
+	// clamped to the request length.
+	KeepSectors int
+	// PowerCut freezes the disk after Action is applied: this write
+	// and every later request fail with ErrPowerLoss until Thaw.
+	PowerCut bool
+}
+
+// FaultPolicy decides the fate of every disk request. Attach with
+// SetFaultPolicy. Decisions must be a deterministic function of the
+// presented operations for crash-point replay to be reproducible.
+type FaultPolicy interface {
+	// Write is consulted before each write persists.
+	Write(op WriteOp) WriteDecision
+	// Read is consulted before each read; a non-nil error fails the
+	// read without touching the store.
+	Read(op ReadOp) error
+}
+
+// CrashPlan is a deterministic, scriptable FaultPolicy: it cuts power
+// during a chosen write (optionally tearing it at a sector boundary)
+// and can silently drop chosen earlier writes. The zero value injects
+// nothing.
+type CrashPlan struct {
+	// CutWrite is the 1-based index of the write during which power is
+	// lost; 0 disables the cut. Writes 1..CutWrite-1 persist normally;
+	// write CutWrite is lost (or torn, see TearFatalWrite) and the
+	// disk freezes.
+	CutWrite int64
+	// TearFatalWrite persists the leading half of the fatal write
+	// (rounded down to a sector boundary) instead of losing it whole.
+	TearFatalWrite bool
+	// DropWrites lists write indices to silently discard: the write
+	// reports success but nothing persists (a lost write a later
+	// checksum must catch).
+	DropWrites map[int64]bool
+	// ReadErrors maps read indices to injected failures.
+	ReadErrors map[int64]error
+}
+
+// Write implements FaultPolicy.
+func (c *CrashPlan) Write(op WriteOp) WriteDecision {
+	if c.CutWrite != 0 && op.Seq >= c.CutWrite {
+		if op.Seq == c.CutWrite && c.TearFatalWrite {
+			return WriteDecision{Action: WriteTear, KeepSectors: op.Sectors / 2, PowerCut: true}
+		}
+		return WriteDecision{Action: WriteDrop, PowerCut: true}
+	}
+	if c.DropWrites[op.Seq] {
+		return WriteDecision{Action: WriteDrop}
+	}
+	return WriteDecision{}
+}
+
+// Read implements FaultPolicy.
+func (c *CrashPlan) Read(op ReadOp) error {
+	if err, ok := c.ReadErrors[op.Seq]; ok {
+		return err
+	}
+	return nil
+}
+
+// SetFaultPolicy attaches a fault policy consulted on every request
+// (nil detaches). Attaching resets the policy's read and write
+// sequence counters, so an identical request stream yields identical
+// decisions — the property crash-point enumeration depends on.
+func (d *Disk) SetFaultPolicy(p FaultPolicy) {
+	d.policy = p
+	d.policyWrites = 0
+	d.policyReads = 0
+}
+
+// PolicyWrites returns how many writes the attached policy has seen.
+func (d *Disk) PolicyWrites() int64 { return d.policyWrites }
+
+// FlipBits flips the bits in mask at byte offset off within the given
+// sector — deterministic media corruption for recovery tests. It
+// bypasses the time model and statistics.
+func (d *Disk) FlipBits(sector int64, off int, mask byte) error {
+	if sector < 0 || sector >= d.geom.TotalSectors() {
+		return fmt.Errorf("disk: FlipBits sector %d outside disk of %d sectors", sector, d.geom.TotalSectors())
+	}
+	if off < 0 || off >= SectorSize {
+		return fmt.Errorf("disk: FlipBits offset %d outside sector of %d bytes", off, SectorSize)
+	}
+	buf := make([]byte, SectorSize)
+	if err := d.store.ReadAt(buf, sector*SectorSize); err != nil {
+		return err
+	}
+	buf[off] ^= mask
+	return d.store.WriteAt(buf, sector*SectorSize)
+}

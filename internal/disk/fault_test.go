@@ -1,0 +1,167 @@
+package disk
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"lfs/internal/sim"
+)
+
+func newFaultDisk(t *testing.T) *Disk {
+	t.Helper()
+	return NewMem(16<<20, sim.NewClock())
+}
+
+// fill writes n sectors of the given byte at sector 0..n-1 individually
+// so every sector is one write (predictable sequence numbers).
+func fill(t *testing.T, d *Disk, n int, b byte) {
+	t.Helper()
+	buf := bytes.Repeat([]byte{b}, SectorSize)
+	for i := 0; i < n; i++ {
+		if err := d.WriteSectors(int64(i), buf, true, ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestCrashPlanPowerCut(t *testing.T) {
+	d := newFaultDisk(t)
+	d.SetFaultPolicy(&CrashPlan{CutWrite: 3})
+	buf := bytes.Repeat([]byte{7}, SectorSize)
+	for i := 0; i < 2; i++ {
+		if err := d.WriteSectors(int64(i), buf, true, ""); err != nil {
+			t.Fatalf("write %d before the cut failed: %v", i, err)
+		}
+	}
+	err := d.WriteSectors(2, buf, true, "")
+	if !errors.Is(err, ErrPowerLoss) {
+		t.Fatalf("fatal write error = %v, want ErrPowerLoss", err)
+	}
+	// Everything afterwards is dead, reads included.
+	if err := d.ReadSectors(0, make([]byte, SectorSize), ""); !errors.Is(err, ErrPowerLoss) {
+		t.Fatalf("read after cut = %v, want ErrPowerLoss", err)
+	}
+	if err := d.WriteSectors(3, buf, true, ""); !errors.Is(err, ErrPowerLoss) {
+		t.Fatalf("write after cut = %v, want ErrPowerLoss", err)
+	}
+	// Reboot: earlier writes persisted, the fatal one did not.
+	d.Thaw()
+	d.SetFaultPolicy(nil)
+	got := make([]byte, SectorSize)
+	for i := 0; i < 2; i++ {
+		if err := d.ReadSectors(int64(i), got, ""); err != nil {
+			t.Fatal(err)
+		}
+		if got[0] != 7 {
+			t.Fatalf("sector %d lost pre-cut data", i)
+		}
+	}
+	if err := d.ReadSectors(2, got, ""); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0 {
+		t.Fatal("fatal write persisted despite the power cut")
+	}
+}
+
+func TestCrashPlanTearFatalWrite(t *testing.T) {
+	d := newFaultDisk(t)
+	old := bytes.Repeat([]byte{0x11}, 4*SectorSize)
+	if err := d.WriteSectors(0, old, true, ""); err != nil {
+		t.Fatal(err)
+	}
+	d.SetFaultPolicy(&CrashPlan{CutWrite: 1, TearFatalWrite: true})
+	updated := bytes.Repeat([]byte{0x22}, 4*SectorSize)
+	if err := d.WriteSectors(0, updated, true, ""); !errors.Is(err, ErrPowerLoss) {
+		t.Fatalf("torn fatal write error = %v, want ErrPowerLoss", err)
+	}
+	d.Thaw()
+	d.SetFaultPolicy(nil)
+	got := make([]byte, 4*SectorSize)
+	if err := d.ReadSectors(0, got, ""); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[:2*SectorSize], updated[:2*SectorSize]) {
+		t.Fatal("torn write lost its leading half")
+	}
+	if !bytes.Equal(got[2*SectorSize:], old[2*SectorSize:]) {
+		t.Fatal("torn write persisted past the tear point")
+	}
+}
+
+func TestCrashPlanDropWrite(t *testing.T) {
+	d := newFaultDisk(t)
+	d.SetFaultPolicy(&CrashPlan{DropWrites: map[int64]bool{2: true}})
+	fill(t, d, 3, 9) // writes 1..3; write 2 (sector 1) is dropped
+	d.SetFaultPolicy(nil)
+	got := make([]byte, SectorSize)
+	for i, want := range []byte{9, 0, 9} {
+		if err := d.ReadSectors(int64(i), got, ""); err != nil {
+			t.Fatal(err)
+		}
+		if got[0] != want {
+			t.Fatalf("sector %d = %d, want %d", i, got[0], want)
+		}
+	}
+}
+
+func TestCrashPlanReadError(t *testing.T) {
+	d := newFaultDisk(t)
+	fill(t, d, 2, 5)
+	boom := errors.New("surface scratch")
+	d.SetFaultPolicy(&CrashPlan{ReadErrors: map[int64]error{2: boom}})
+	buf := make([]byte, SectorSize)
+	if err := d.ReadSectors(0, buf, ""); err != nil { // read 1: fine
+		t.Fatal(err)
+	}
+	if err := d.ReadSectors(1, buf, ""); !errors.Is(err, boom) { // read 2
+		t.Fatalf("read 2 error = %v, want injected error", err)
+	}
+	if err := d.ReadSectors(1, buf, ""); err != nil { // read 3: fine again
+		t.Fatal(err)
+	}
+}
+
+// TestFaultPolicySequenceResets: reattaching a policy restarts the
+// write numbering, the property replays rely on.
+func TestFaultPolicySequenceResets(t *testing.T) {
+	d := newFaultDisk(t)
+	d.SetFaultPolicy(&CrashPlan{})
+	fill(t, d, 5, 1)
+	if n := d.PolicyWrites(); n != 5 {
+		t.Fatalf("PolicyWrites = %d, want 5", n)
+	}
+	d.SetFaultPolicy(&CrashPlan{CutWrite: 2})
+	buf := bytes.Repeat([]byte{3}, SectorSize)
+	if err := d.WriteSectors(10, buf, true, ""); err != nil {
+		t.Fatalf("write 1 after reattach failed: %v", err)
+	}
+	if err := d.WriteSectors(11, buf, true, ""); !errors.Is(err, ErrPowerLoss) {
+		t.Fatalf("write 2 after reattach = %v, want ErrPowerLoss", err)
+	}
+}
+
+func TestFlipBits(t *testing.T) {
+	d := newFaultDisk(t)
+	fill(t, d, 1, 0xF0)
+	if err := d.FlipBits(0, 3, 0x0F); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, SectorSize)
+	if err := d.ReadSectors(0, got, ""); err != nil {
+		t.Fatal(err)
+	}
+	if got[3] != 0xFF {
+		t.Fatalf("flipped byte = %#x, want 0xFF", got[3])
+	}
+	if got[2] != 0xF0 || got[4] != 0xF0 {
+		t.Fatal("FlipBits touched neighbouring bytes")
+	}
+	if err := d.FlipBits(-1, 0, 1); err == nil {
+		t.Fatal("FlipBits accepted a negative sector")
+	}
+	if err := d.FlipBits(0, SectorSize, 1); err == nil {
+		t.Fatal("FlipBits accepted an out-of-sector offset")
+	}
+}

@@ -49,6 +49,9 @@ type (
 	CleanResult = core.CleanResult
 	// Stats counts internal LFS activity.
 	Stats = core.Stats
+	// CheckReport is the result of a consistency check (Fsck or
+	// FS.Check).
+	CheckReport = core.CheckReport
 	// Disk is the simulated block device file systems run on.
 	Disk = disk.Disk
 	// DiskGeometry describes a simulated disk's physical layout.
@@ -132,6 +135,21 @@ func Format(d *Disk, cfg Config) error { return core.Format(d, cfg) }
 // config, the log tail is rolled forward through the segment
 // summaries.
 func Mount(d *Disk, cfg Config) (*FS, error) { return core.Mount(d, cfg) }
+
+// Fsck mounts the volume (running normal crash recovery, subject to
+// cfg.RollForward) and walks it with the consistency checker. It is
+// the shared verification path of the lfsck tool and the crash-point
+// test harness.
+func Fsck(d *Disk, cfg Config) (*CheckReport, error) { return core.Fsck(d, cfg) }
+
+// ImageBytes returns the size in bytes of a disk image file for a
+// volume of the given capacity — what OpenImage will create or expect.
+// Tools use it to detect truncated images before mounting them: a
+// short image is silently extended with zeros, which can turn obvious
+// truncation into subtle "corruption".
+func ImageBytes(capacity int64) int64 {
+	return disk.GeometryForCapacity(capacity).TotalBytes()
+}
 
 // Walk visits every file and directory under root in depth-first,
 // name-sorted order.

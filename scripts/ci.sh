@@ -1,0 +1,15 @@
+#!/bin/sh
+# ci.sh — the merge gate: build, vet, and the full test suite under
+# the race detector (which includes the crash-point sweeps and the
+# fuzz seed corpora). scripts/check.sh is the longer local suite with
+# benches and tool smoke tests.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== build =="
+go build ./...
+echo "== vet =="
+go vet ./...
+echo "== test -race =="
+go test -race ./...
+echo "ci passed"
