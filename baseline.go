@@ -17,6 +17,9 @@ type (
 	BaselineConfig = ffs.Config
 	// FsckReport summarises an FFS full-scan consistency check.
 	FsckReport = ffs.FsckReport
+	// BaselineStatsSnapshot is an atomic copy of the baseline's
+	// statistics surfaces, from BaselineFS.StatsSnapshot.
+	BaselineStatsSnapshot = ffs.StatsSnapshot
 )
 
 // DefaultBaselineConfig returns the paper's SunOS configuration: 8 KB

@@ -15,20 +15,28 @@
 //	lfsbench -experiment all        # everything
 //
 // -quick shrinks the workloads by roughly 10x for a fast smoke run.
+//
+// The trace experiment runs the instrumented small-file + cleaning
+// smoke test; -trace exports its full JSONL trace (see cmd/lfstrace)
+// and -benchjson writes its headline numbers as one JSON object.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"lfs/internal/experiments"
+	"lfs/internal/obs"
 )
 
 func main() {
-	exp := flag.String("experiment", "all", "experiment to run (fig1|fig3|fig4|fig5|scaling|recovery|ablation-segsize|ablation-policy|ablation-ckpt|ablation-blocksize|utilization|all)")
+	exp := flag.String("experiment", "all", "experiment to run (fig1|fig3|fig4|fig5|scaling|recovery|ablation-segsize|ablation-policy|ablation-ckpt|ablation-blocksize|utilization|trace|all)")
 	quick := flag.Bool("quick", false, "shrink workloads ~10x for a fast run")
 	csvDir := flag.String("csvdir", "", "also write each experiment's rows as <dir>/<experiment>.csv")
+	flag.StringVar(&traceOut, "trace", "", "write the trace experiment's JSONL trace to this file")
+	flag.StringVar(&benchJSON, "benchjson", "", "write the trace experiment's summary JSON to this file")
 	flag.Parse()
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
@@ -50,8 +58,9 @@ func main() {
 		"utilization":        runUtilization,
 		"ablation-ckpt":      runAblationCkpt,
 		"ablation-blocksize": runAblationBlockSize,
+		"trace":              runTrace,
 	}
-	order := []string{"fig1", "fig3", "fig4", "fig5", "scaling", "recovery", "ablation-segsize", "ablation-policy", "ablation-ckpt", "ablation-blocksize", "utilization"}
+	order := []string{"fig1", "fig3", "fig4", "fig5", "scaling", "recovery", "ablation-segsize", "ablation-policy", "ablation-ckpt", "ablation-blocksize", "utilization", "trace"}
 
 	if *exp == "all" {
 		for _, name := range order {
@@ -245,6 +254,63 @@ func runAblationCkpt(quick bool) error {
 	}
 	fmt.Print(experiments.FormatCkpt(rows))
 	return emitCSV("ablation-ckpt", func(f *os.File) error { return experiments.CSVCkpt(f, rows) })
+}
+
+// traceOut and benchJSON, when non-empty, are the output paths of the
+// trace experiment's JSONL export and JSON summary.
+var traceOut, benchJSON string
+
+func runTrace(quick bool) error {
+	opts := experiments.DefaultTraceSmokeOpts()
+	if quick {
+		opts.NumFiles = 500
+		opts.ChurnFiles = 1500
+		opts.CleanSegments = 6
+	}
+	rec := obs.NewRecorder()
+	opts.Trace = rec
+	r, err := experiments.TraceSmoke(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.FormatTraceSmoke(r))
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		if err := rec.WriteJSONL(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("trace: %d spans, %d disk events, %d cleans -> %s\n",
+			len(rec.Spans()), len(rec.Events()), len(rec.Cleans()), traceOut)
+	}
+	if benchJSON != "" {
+		summary := map[string]any{
+			"experiment":        "trace",
+			"create_ops_per_s":  r.Create.OpsPerSec(),
+			"read_ops_per_s":    r.Read.OpsPerSec(),
+			"delete_ops_per_s":  r.Delete.OpsPerSec(),
+			"disk_busy_s":       r.TraceBusy.Seconds(),
+			"named_share":       r.NamedShare(),
+			"clean_activations": r.CleanActivations,
+			"write_cost":        r.WriteCostTrace,
+			"write_cost_stats":  r.WriteCostStats,
+			"spans":             r.Spans,
+		}
+		buf, err := json.MarshalIndent(summary, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(benchJSON, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func runAblationBlockSize(quick bool) error {

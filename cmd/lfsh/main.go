@@ -227,11 +227,15 @@ func (s *shell) run(line string) error {
 		fmt.Printf("capacity: %d MB, live: %.1f MB, clean segments: %d\n",
 			s.d.Capacity()>>20, float64(s.fs.LiveBytes())/(1<<20), s.fs.CleanSegments())
 	case "stats":
-		st := s.fs.Stats()
+		snap := s.fs.StatsSnapshot()
+		st := snap.Log
 		fmt.Printf("units=%d blocks=%d sealed=%d checkpoints=%d cleanerRuns=%d cleaned=%d\n",
 			st.UnitsWritten, st.BlocksWritten, st.SegmentsSealed, st.Checkpoints, st.CleanerRuns, st.SegmentsCleaned)
-		fmt.Printf("disk: %v\n", s.d.Stats())
-		fmt.Printf("clock: %v\n", s.d.Clock().Now())
+		fmt.Printf("disk: %v\n", snap.Disk)
+		if st.SegmentsCleaned > 0 {
+			fmt.Printf("cleaner write cost: %.2f\n", snap.WriteCost())
+		}
+		fmt.Printf("clock: %v\n", snap.Time)
 	case "sync":
 		return s.fs.Sync()
 	case "checkpoint":
@@ -277,7 +281,7 @@ func (s *shell) run(line string) error {
 		s.fs = fs
 		s.crashed = false
 		fmt.Printf("recovered in %v of simulated time (%d units rolled forward)\n",
-			s.d.Clock().Now().Sub(before), fs.Stats().RollForwardUnits)
+			s.d.Clock().Now().Sub(before), fs.StatsSnapshot().Log.RollForwardUnits)
 	default:
 		return fmt.Errorf("unknown command %q (try 'help')", cmd)
 	}

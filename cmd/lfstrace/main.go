@@ -1,0 +1,125 @@
+// Command lfstrace summarises a JSONL trace written by the tracing
+// subsystem (lfsbench -experiment trace -trace out.jsonl, or any
+// program calling TraceRecorder.WriteJSONL).
+//
+// Usage:
+//
+//	lfstrace out.jsonl        # aggregate summary
+//	lfstrace -raw out.jsonl   # re-print every record one per line
+//	lfstrace < out.jsonl      # read from stdin
+//
+// The summary has three sections: per-operation latency statistics
+// (with a log-scale histogram), the disk busy-time decomposition by
+// I/O cause, and the cleaner activation summary with the paper's
+// write cost.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"lfs/internal/obs"
+	"lfs/internal/sim"
+)
+
+func main() {
+	raw := flag.Bool("raw", false, "dump records instead of aggregating")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	name := "stdin"
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lfstrace: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+		name = flag.Arg(0)
+	}
+	recs, err := obs.ReadJSONL(in)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lfstrace: %v\n", err)
+		os.Exit(1)
+	}
+	if *raw {
+		for _, r := range recs {
+			dumpRecord(r)
+		}
+		return
+	}
+	summarise(name, recs)
+}
+
+func dumpRecord(r obs.Record) {
+	switch r.Type {
+	case "span":
+		status := "ok"
+		if r.Err != "" {
+			status = r.Err
+		}
+		fmt.Printf("%-14v span  %-8s %-24s %12v cpu=%-8d %s\n",
+			sim.Time(r.Start), r.Op, r.Path,
+			sim.Time(r.End).Sub(sim.Time(r.Start)), r.CPU, status)
+	case "io":
+		fmt.Printf("%-14v io    %-5s sector=%-9d n=%-5d %-14s %12v %s\n",
+			sim.Time(r.Time), r.Kind, r.Sector, r.Sectors, r.Cause,
+			sim.Duration(r.Service), r.Label)
+	case "clean":
+		fmt.Printf("%-14v clean seg=%-6d util=%.3f read=%d copied=%d reclaimed=%d cost=%.2f\n",
+			sim.Time(r.Time), r.Seg, r.Utilization,
+			r.BytesRead, r.BytesCopied, r.BytesReclaimed, r.WriteCost)
+	default:
+		fmt.Printf("?             %v\n", r)
+	}
+}
+
+func summarise(name string, recs []obs.Record) {
+	agg := obs.AggregateRecords(recs)
+	fmt.Printf("%s: %d records\n\n", name, len(recs))
+
+	if len(agg.Ops) > 0 {
+		fmt.Printf("operations\n")
+		fmt.Printf("%-10s %8s %6s %12s %12s %12s %12s\n",
+			"op", "count", "errs", "mean", "min", "max", "cpu/op")
+		for _, o := range agg.Ops {
+			cpuPerOp := int64(0)
+			if o.Count > 0 {
+				cpuPerOp = o.CPU / o.Count
+			}
+			fmt.Printf("%-10s %8d %6d %12v %12v %12v %12d\n",
+				o.Op, o.Count, o.Errors, o.Mean(), o.Min, o.Max, cpuPerOp)
+		}
+		fmt.Printf("\nlatency histograms (seconds)\n")
+		for _, o := range agg.Ops {
+			fmt.Printf("%-10s %v\n", o.Op, o.Latency)
+		}
+		fmt.Println()
+	}
+
+	if len(agg.IO) > 0 {
+		fmt.Printf("disk busy time by cause (total %v)\n", agg.DiskBusy)
+		for _, io := range agg.IO {
+			fmt.Printf("  %-14s %8d reqs %10d sectors %14v (%5.1f%%)\n",
+				io.Cause, io.Requests, io.Sectors, io.Busy,
+				100*io.Busy.Seconds()/agg.DiskBusy.Seconds())
+		}
+		named, total := agg.AttributedBusy()
+		fmt.Printf("  attributed to a named cause: %.2f%%\n\n",
+			100*named.Seconds()/total.Seconds())
+	}
+
+	if agg.Clean.Activations > 0 {
+		c := agg.Clean
+		fmt.Printf("cleaner\n")
+		fmt.Printf("  activations     %d\n", c.Activations)
+		fmt.Printf("  bytes read      %d\n", c.BytesRead)
+		fmt.Printf("  bytes copied    %d\n", c.BytesCopied)
+		fmt.Printf("  bytes reclaimed %d\n", c.BytesReclaimed)
+		fmt.Printf("  write cost      %.2f\n", c.WriteCost)
+		fmt.Printf("  victim util     %v\n", c.Utilization)
+	}
+}

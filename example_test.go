@@ -82,6 +82,70 @@ func ExampleFS_CleanUntil() {
 	// dead blocks copied: false
 }
 
+// Example_tracing shows the observability subsystem: attach a
+// TraceRecorder through Config.Trace and every VFS operation becomes a
+// span while every disk request carries an IOCause, so disk busy time
+// decomposes exactly into the paper's categories.
+func Example_tracing() {
+	rec := lfs.NewTraceRecorder()
+	d := lfs.NewMemDisk(16 << 20)
+	cfg := lfs.DefaultConfig()
+	cfg.MaxInodes = 1024
+	cfg.Trace = rec
+	if err := lfs.Format(d, cfg); err != nil {
+		panic(err)
+	}
+	fs, err := lfs.Mount(d, cfg)
+	if err != nil {
+		panic(err)
+	}
+	fs.Create("/f")
+	fs.Write("/f", 0, make([]byte, 32<<10))
+	fs.Sync()
+
+	agg := rec.Aggregates()
+	for _, op := range agg.Ops {
+		fmt.Printf("%s x%d\n", op.Op, op.Count)
+	}
+	named, total := agg.AttributedBusy()
+	fmt.Println("disk time fully attributed:", total > 0 && named == total)
+	// A trace can also be exported line-by-line with rec.WriteJSONL and
+	// summarised offline by cmd/lfstrace.
+
+	// Output:
+	// create x1
+	// sync x1
+	// write x1
+	// disk time fully attributed: true
+}
+
+// ExampleFS_StatsSnapshot shows the race-safe statistics surface: one
+// call copies the log, disk, cache, and CPU counters atomically, so
+// derived ratios are consistent even while a workload runs.
+func ExampleFS_StatsSnapshot() {
+	d := lfs.NewMemDisk(16 << 20)
+	cfg := lfs.DefaultConfig()
+	cfg.MaxInodes = 1024
+	if err := lfs.Format(d, cfg); err != nil {
+		panic(err)
+	}
+	fs, err := lfs.Mount(d, cfg)
+	if err != nil {
+		panic(err)
+	}
+	fs.Create("/f")
+	fs.Write("/f", 0, make([]byte, 64<<10))
+	fs.Sync()
+	snap := fs.StatsSnapshot()
+	fmt.Println("log units written:", snap.Log.UnitsWritten > 0)
+	fmt.Println("disk busy:", snap.Disk.BusyTime > 0)
+	fmt.Println("write cost before cleaning:", snap.WriteCost() == 0)
+	// Output:
+	// log units written: true
+	// disk busy: true
+	// write cost before cleaning: true
+}
+
 // ExampleFS_Stats shows the log-level instrumentation.
 func ExampleFS_Stats() {
 	d := lfs.NewMemDisk(16 << 20)

@@ -104,7 +104,7 @@ func main() {
 	if err := fs.Sync(); err != nil {
 		log.Fatal(err)
 	}
-	st := fs.Stats()
+	st := fs.StatsSnapshot().Log
 	fmt.Printf("\nafter 3 more generations of churn (log wrapped the disk several times):\n")
 	fmt.Printf("  cleaner activations: %d\n", st.CleanerRuns)
 	fmt.Printf("  segments cleaned:    %d\n", st.SegmentsCleaned)

@@ -85,7 +85,7 @@ func main() {
 	}
 	mountTime := d.Clock().Now().Sub(before)
 	fmt.Printf("\nremounted in %v of simulated time (%d log units rolled forward)\n",
-		mountTime, recovered.Stats().RollForwardUnits)
+		mountTime, recovered.StatsSnapshot().Log.RollForwardUnits)
 
 	show := func(path string) {
 		buf := make([]byte, 64)

@@ -116,7 +116,7 @@ func main() {
 	ops := users * filesPerUser
 	lt := lsys.Clock().Now()
 	ft := fsys.Clock().Now()
-	lds, fds := ld.Stats(), fd.Stats()
+	lds, fds := lsys.StatsSnapshot().Disk, fsys.StatsSnapshot().Disk
 
 	fmt.Printf("office/engineering workload: %d users x %d short-lived 2KB files\n\n", users, filesPerUser)
 	fmt.Printf("%-22s %14s %14s\n", "", "LFS", "SunFFS")

@@ -58,13 +58,13 @@ func main() {
 	if err := fs.Unmount(); err != nil {
 		log.Fatal(err)
 	}
-	st := fs.Stats()
-	ds := d.Stats()
+	snap := fs.StatsSnapshot()
+	st, ds := snap.Log, snap.Disk
 	fmt.Printf("\nwhat LFS did:\n")
 	fmt.Printf("  log units written:  %d (%d blocks)\n", st.UnitsWritten, st.BlocksWritten)
 	fmt.Printf("  checkpoints:        %d\n", st.Checkpoints)
 	fmt.Printf("  disk writes:        %d (%d synchronous)\n", ds.Writes, ds.SyncWrites)
-	fmt.Printf("  simulated time:     %v\n", d.Clock().Now())
+	fmt.Printf("  simulated time:     %v\n", snap.Time)
 
 	// Remount: recovery reads the checkpoint, not the whole disk.
 	fs2, err := lfs.Mount(d, cfg)

@@ -43,7 +43,7 @@ func main() {
 		float64(res.BytesWritten)/(1<<20), float64(res.BytesRead)/(1<<20),
 		res.Elapsed.Duration, res.Elapsed.OpsPerSec())
 
-	st := fs.Stats()
+	st := fs.StatsSnapshot().Log
 	fmt.Printf("the log's view of it:\n")
 	fmt.Printf("  %d units written (%d blocks), %d segments sealed\n",
 		st.UnitsWritten, st.BlocksWritten, st.SegmentsSealed)

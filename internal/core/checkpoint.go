@@ -167,7 +167,7 @@ func (fs *FS) writeCheckpoint() error {
 		sector = int64(fs.sb.Ckpt1Sector)
 	}
 	fs.cpu.Charge(fs.cfg.Costs.DiskOpSetup)
-	if err := fs.d.WriteSectors(sector, buf, true, "checkpoint"); err != nil {
+	if err := fs.d.WriteSectors(sector, buf, true, disk.CauseCheckpoint, "checkpoint"); err != nil {
 		return err
 	}
 	fs.ckptSerial = st.Serial
@@ -184,8 +184,15 @@ func Mount(d *disk.Disk, cfg Config) (*FS, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	// Attach the trace recorder before the first recovery read so the
+	// mount-time I/O is part of the trace. The nil guard matters: a
+	// typed-nil *obs.Recorder stored in the disk.Tracer interface
+	// would look non-nil to the disk.
+	if cfg.Trace != nil {
+		d.SetTracer(cfg.Trace)
+	}
 	buf := make([]byte, cfg.BlockSize)
-	if err := d.ReadSectors(0, buf, "mount: superblock"); err != nil {
+	if err := d.ReadSectors(0, buf, disk.CauseRecovery, "mount: superblock"); err != nil {
 		return nil, err
 	}
 	sb, err := decodeSuperblock(buf)
@@ -206,7 +213,7 @@ func Mount(d *disk.Disk, cfg Config) (*FS, error) {
 	found := false
 	for _, sector := range []int64{int64(sb.Ckpt0Sector), int64(sb.Ckpt1Sector)} {
 		region := make([]byte, sb.CkptBytes)
-		if err := d.ReadSectors(sector, region, "mount: checkpoint"); err != nil {
+		if err := d.ReadSectors(sector, region, disk.CauseRecovery, "mount: checkpoint"); err != nil {
 			return nil, err
 		}
 		st, err := decodeCheckpoint(region)
@@ -253,7 +260,7 @@ func Mount(d *disk.Disk, cfg Config) (*FS, error) {
 			continue
 		}
 		blk := make([]byte, cfg.BlockSize)
-		if err := d.ReadSectors(int64(addr), blk, "mount: imap"); err != nil {
+		if err := d.ReadSectors(int64(addr), blk, disk.CauseInodeMap, "mount: imap"); err != nil {
 			return nil, err
 		}
 		fs.imap.decodeBlock(idx, blk)
@@ -324,7 +331,7 @@ func (fs *FS) rollForward(ckptTime sim.Time) error {
 		// Read a candidate summary header (one block is enough to
 		// hold the header; entries may spill into further blocks).
 		head := make([]byte, bs)
-		if err := fs.d.ReadSectors(fs.blockSector(fs.curSeg, fs.curBlk), head, "recovery: summary probe"); err != nil {
+		if err := fs.d.ReadSectors(fs.blockSector(fs.curSeg, fs.curBlk), head, disk.CauseRecovery, "recovery: summary probe"); err != nil {
 			return err
 		}
 		probe, _, errProbe := decodeSummaryHeaderOnly(head)
@@ -339,7 +346,7 @@ func (fs *FS) rollForward(ckptTime sim.Time) error {
 		}
 		// Read the full unit and re-validate with all entries.
 		unit := make([]byte, (probe.SumBlocks+probe.NBlocks)*bs)
-		if err := fs.d.ReadSectors(fs.blockSector(fs.curSeg, fs.curBlk), unit, "recovery: unit"); err != nil {
+		if err := fs.d.ReadSectors(fs.blockSector(fs.curSeg, fs.curBlk), unit, disk.CauseRecovery, "recovery: unit"); err != nil {
 			return err
 		}
 		h, refs, err := decodeSummary(unit)

@@ -3,7 +3,9 @@ package core
 import (
 	"fmt"
 
+	"lfs/internal/disk"
 	"lfs/internal/layout"
+	"lfs/internal/obs"
 )
 
 // CleanResult summarises one cleaner activation.
@@ -155,10 +157,13 @@ func (fs *FS) cleanSegment(seg int) (CleanResult, error) {
 	if fs.usage[seg].State != segDirty {
 		return res, fmt.Errorf("lfs: cleaning segment %d in state %d", seg, fs.usage[seg].State)
 	}
+	// Victim utilisation as the selection policy saw it, for the
+	// activation record (Figure 5's x-axis).
+	victimUtil := float64(fs.usage[seg].Live) / float64(fs.sb.SegmentSize)
 	// Phase 1: one large sequential read of the whole segment.
 	raw := make([]byte, fs.sb.SegmentSize)
 	fs.cpu.Charge(fs.cfg.Costs.DiskOpSetup)
-	if err := fs.d.ReadSectors(fs.segFirstSector(seg), raw, "cleaner: segment read"); err != nil {
+	if err := fs.d.ReadSectors(fs.segFirstSector(seg), raw, disk.CauseCleanerRead, "cleaner: segment read"); err != nil {
 		return res, err
 	}
 
@@ -202,6 +207,20 @@ func (fs *FS) cleanSegment(seg int) (CleanResult, error) {
 	fs.usage[seg].Live = 0
 	fs.pendingClean++
 	fs.stats.SegmentsCleaned++
+	if fs.rec.Enabled() {
+		// Measured byte counts, so the recorder's aggregate write
+		// cost is exactly the Stats-derived value.
+		read := int64(fs.sb.SegmentSize)
+		copied := int64(res.LiveCopied) * int64(fs.cfg.BlockSize)
+		fs.rec.Clean(obs.CleanRecord{
+			Time:           fs.clock.Now(),
+			Seg:            seg,
+			Utilization:    victimUtil,
+			BytesRead:      read,
+			BytesCopied:    copied,
+			BytesReclaimed: read - copied,
+		})
+	}
 	return res, nil
 }
 

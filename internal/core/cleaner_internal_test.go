@@ -162,7 +162,7 @@ func TestPlaceBlocksSpansSegments(t *testing.T) {
 	// Every placed block must read back with its payload.
 	buf := make([]byte, cfg.BlockSize)
 	for i, a := range addrs {
-		if err := fs.d.ReadSectors(int64(a), buf, "test"); err != nil {
+		if err := fs.d.ReadSectors(int64(a), buf, disk.CauseOther, "test"); err != nil {
 			t.Fatal(err)
 		}
 		if buf[0] != byte(i) {

@@ -26,6 +26,7 @@ package core
 import (
 	"fmt"
 
+	"lfs/internal/obs"
 	"lfs/internal/sim"
 )
 
@@ -103,6 +104,11 @@ type Config struct {
 	MIPS float64
 	// Costs is the instruction cost table.
 	Costs sim.Costs
+	// Trace, when non-nil, receives operation spans, cause-tagged
+	// disk events, and cleaner activation records. Mount registers it
+	// as the disk's tracer. A nil recorder costs nothing; a non-nil
+	// one never changes the simulated timeline.
+	Trace *obs.Recorder
 }
 
 // DefaultConfig returns the paper's evaluation configuration: 4 KB

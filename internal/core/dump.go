@@ -15,7 +15,7 @@ import (
 // volumes too.
 func Dump(w io.Writer, d *disk.Disk, segments bool) error {
 	buf := make([]byte, 4096)
-	if err := d.ReadSectors(0, buf, "dump: superblock"); err != nil {
+	if err := d.ReadSectors(0, buf, disk.CauseTool, "dump: superblock"); err != nil {
 		return err
 	}
 	sb, err := decodeSuperblock(buf)
@@ -33,7 +33,7 @@ func Dump(w io.Writer, d *disk.Disk, segments bool) error {
 	var newest *checkpointState
 	for i, sector := range []int64{int64(sb.Ckpt0Sector), int64(sb.Ckpt1Sector)} {
 		region := make([]byte, sb.CkptBytes)
-		if err := d.ReadSectors(sector, region, "dump: checkpoint"); err != nil {
+		if err := d.ReadSectors(sector, region, disk.CauseTool, "dump: checkpoint"); err != nil {
 			return err
 		}
 		st, err := decodeCheckpoint(region)
@@ -90,7 +90,7 @@ func Dump(w io.Writer, d *disk.Disk, segments bool) error {
 		blk := 0
 		for blk < blocksPerSeg {
 			head := make([]byte, bs)
-			if err := d.ReadSectors(first+int64(blk)*spb, head, "dump: summary"); err != nil {
+			if err := d.ReadSectors(first+int64(blk)*spb, head, disk.CauseTool, "dump: summary"); err != nil {
 				return err
 			}
 			h, _, err := decodeSummaryHeaderOnly(head)
@@ -98,7 +98,7 @@ func Dump(w io.Writer, d *disk.Disk, segments bool) error {
 				break
 			}
 			unit := make([]byte, (h.SumBlocks+h.NBlocks)*bs)
-			if err := d.ReadSectors(first+int64(blk)*spb, unit, "dump: unit"); err != nil {
+			if err := d.ReadSectors(first+int64(blk)*spb, unit, disk.CauseTool, "dump: unit"); err != nil {
 				return err
 			}
 			hh, refs, err := decodeSummary(unit)
@@ -124,7 +124,7 @@ func Dump(w io.Writer, d *disk.Disk, segments bool) error {
 // Like Dump it parses the raw image without mounting.
 func DumpImap(w io.Writer, d *disk.Disk) error {
 	buf := make([]byte, 4096)
-	if err := d.ReadSectors(0, buf, "dump: superblock"); err != nil {
+	if err := d.ReadSectors(0, buf, disk.CauseTool, "dump: superblock"); err != nil {
 		return err
 	}
 	sb, err := decodeSuperblock(buf)
@@ -134,7 +134,7 @@ func DumpImap(w io.Writer, d *disk.Disk) error {
 	var newest *checkpointState
 	for _, sector := range []int64{int64(sb.Ckpt0Sector), int64(sb.Ckpt1Sector)} {
 		region := make([]byte, sb.CkptBytes)
-		if err := d.ReadSectors(sector, region, "dump: checkpoint"); err != nil {
+		if err := d.ReadSectors(sector, region, disk.CauseTool, "dump: checkpoint"); err != nil {
 			return err
 		}
 		st, err := decodeCheckpoint(region)
@@ -157,7 +157,7 @@ func DumpImap(w io.Writer, d *disk.Disk) error {
 			continue
 		}
 		blk := make([]byte, sb.BlockSize)
-		if err := d.ReadSectors(int64(addr), blk, "dump: imap"); err != nil {
+		if err := d.ReadSectors(int64(addr), blk, disk.CauseTool, "dump: imap"); err != nil {
 			return err
 		}
 		for i := 0; i < per; i++ {

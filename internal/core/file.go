@@ -2,6 +2,7 @@ package core
 
 import (
 	"lfs/internal/cache"
+	"lfs/internal/disk"
 	"lfs/internal/layout"
 )
 
@@ -29,7 +30,7 @@ func (fs *FS) getDataBlock(in *layout.Inode, lbn int64, create bool) (*cache.Blo
 	}
 	b := fs.bc.Add(key)
 	fs.cpu.Charge(fs.cfg.Costs.BlockSetup + fs.cfg.Costs.DiskOpSetup)
-	if err := fs.d.ReadSectors(int64(addr), b.Data, "file read"); err != nil {
+	if err := fs.d.ReadSectors(int64(addr), b.Data, disk.CauseReadMiss, "file read"); err != nil {
 		fs.bc.Remove(key)
 		return nil, err
 	}
@@ -88,7 +89,7 @@ func (fs *FS) readDataBlock(in *layout.Inode, lbn int64) (*cache.Block, error) {
 	}
 	fs.cpu.Charge(fs.cfg.Costs.BlockSetup + fs.cfg.Costs.DiskOpSetup)
 	span := make([]byte, run*bs)
-	if err := fs.d.ReadSectors(int64(addr), span, "file read"); err != nil {
+	if err := fs.d.ReadSectors(int64(addr), span, disk.CauseReadMiss, "file read"); err != nil {
 		return nil, err
 	}
 	var first *cache.Block

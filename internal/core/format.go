@@ -134,7 +134,7 @@ func Format(d *disk.Disk, cfg Config) error {
 	}
 	buf := make([]byte, cfg.BlockSize)
 	sb.encode(buf)
-	if err := d.WriteSectors(0, buf, true, "format: superblock"); err != nil {
+	if err := d.WriteSectors(0, buf, true, disk.CauseFormat, "format: superblock"); err != nil {
 		return err
 	}
 	// Build the initial state through a throwaway FS skeleton: an

@@ -7,6 +7,7 @@ import (
 	"lfs/internal/cache"
 	"lfs/internal/disk"
 	"lfs/internal/layout"
+	"lfs/internal/obs"
 	"lfs/internal/sim"
 	"lfs/internal/vfs"
 )
@@ -112,6 +113,11 @@ type FS struct {
 	unmounted bool
 
 	stats Stats
+
+	// rec is the attached trace recorder (cfg.Trace); nil when
+	// tracing is disabled. The recorder has its own lock, so spans
+	// recorded under fs.mu never deadlock with concurrent readers.
+	rec *obs.Recorder
 }
 
 // newSkeleton builds an FS with empty state: every segment clean, an
@@ -135,6 +141,7 @@ func newSkeleton(d *disk.Disk, cfg Config, sb superblock) *FS {
 		curBlk:      0,
 		segBuf:      make([]byte, cfg.SegmentSize),
 		writeSerial: 1,
+		rec:         cfg.Trace,
 	}
 	fs.usage[0].State = segActive
 	fs.cleanCount = int(sb.Segments) - 1
@@ -152,6 +159,71 @@ func (fs *FS) Stats() Stats {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	return fs.stats
+}
+
+// StatsSnapshot is a consistent copy of every statistics surface of a
+// mounted FS — log counters, disk, cache, CPU, cleaner state, and the
+// aggregated trace — taken atomically under the FS lock. Prefer it
+// over reading the individual accessors: those each lock separately,
+// so a workload running between two reads skews derived ratios.
+type StatsSnapshot struct {
+	// Time is the simulated time of the snapshot.
+	Time sim.Time
+	// Log holds the LFS-internal counters.
+	Log Stats
+	// Disk holds the device counters, including the busy-time
+	// decomposition by I/O cause.
+	Disk disk.Stats
+	// Cache holds the file cache counters.
+	Cache cache.Stats
+	// CPUInstructions is the total simulated instructions charged.
+	CPUInstructions int64
+	// CleanSegments is the number of clean segments.
+	CleanSegments int
+	// LiveBytes is the live-data estimate.
+	LiveBytes int64
+	// SegmentSize and BlockSize record the geometry the counters are
+	// denominated in, so derived quantities (WriteCost) need no
+	// config in hand.
+	SegmentSize int
+	BlockSize   int
+	// Trace is the aggregated trace when a recorder is attached, nil
+	// otherwise.
+	Trace *obs.Aggregates
+}
+
+// WriteCost returns the paper's cleaning cost derived from the
+// snapshot counters: (read + copied + new)/new over all cleaner
+// activity, where every cleaned segment was read whole and new space
+// is what remained after the live data was copied out. Zero when the
+// cleaner has not run (no cleaning means no cleaning overhead) or
+// generated no new space.
+func (s StatsSnapshot) WriteCost() float64 {
+	read := s.Log.SegmentsCleaned * int64(s.SegmentSize)
+	copied := s.Log.CleanerLiveCopied * int64(s.BlockSize)
+	fresh := read - copied
+	if fresh <= 0 {
+		return 0
+	}
+	return float64(read+copied+fresh) / float64(fresh)
+}
+
+// StatsSnapshot atomically captures all statistics surfaces.
+func (fs *FS) StatsSnapshot() StatsSnapshot {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return StatsSnapshot{
+		Time:            fs.clock.Now(),
+		Log:             fs.stats,
+		Disk:            fs.d.Stats(),
+		Cache:           fs.bc.Stats(),
+		CPUInstructions: fs.cpu.Instructions(),
+		CleanSegments:   fs.cleanCount,
+		LiveBytes:       fs.liveBytes,
+		SegmentSize:     int(fs.sb.SegmentSize),
+		BlockSize:       fs.cfg.BlockSize,
+		Trace:           fs.rec.Aggregates(),
+	}
 }
 
 // CacheStats returns file cache statistics.

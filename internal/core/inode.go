@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"lfs/internal/cache"
+	"lfs/internal/disk"
 	"lfs/internal/layout"
 	"lfs/internal/vfs"
 )
@@ -91,7 +92,7 @@ func (fs *FS) getInode(ino layout.Ino) (*layout.Inode, error) {
 	blockStart := fs.segFirstSector(seg) + rel/spb*spb
 	fs.cpu.Charge(fs.cfg.Costs.BlockSetup + fs.cfg.Costs.DiskOpSetup)
 	blk := make([]byte, fs.cfg.BlockSize)
-	if err := fs.d.ReadSectors(blockStart, blk, "inode read"); err != nil {
+	if err := fs.d.ReadSectors(blockStart, blk, disk.CauseInodeMap, "inode read"); err != nil {
 		return nil, err
 	}
 	fs.evictInodes()
@@ -181,7 +182,7 @@ func (fs *FS) getIndirect(ino layout.Ino, id int64, addr layout.DiskAddr, create
 	}
 	b := fs.bc.Add(indKey(ino, id))
 	fs.cpu.Charge(fs.cfg.Costs.BlockSetup + fs.cfg.Costs.DiskOpSetup)
-	if err := fs.d.ReadSectors(int64(addr), b.Data, "indirect read"); err != nil {
+	if err := fs.d.ReadSectors(int64(addr), b.Data, disk.CauseReadMiss, "indirect read"); err != nil {
 		fs.bc.Remove(indKey(ino, id))
 		return nil, err
 	}

@@ -5,6 +5,7 @@ import (
 
 	"lfs/internal/cache"
 	"lfs/internal/layout"
+	"lfs/internal/obs"
 	"lfs/internal/sim"
 	"lfs/internal/vfs"
 )
@@ -17,13 +18,35 @@ func (fs *FS) maxFileSize() int64 {
 	return layout.MaxFileBlocks(fs.cfg.BlockSize) * int64(fs.cfg.BlockSize)
 }
 
+// opStart samples the simulated clock and CPU at operation entry, for
+// the span recorded by endOp. Both reads are cheap enough to do even
+// with tracing disabled.
+func (fs *FS) opStart() (sim.Time, int64) {
+	return fs.clock.Now(), fs.cpu.Instructions()
+}
+
+// endOp closes an operation: it wraps err with the operation and path
+// context (*vfs.PathError) and, when a recorder is attached, emits the
+// operation's span. Must be called with fs.mu held. Recording reads
+// only the simulated clock, so tracing never perturbs the timeline.
+func (fs *FS) endOp(op, path string, start sim.Time, cpu0 int64, err error) error {
+	err = vfs.WrapPathError(op, path, err)
+	if fs.rec != nil {
+		msg := ""
+		if err != nil {
+			msg = err.Error()
+		}
+		fs.rec.Span(obs.Span{Op: op, Path: path, Start: start,
+			End: fs.clock.Now(), CPU: fs.cpu.Instructions() - cpu0, Err: msg})
+	}
+	return err
+}
+
 // createNode is the shared implementation of Create and Mkdir. In LFS
 // this performs no disk I/O at all (Figure 2): the inode is allocated
 // in the inode map, the directory block is modified in the cache, and
 // everything rides the next segment write.
 func (fs *FS) createNode(path string, isDir bool) error {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
 	if err := fs.checkMounted(); err != nil {
 		return err
 	}
@@ -74,10 +97,20 @@ func (fs *FS) createNode(path string, isDir bool) error {
 }
 
 // Create makes a new empty regular file.
-func (fs *FS) Create(path string) error { return fs.createNode(path, false) }
+func (fs *FS) Create(path string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	start, cpu0 := fs.opStart()
+	return fs.endOp("create", path, start, cpu0, fs.createNode(path, false))
+}
 
 // Mkdir makes a new empty directory.
-func (fs *FS) Mkdir(path string) error { return fs.createNode(path, true) }
+func (fs *FS) Mkdir(path string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	start, cpu0 := fs.opStart()
+	return fs.endOp("mkdir", path, start, cpu0, fs.createNode(path, true))
+}
 
 // lookupFile resolves path to a regular file's in-core inode.
 func (fs *FS) lookupFile(path string) (*layout.Inode, error) {
@@ -101,6 +134,12 @@ func (fs *FS) lookupFile(path string) (*layout.Inode, error) {
 func (fs *FS) Write(path string, off int64, data []byte) error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
+	start, cpu0 := fs.opStart()
+	return fs.endOp("write", path, start, cpu0, fs.write(path, off, data))
+}
+
+// write is Write without the lock, span, or error wrapping.
+func (fs *FS) write(path string, off int64, data []byte) error {
 	if err := fs.checkMounted(); err != nil {
 		return err
 	}
@@ -135,6 +174,13 @@ func (fs *FS) Write(path string, off int64, data []byte) error {
 func (fs *FS) Read(path string, off int64, buf []byte) (int, error) {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
+	start, cpu0 := fs.opStart()
+	n, err := fs.read(path, off, buf)
+	return n, fs.endOp("read", path, start, cpu0, err)
+}
+
+// read is Read without the lock, span, or error wrapping.
+func (fs *FS) read(path string, off int64, buf []byte) (int, error) {
 	if err := fs.checkMounted(); err != nil {
 		return 0, err
 	}
@@ -163,6 +209,13 @@ func (fs *FS) Read(path string, off int64, buf []byte) (int, error) {
 func (fs *FS) Stat(path string) (vfs.FileInfo, error) {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
+	start, cpu0 := fs.opStart()
+	fi, err := fs.stat(path)
+	return fi, fs.endOp("stat", path, start, cpu0, err)
+}
+
+// stat is Stat without the lock, span, or error wrapping.
+func (fs *FS) stat(path string) (vfs.FileInfo, error) {
 	if err := fs.checkMounted(); err != nil {
 		return vfs.FileInfo{}, err
 	}
@@ -192,6 +245,13 @@ func (fs *FS) Stat(path string) (vfs.FileInfo, error) {
 func (fs *FS) ReadDir(path string) ([]layout.DirEntry, error) {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
+	start, cpu0 := fs.opStart()
+	ents, err := fs.readDir(path)
+	return ents, fs.endOp("readdir", path, start, cpu0, err)
+}
+
+// readDir is ReadDir without the lock, span, or error wrapping.
+func (fs *FS) readDir(path string) ([]layout.DirEntry, error) {
 	if err := fs.checkMounted(); err != nil {
 		return nil, err
 	}
@@ -213,6 +273,12 @@ func (fs *FS) ReadDir(path string) ([]layout.DirEntry, error) {
 func (fs *FS) Remove(path string) error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
+	start, cpu0 := fs.opStart()
+	return fs.endOp("remove", path, start, cpu0, fs.remove(path))
+}
+
+// remove is Remove without the lock, span, or error wrapping.
+func (fs *FS) remove(path string) error {
 	if err := fs.checkMounted(); err != nil {
 		return err
 	}
@@ -276,6 +342,12 @@ func (fs *FS) Remove(path string) error {
 func (fs *FS) Link(oldPath, newPath string) error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
+	start, cpu0 := fs.opStart()
+	return fs.endOp("link", oldPath, start, cpu0, fs.link(oldPath, newPath))
+}
+
+// link is Link without the lock, span, or error wrapping.
+func (fs *FS) link(oldPath, newPath string) error {
 	if err := fs.checkMounted(); err != nil {
 		return err
 	}
@@ -311,6 +383,12 @@ func (fs *FS) Link(oldPath, newPath string) error {
 func (fs *FS) Rename(oldPath, newPath string) error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
+	start, cpu0 := fs.opStart()
+	return fs.endOp("rename", oldPath, start, cpu0, fs.rename(oldPath, newPath))
+}
+
+// rename is Rename without the lock, span, or error wrapping.
+func (fs *FS) rename(oldPath, newPath string) error {
 	if err := fs.checkMounted(); err != nil {
 		return err
 	}
@@ -369,6 +447,12 @@ func (fs *FS) Rename(oldPath, newPath string) error {
 func (fs *FS) Truncate(path string, size int64) error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
+	start, cpu0 := fs.opStart()
+	return fs.endOp("truncate", path, start, cpu0, fs.truncate(path, size))
+}
+
+// truncate is Truncate without the lock, span, or error wrapping.
+func (fs *FS) truncate(path string, size int64) error {
 	if err := fs.checkMounted(); err != nil {
 		return err
 	}
@@ -408,6 +492,12 @@ func (fs *FS) Truncate(path string, size int64) error {
 func (fs *FS) FsyncFile(path string) error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
+	start, cpu0 := fs.opStart()
+	return fs.endOp("fsync", path, start, cpu0, fs.fsyncFile(path))
+}
+
+// fsyncFile is FsyncFile without the lock, span, or error wrapping.
+func (fs *FS) fsyncFile(path string) error {
 	if err := fs.checkMounted(); err != nil {
 		return err
 	}
@@ -465,6 +555,12 @@ func (fs *FS) FsyncFile(path string) error {
 func (fs *FS) Sync() error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
+	start, cpu0 := fs.opStart()
+	return fs.endOp("sync", "/", start, cpu0, fs.sync())
+}
+
+// sync is Sync without the lock, span, or error wrapping.
+func (fs *FS) sync() error {
 	if err := fs.checkMounted(); err != nil {
 		return err
 	}
@@ -480,6 +576,12 @@ func (fs *FS) Sync() error {
 func (fs *FS) Unmount() error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
+	start, cpu0 := fs.opStart()
+	return fs.endOp("unmount", "/", start, cpu0, fs.unmount())
+}
+
+// unmount is Unmount without the lock, span, or error wrapping.
+func (fs *FS) unmount() error {
 	if err := fs.checkMounted(); err != nil {
 		return err
 	}

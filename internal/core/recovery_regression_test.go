@@ -7,6 +7,7 @@ import (
 	"bytes"
 	"testing"
 
+	"lfs/internal/disk"
 	"lfs/internal/layout"
 )
 
@@ -182,7 +183,7 @@ func TestReviveBlockInodeErrorKeepsLiveness(t *testing.T) {
 	// Snapshot the intact block — the cleaner reads the victim
 	// segment before examining it.
 	blk := make([]byte, fs.cfg.BlockSize)
-	if err := fs.d.ReadSectors(blockStart, blk, "test"); err != nil {
+	if err := fs.d.ReadSectors(blockStart, blk, disk.CauseOther, "test"); err != nil {
 		t.Fatal(err)
 	}
 	// Zero /b's slot on the medium and evict both inodes so the
@@ -247,7 +248,7 @@ func TestRollForwardRejectsStaleEpochUnit(t *testing.T) {
 	unit := make([]byte, 2*bs)
 	encodeSummary(h, []blockRef{{Kind: kindInodes}}, unit[:bs])
 	copy(unit[bs:], inodeBlk)
-	if err := d.WriteSectors(headSector, unit, true, "test: stale unit"); err != nil {
+	if err := d.WriteSectors(headSector, unit, true, disk.CauseOther, "test: stale unit"); err != nil {
 		t.Fatal(err)
 	}
 

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"lfs/internal/cache"
+	"lfs/internal/disk"
 	"lfs/internal/layout"
 	"lfs/internal/vfs"
 )
@@ -311,8 +312,16 @@ func (fs *FS) flushPendingIO() error {
 	bs := fs.cfg.BlockSize
 	start := fs.pendingBlk
 	fs.cpu.Charge(fs.cfg.Costs.DiskOpSetup)
+	// Attribution: the same code path writes new data (log append) and
+	// relocates live blocks for the cleaner; fs.cleaning tells the two
+	// apart so the busy-time decomposition matches the paper's
+	// write-cost accounting.
+	cause := disk.CauseLogAppend
+	if fs.cleaning {
+		cause = disk.CauseCleanerWrite
+	}
 	if err := fs.d.WriteSectors(fs.blockSector(fs.curSeg, start),
-		fs.segBuf[start*bs:fs.curBlk*bs], false, "segment write"); err != nil {
+		fs.segBuf[start*bs:fs.curBlk*bs], false, cause, "segment write"); err != nil {
 		return err
 	}
 	fs.pendingBlk = fs.curBlk

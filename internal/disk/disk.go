@@ -23,6 +23,80 @@ func (k OpKind) String() string {
 	return "write"
 }
 
+// IOCause attributes a disk request to the file-system activity that
+// issued it. The paper's evaluation (Figures 3-5) decomposes disk time
+// into exactly these categories — log writes vs cleaning vs checkpoints
+// vs read misses — so every request names its cause and the disk keeps
+// an exact per-cause busy-time decomposition in Stats.ByCause.
+type IOCause uint8
+
+// The request causes. CauseOther is the zero value, used by callers
+// outside the two file systems (raw device tests, tools that bypass
+// the mounted FS); everything the file systems issue is named.
+const (
+	// CauseOther is unattributed traffic.
+	CauseOther IOCause = iota
+	// CauseLogAppend is an LFS segment write of new data (the normal
+	// asynchronous log transfer, §4.1).
+	CauseLogAppend
+	// CauseCleanerRead is the cleaner's phase-one segment read
+	// (§4.3.2).
+	CauseCleanerRead
+	// CauseCleanerWrite is a segment write issued while the cleaner
+	// is relocating live blocks (§4.3.2 phase two).
+	CauseCleanerWrite
+	// CauseCheckpoint is a checkpoint-region write (§4.4.1).
+	CauseCheckpoint
+	// CauseInodeMap is inode and inode-map traffic: reading inodes
+	// through the map and loading map blocks at mount (§4.2.1).
+	CauseInodeMap
+	// CauseReadMiss is a file, directory, or indirect block read
+	// serving a cache miss.
+	CauseReadMiss
+	// CauseSyncWrite is an FFS synchronous metadata write (the
+	// creat/unlink inode and directory writes of Figure 1).
+	CauseSyncWrite
+	// CauseWriteback is an FFS delayed asynchronous write-back.
+	CauseWriteback
+	// CauseRecovery is mount-time recovery traffic: superblock and
+	// checkpoint-region reads plus roll-forward log reads (§4.4).
+	CauseRecovery
+	// CauseFormat is mkfs initialisation.
+	CauseFormat
+	// CauseTool is offline tool traffic (lfsdump, fsck image scans).
+	CauseTool
+
+	// NumCauses bounds the cause space; Stats.ByCause is indexed by
+	// cause.
+	NumCauses
+)
+
+// causeNames indexes IOCause.String.
+var causeNames = [NumCauses]string{
+	"other", "log-append", "cleaner-read", "cleaner-write", "checkpoint",
+	"inode-map", "read-miss", "sync-write", "writeback", "recovery",
+	"format", "tool",
+}
+
+// String returns the cause's stable name (used in traces and JSONL
+// exports; tools parse these).
+func (c IOCause) String() string {
+	if c >= NumCauses {
+		return fmt.Sprintf("cause(%d)", int(c))
+	}
+	return causeNames[c]
+}
+
+// ParseIOCause maps a cause name back to its value, for trace readers.
+func ParseIOCause(s string) (IOCause, bool) {
+	for i, n := range causeNames {
+		if n == s {
+			return IOCause(i), true
+		}
+	}
+	return CauseOther, false
+}
+
 // Event describes one disk request, for tracing (Figures 1 and 2 of
 // the paper are rendered from these events).
 type Event struct {
@@ -44,6 +118,8 @@ type Event struct {
 	SeekCylinders int
 	// Service is the modelled service time of the request.
 	Service sim.Duration
+	// Cause attributes the request to the issuing activity.
+	Cause IOCause
 	// Label is the file-system-provided annotation ("inode",
 	// "dir data", "segment", ...).
 	Label string
@@ -52,6 +128,18 @@ type Event struct {
 // Tracer receives every disk request when attached via SetTracer.
 type Tracer interface {
 	Record(Event)
+}
+
+// CauseStats accumulates per-cause request counters. The Busy fields
+// across all causes sum exactly to Stats.BusyTime: every request is
+// tagged with exactly one cause.
+type CauseStats struct {
+	// Requests counts disk requests attributed to the cause.
+	Requests int64
+	// Sectors counts sectors transferred for the cause.
+	Sectors int64
+	// Busy sums modelled service time charged to the cause.
+	Busy sim.Duration
 }
 
 // Stats accumulates disk activity counters.
@@ -69,6 +157,9 @@ type Stats struct {
 	SeekCylinders int64
 	// BusyTime sums service time across all requests.
 	BusyTime sim.Duration
+	// ByCause decomposes the traffic by issuing activity; the Busy
+	// fields sum exactly to BusyTime.
+	ByCause [NumCauses]CauseStats
 }
 
 // BytesRead returns the read volume in bytes.
@@ -80,7 +171,7 @@ func (s Stats) BytesWritten() int64 { return s.SectorsWritten * SectorSize }
 // Sub returns the difference s - o, for measuring an interval between
 // two snapshots.
 func (s Stats) Sub(o Stats) Stats {
-	return Stats{
+	out := Stats{
 		Reads:          s.Reads - o.Reads,
 		Writes:         s.Writes - o.Writes,
 		SyncWrites:     s.SyncWrites - o.SyncWrites,
@@ -90,6 +181,25 @@ func (s Stats) Sub(o Stats) Stats {
 		SeekCylinders:  s.SeekCylinders - o.SeekCylinders,
 		BusyTime:       s.BusyTime - o.BusyTime,
 	}
+	for c := range s.ByCause {
+		out.ByCause[c] = CauseStats{
+			Requests: s.ByCause[c].Requests - o.ByCause[c].Requests,
+			Sectors:  s.ByCause[c].Sectors - o.ByCause[c].Sectors,
+			Busy:     s.ByCause[c].Busy - o.ByCause[c].Busy,
+		}
+	}
+	return out
+}
+
+// AttributedBusy returns the busy time attributed to named causes
+// (everything except CauseOther) and the total busy time.
+func (s Stats) AttributedBusy() (named, total sim.Duration) {
+	for c := IOCause(0); c < NumCauses; c++ {
+		if c != CauseOther {
+			named += s.ByCause[c].Busy
+		}
+	}
+	return named, s.BusyTime
 }
 
 // String summarises the counters on one line.
@@ -249,8 +359,9 @@ func (d *Disk) trace(ev Event) {
 
 // ReadSectors performs a blocking read of len(p) bytes starting at the
 // given sector, advancing the clock to the request's completion. The
-// label annotates traces.
-func (d *Disk) ReadSectors(sector int64, p []byte, label string) error {
+// cause attributes the request in Stats.ByCause and traces; the label
+// annotates traces.
+func (d *Disk) ReadSectors(sector int64, p []byte, cause IOCause, label string) error {
 	if d.faults.frozen {
 		return fmt.Errorf("disk: device is frozen (crashed): %w", ErrPowerLoss)
 	}
@@ -267,14 +378,20 @@ func (d *Disk) ReadSectors(sector int64, p []byte, label string) error {
 			return fmt.Errorf("disk: injected read fault at sector %d: %w", sector, err)
 		}
 	}
+	if cause >= NumCauses {
+		cause = CauseOther
+	}
 	start := d.begin()
 	dur, seq, seekCyl := d.service(sector, len(p))
 	d.busyUntil = start.Add(dur)
 	d.clock.AdvanceTo(d.busyUntil)
 	d.stats.Reads++
 	d.stats.SectorsRead += int64(len(p) / SectorSize)
+	d.stats.ByCause[cause].Requests++
+	d.stats.ByCause[cause].Sectors += int64(len(p) / SectorSize)
+	d.stats.ByCause[cause].Busy += dur
 	d.trace(Event{Time: start, Kind: OpRead, Sector: sector, Sectors: len(p) / SectorSize,
-		Sync: true, Sequential: seq, SeekCylinders: seekCyl, Service: dur, Label: label})
+		Sync: true, Sequential: seq, SeekCylinders: seekCyl, Service: dur, Cause: cause, Label: label})
 	return d.store.ReadAt(p, sector*SectorSize)
 }
 
@@ -283,7 +400,7 @@ func (d *Disk) ReadSectors(sector int64, p []byte, label string) error {
 // issuing process blocks, as FFS does for inode and directory writes);
 // otherwise only the disk's busy horizon is extended (LFS-style
 // asynchronous segment writes that overlap computation).
-func (d *Disk) WriteSectors(sector int64, p []byte, sync bool, label string) error {
+func (d *Disk) WriteSectors(sector int64, p []byte, sync bool, cause IOCause, label string) error {
 	if d.faults.frozen {
 		return fmt.Errorf("disk: device is frozen (crashed): %w", ErrPowerLoss)
 	}
@@ -319,6 +436,9 @@ func (d *Disk) WriteSectors(sector int64, p []byte, sync bool, label string) err
 		}
 		return fmt.Errorf("disk: power cut during write of sector %d: %w", sector, ErrPowerLoss)
 	}
+	if cause >= NumCauses {
+		cause = CauseOther
+	}
 	start := d.begin()
 	dur, seq, seekCyl := d.service(sector, len(p))
 	d.busyUntil = start.Add(dur)
@@ -328,8 +448,11 @@ func (d *Disk) WriteSectors(sector int64, p []byte, sync bool, label string) err
 	}
 	d.stats.Writes++
 	d.stats.SectorsWritten += int64(len(p) / SectorSize)
+	d.stats.ByCause[cause].Requests++
+	d.stats.ByCause[cause].Sectors += int64(len(p) / SectorSize)
+	d.stats.ByCause[cause].Busy += dur
 	d.trace(Event{Time: start, Kind: OpWrite, Sector: sector, Sectors: len(p) / SectorSize,
-		Sync: sync, Sequential: seq, SeekCylinders: seekCyl, Service: dur, Label: label})
+		Sync: sync, Sequential: seq, SeekCylinders: seekCyl, Service: dur, Cause: cause, Label: label})
 	switch dec.Action {
 	case WriteDrop:
 		// Silently lost: the caller sees success, nothing persists.

@@ -63,11 +63,11 @@ func TestTransferTimeMatchesBandwidth(t *testing.T) {
 func TestDiskReadWriteRoundTrip(t *testing.T) {
 	d := newTestDisk(t, 4<<20)
 	want := bytes.Repeat([]byte{0x5A}, 4096)
-	if err := d.WriteSectors(100, want, true, "test"); err != nil {
+	if err := d.WriteSectors(100, want, true, CauseOther, "test"); err != nil {
 		t.Fatal(err)
 	}
 	got := make([]byte, 4096)
-	if err := d.ReadSectors(100, got, "test"); err != nil {
+	if err := d.ReadSectors(100, got, CauseOther, "test"); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(got, want) {
@@ -77,16 +77,16 @@ func TestDiskReadWriteRoundTrip(t *testing.T) {
 
 func TestDiskRejectsMisalignedAndOutOfRange(t *testing.T) {
 	d := newTestDisk(t, 1<<20)
-	if err := d.WriteSectors(0, make([]byte, 100), true, ""); err == nil {
+	if err := d.WriteSectors(0, make([]byte, 100), true, CauseOther, ""); err == nil {
 		t.Fatal("misaligned write succeeded")
 	}
-	if err := d.ReadSectors(0, nil, ""); err == nil {
+	if err := d.ReadSectors(0, nil, CauseOther, ""); err == nil {
 		t.Fatal("empty read succeeded")
 	}
-	if err := d.ReadSectors(d.Sectors(), make([]byte, 512), ""); err == nil {
+	if err := d.ReadSectors(d.Sectors(), make([]byte, 512), CauseOther, ""); err == nil {
 		t.Fatal("read past end succeeded")
 	}
-	if err := d.WriteSectors(-1, make([]byte, 512), false, ""); err == nil {
+	if err := d.WriteSectors(-1, make([]byte, 512), false, CauseOther, ""); err == nil {
 		t.Fatal("negative-sector write succeeded")
 	}
 }
@@ -100,7 +100,7 @@ func TestSequentialIOFasterThanRandom(t *testing.T) {
 	start := clock.Now()
 	sector := int64(0)
 	for i := 0; i < 256; i++ {
-		if err := d.WriteSectors(sector, block, true, ""); err != nil {
+		if err := d.WriteSectors(sector, block, true, CauseOther, ""); err != nil {
 			t.Fatal(err)
 		}
 		sector += 8
@@ -112,7 +112,7 @@ func TestSequentialIOFasterThanRandom(t *testing.T) {
 	for i := 0; i < 256; i++ {
 		s := int64((i * 104729) % int(d.Sectors()-8)) // large prime scatter
 		s -= s % 8
-		if err := d.WriteSectors(s, block, true, ""); err != nil {
+		if err := d.WriteSectors(s, block, true, CauseOther, ""); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -129,7 +129,7 @@ func TestAsyncWriteDoesNotBlockCaller(t *testing.T) {
 	seg := make([]byte, 1<<20)
 
 	before := clock.Now()
-	if err := d.WriteSectors(0, seg, false, "segment"); err != nil {
+	if err := d.WriteSectors(0, seg, false, CauseOther, "segment"); err != nil {
 		t.Fatal(err)
 	}
 	if clock.Now() != before {
@@ -152,7 +152,7 @@ func TestSyncWriteBlocksCaller(t *testing.T) {
 	clock := sim.NewClock()
 	d := NewMem(16<<20, clock)
 	before := clock.Now()
-	if err := d.WriteSectors(5000, make([]byte, 4096), true, "inode"); err != nil {
+	if err := d.WriteSectors(5000, make([]byte, 4096), true, CauseOther, "inode"); err != nil {
 		t.Fatal(err)
 	}
 	if clock.Now() == before {
@@ -167,11 +167,11 @@ func TestQueuedAsyncWritesSerialize(t *testing.T) {
 	clock := sim.NewClock()
 	d := NewMem(16<<20, clock)
 	// Two async writes: the second starts after the first finishes.
-	if err := d.WriteSectors(0, make([]byte, 1<<20), false, ""); err != nil {
+	if err := d.WriteSectors(0, make([]byte, 1<<20), false, CauseOther, ""); err != nil {
 		t.Fatal(err)
 	}
 	first := d.BusyUntil()
-	if err := d.WriteSectors(2048, make([]byte, 1<<20), false, ""); err != nil {
+	if err := d.WriteSectors(2048, make([]byte, 1<<20), false, CauseOther, ""); err != nil {
 		t.Fatal(err)
 	}
 	if d.BusyUntil() <= first {
@@ -182,13 +182,13 @@ func TestQueuedAsyncWritesSerialize(t *testing.T) {
 func TestStatsAccounting(t *testing.T) {
 	d := newTestDisk(t, 16<<20)
 	block := make([]byte, 4096)
-	if err := d.WriteSectors(0, block, true, ""); err != nil {
+	if err := d.WriteSectors(0, block, true, CauseOther, ""); err != nil {
 		t.Fatal(err)
 	}
-	if err := d.WriteSectors(8, block, false, ""); err != nil {
+	if err := d.WriteSectors(8, block, false, CauseOther, ""); err != nil {
 		t.Fatal(err)
 	}
-	if err := d.ReadSectors(0, block, ""); err != nil {
+	if err := d.ReadSectors(0, block, CauseOther, ""); err != nil {
 		t.Fatal(err)
 	}
 	s := d.Stats()
@@ -205,7 +205,7 @@ func TestStatsAccounting(t *testing.T) {
 		t.Fatal("busy time not accumulated")
 	}
 	snap := d.Stats()
-	if err := d.ReadSectors(0, block, ""); err != nil {
+	if err := d.ReadSectors(0, block, CauseOther, ""); err != nil {
 		t.Fatal(err)
 	}
 	delta := d.Stats().Sub(snap)
@@ -225,10 +225,10 @@ func TestTracerReceivesEvents(t *testing.T) {
 	d := newTestDisk(t, 16<<20)
 	var events []Event
 	d.SetTracer(tracerFunc(func(ev Event) { events = append(events, ev) }))
-	if err := d.WriteSectors(40, make([]byte, 4096), true, "inode"); err != nil {
+	if err := d.WriteSectors(40, make([]byte, 4096), true, CauseOther, "inode"); err != nil {
 		t.Fatal(err)
 	}
-	if err := d.WriteSectors(48, make([]byte, 4096), false, "data"); err != nil {
+	if err := d.WriteSectors(48, make([]byte, 4096), false, CauseOther, "data"); err != nil {
 		t.Fatal(err)
 	}
 	if len(events) != 2 {
@@ -247,7 +247,7 @@ func TestTracerReceivesEvents(t *testing.T) {
 		t.Fatal("first-ever request marked sequential")
 	}
 	d.SetTracer(nil)
-	if err := d.ReadSectors(40, make([]byte, 4096), ""); err != nil {
+	if err := d.ReadSectors(40, make([]byte, 4096), CauseOther, ""); err != nil {
 		t.Fatal(err)
 	}
 	if len(events) != 2 {
@@ -266,16 +266,16 @@ func TestInjectReadError(t *testing.T) {
 	d := newTestDisk(t, 16<<20)
 	boom := errors.New("media failure")
 	d.InjectReadError(16, boom)
-	err := d.ReadSectors(16, make([]byte, 512), "")
+	err := d.ReadSectors(16, make([]byte, 512), CauseOther, "")
 	if err == nil || !errors.Is(err, boom) {
 		t.Fatalf("err = %v, want injected media failure", err)
 	}
 	// Other sectors unaffected.
-	if err := d.ReadSectors(0, make([]byte, 512), ""); err != nil {
+	if err := d.ReadSectors(0, make([]byte, 512), CauseOther, ""); err != nil {
 		t.Fatal(err)
 	}
 	d.ClearFaults()
-	if err := d.ReadSectors(16, make([]byte, 512), ""); err != nil {
+	if err := d.ReadSectors(16, make([]byte, 512), CauseOther, ""); err != nil {
 		t.Fatal("fault survived ClearFaults")
 	}
 }
@@ -283,16 +283,16 @@ func TestInjectReadError(t *testing.T) {
 func TestTornWrite(t *testing.T) {
 	d := newTestDisk(t, 16<<20)
 	old := bytes.Repeat([]byte{0x11}, 8192)
-	if err := d.WriteSectors(0, old, true, ""); err != nil {
+	if err := d.WriteSectors(0, old, true, CauseOther, ""); err != nil {
 		t.Fatal(err)
 	}
 	d.TearNextWrite()
 	updated := bytes.Repeat([]byte{0x22}, 8192)
-	if err := d.WriteSectors(0, updated, true, ""); err != nil {
+	if err := d.WriteSectors(0, updated, true, CauseOther, ""); err != nil {
 		t.Fatal(err)
 	}
 	got := make([]byte, 8192)
-	if err := d.ReadSectors(0, got, ""); err != nil {
+	if err := d.ReadSectors(0, got, CauseOther, ""); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(got[:4096], updated[:4096]) {
@@ -307,11 +307,11 @@ func TestFailWrites(t *testing.T) {
 	d := newTestDisk(t, 16<<20)
 	boom := errors.New("controller fault")
 	d.FailWrites(boom)
-	if err := d.WriteSectors(0, make([]byte, 512), true, ""); err == nil || !errors.Is(err, boom) {
+	if err := d.WriteSectors(0, make([]byte, 512), true, CauseOther, ""); err == nil || !errors.Is(err, boom) {
 		t.Fatalf("err = %v, want injected failure", err)
 	}
 	d.FailWrites(nil)
-	if err := d.WriteSectors(0, make([]byte, 512), true, ""); err != nil {
+	if err := d.WriteSectors(0, make([]byte, 512), true, CauseOther, ""); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -319,19 +319,19 @@ func TestFailWrites(t *testing.T) {
 func TestFreezeThaw(t *testing.T) {
 	d := newTestDisk(t, 16<<20)
 	want := bytes.Repeat([]byte{9}, 512)
-	if err := d.WriteSectors(0, want, true, ""); err != nil {
+	if err := d.WriteSectors(0, want, true, CauseOther, ""); err != nil {
 		t.Fatal(err)
 	}
 	d.Freeze()
-	if err := d.ReadSectors(0, make([]byte, 512), ""); err == nil {
+	if err := d.ReadSectors(0, make([]byte, 512), CauseOther, ""); err == nil {
 		t.Fatal("read on frozen disk succeeded")
 	}
-	if err := d.WriteSectors(0, make([]byte, 512), true, ""); err == nil {
+	if err := d.WriteSectors(0, make([]byte, 512), true, CauseOther, ""); err == nil {
 		t.Fatal("write on frozen disk succeeded")
 	}
 	d.Thaw()
 	got := make([]byte, 512)
-	if err := d.ReadSectors(0, got, ""); err != nil {
+	if err := d.ReadSectors(0, got, CauseOther, ""); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(got, want) {
@@ -415,9 +415,9 @@ func TestDiskTimeMonotoneProperty(t *testing.T) {
 			sector := int64(o.Sector) % (d.Sectors() - 8)
 			var err error
 			if o.Write {
-				err = d.WriteSectors(sector, buf, o.Sync, "prop")
+				err = d.WriteSectors(sector, buf, o.Sync, CauseOther, "prop")
 			} else {
-				err = d.ReadSectors(sector, buf, "prop")
+				err = d.ReadSectors(sector, buf, CauseOther, "prop")
 			}
 			if err != nil {
 				return false

@@ -19,7 +19,7 @@ func fill(t *testing.T, d *Disk, n int, b byte) {
 	t.Helper()
 	buf := bytes.Repeat([]byte{b}, SectorSize)
 	for i := 0; i < n; i++ {
-		if err := d.WriteSectors(int64(i), buf, true, ""); err != nil {
+		if err := d.WriteSectors(int64(i), buf, true, CauseOther, ""); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -30,19 +30,19 @@ func TestCrashPlanPowerCut(t *testing.T) {
 	d.SetFaultPolicy(&CrashPlan{CutWrite: 3})
 	buf := bytes.Repeat([]byte{7}, SectorSize)
 	for i := 0; i < 2; i++ {
-		if err := d.WriteSectors(int64(i), buf, true, ""); err != nil {
+		if err := d.WriteSectors(int64(i), buf, true, CauseOther, ""); err != nil {
 			t.Fatalf("write %d before the cut failed: %v", i, err)
 		}
 	}
-	err := d.WriteSectors(2, buf, true, "")
+	err := d.WriteSectors(2, buf, true, CauseOther, "")
 	if !errors.Is(err, ErrPowerLoss) {
 		t.Fatalf("fatal write error = %v, want ErrPowerLoss", err)
 	}
 	// Everything afterwards is dead, reads included.
-	if err := d.ReadSectors(0, make([]byte, SectorSize), ""); !errors.Is(err, ErrPowerLoss) {
+	if err := d.ReadSectors(0, make([]byte, SectorSize), CauseOther, ""); !errors.Is(err, ErrPowerLoss) {
 		t.Fatalf("read after cut = %v, want ErrPowerLoss", err)
 	}
-	if err := d.WriteSectors(3, buf, true, ""); !errors.Is(err, ErrPowerLoss) {
+	if err := d.WriteSectors(3, buf, true, CauseOther, ""); !errors.Is(err, ErrPowerLoss) {
 		t.Fatalf("write after cut = %v, want ErrPowerLoss", err)
 	}
 	// Reboot: earlier writes persisted, the fatal one did not.
@@ -50,14 +50,14 @@ func TestCrashPlanPowerCut(t *testing.T) {
 	d.SetFaultPolicy(nil)
 	got := make([]byte, SectorSize)
 	for i := 0; i < 2; i++ {
-		if err := d.ReadSectors(int64(i), got, ""); err != nil {
+		if err := d.ReadSectors(int64(i), got, CauseOther, ""); err != nil {
 			t.Fatal(err)
 		}
 		if got[0] != 7 {
 			t.Fatalf("sector %d lost pre-cut data", i)
 		}
 	}
-	if err := d.ReadSectors(2, got, ""); err != nil {
+	if err := d.ReadSectors(2, got, CauseOther, ""); err != nil {
 		t.Fatal(err)
 	}
 	if got[0] != 0 {
@@ -68,18 +68,18 @@ func TestCrashPlanPowerCut(t *testing.T) {
 func TestCrashPlanTearFatalWrite(t *testing.T) {
 	d := newFaultDisk(t)
 	old := bytes.Repeat([]byte{0x11}, 4*SectorSize)
-	if err := d.WriteSectors(0, old, true, ""); err != nil {
+	if err := d.WriteSectors(0, old, true, CauseOther, ""); err != nil {
 		t.Fatal(err)
 	}
 	d.SetFaultPolicy(&CrashPlan{CutWrite: 1, TearFatalWrite: true})
 	updated := bytes.Repeat([]byte{0x22}, 4*SectorSize)
-	if err := d.WriteSectors(0, updated, true, ""); !errors.Is(err, ErrPowerLoss) {
+	if err := d.WriteSectors(0, updated, true, CauseOther, ""); !errors.Is(err, ErrPowerLoss) {
 		t.Fatalf("torn fatal write error = %v, want ErrPowerLoss", err)
 	}
 	d.Thaw()
 	d.SetFaultPolicy(nil)
 	got := make([]byte, 4*SectorSize)
-	if err := d.ReadSectors(0, got, ""); err != nil {
+	if err := d.ReadSectors(0, got, CauseOther, ""); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(got[:2*SectorSize], updated[:2*SectorSize]) {
@@ -97,7 +97,7 @@ func TestCrashPlanDropWrite(t *testing.T) {
 	d.SetFaultPolicy(nil)
 	got := make([]byte, SectorSize)
 	for i, want := range []byte{9, 0, 9} {
-		if err := d.ReadSectors(int64(i), got, ""); err != nil {
+		if err := d.ReadSectors(int64(i), got, CauseOther, ""); err != nil {
 			t.Fatal(err)
 		}
 		if got[0] != want {
@@ -112,13 +112,13 @@ func TestCrashPlanReadError(t *testing.T) {
 	boom := errors.New("surface scratch")
 	d.SetFaultPolicy(&CrashPlan{ReadErrors: map[int64]error{2: boom}})
 	buf := make([]byte, SectorSize)
-	if err := d.ReadSectors(0, buf, ""); err != nil { // read 1: fine
+	if err := d.ReadSectors(0, buf, CauseOther, ""); err != nil { // read 1: fine
 		t.Fatal(err)
 	}
-	if err := d.ReadSectors(1, buf, ""); !errors.Is(err, boom) { // read 2
+	if err := d.ReadSectors(1, buf, CauseOther, ""); !errors.Is(err, boom) { // read 2
 		t.Fatalf("read 2 error = %v, want injected error", err)
 	}
-	if err := d.ReadSectors(1, buf, ""); err != nil { // read 3: fine again
+	if err := d.ReadSectors(1, buf, CauseOther, ""); err != nil { // read 3: fine again
 		t.Fatal(err)
 	}
 }
@@ -134,10 +134,10 @@ func TestFaultPolicySequenceResets(t *testing.T) {
 	}
 	d.SetFaultPolicy(&CrashPlan{CutWrite: 2})
 	buf := bytes.Repeat([]byte{3}, SectorSize)
-	if err := d.WriteSectors(10, buf, true, ""); err != nil {
+	if err := d.WriteSectors(10, buf, true, CauseOther, ""); err != nil {
 		t.Fatalf("write 1 after reattach failed: %v", err)
 	}
-	if err := d.WriteSectors(11, buf, true, ""); !errors.Is(err, ErrPowerLoss) {
+	if err := d.WriteSectors(11, buf, true, CauseOther, ""); !errors.Is(err, ErrPowerLoss) {
 		t.Fatalf("write 2 after reattach = %v, want ErrPowerLoss", err)
 	}
 }
@@ -149,7 +149,7 @@ func TestFlipBits(t *testing.T) {
 		t.Fatal(err)
 	}
 	got := make([]byte, SectorSize)
-	if err := d.ReadSectors(0, got, ""); err != nil {
+	if err := d.ReadSectors(0, got, CauseOther, ""); err != nil {
 		t.Fatal(err)
 	}
 	if got[3] != 0xFF {

@@ -1,0 +1,183 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"lfs/internal/core"
+	"lfs/internal/obs"
+	"lfs/internal/sim"
+	"lfs/internal/workload"
+)
+
+// TraceSmokeOpts scales the tracing smoke experiment: a small-file
+// create/read/delete pass followed by a churn phase that forces the
+// cleaner to run, all under a trace recorder.
+type TraceSmokeOpts struct {
+	Capacity int64
+	// NumFiles/FileSize parameterise the Figure 3 small-file pass.
+	NumFiles int
+	FileSize int
+	// ChurnFiles are written and half-deleted afterwards to create
+	// fragmented segments for the cleaner.
+	ChurnFiles int
+	// CleanSegments is how many extra clean segments to demand from
+	// CleanUntil once the churn is done.
+	CleanSegments int
+	LFSConfig     core.Config
+	// Trace, when non-nil, is used instead of a fresh recorder, so a
+	// caller can export the JSONL afterwards.
+	Trace *obs.Recorder
+}
+
+// DefaultTraceSmokeOpts returns a CI-sized configuration (a few
+// thousand files on a small disk; a couple of simulated minutes).
+func DefaultTraceSmokeOpts() TraceSmokeOpts {
+	return TraceSmokeOpts{
+		Capacity:      64 << 20,
+		NumFiles:      2000,
+		FileSize:      1024,
+		ChurnFiles:    3000,
+		CleanSegments: 10,
+		LFSConfig:     defaultLFSConfig(),
+	}
+}
+
+// TraceSmokeResult reports the experiment's headline numbers plus the
+// cross-checks the tracing subsystem is supposed to satisfy.
+type TraceSmokeResult struct {
+	Create workload.Phase
+	Read   workload.Phase
+	Delete workload.Phase
+
+	// Attribution from the recorder's event stream.
+	TraceNamed sim.Duration
+	TraceBusy  sim.Duration
+	// Attribution from the disk's own ByCause counters (includes
+	// format-time I/O, which predates the tracer attachment).
+	DiskNamed sim.Duration
+	DiskBusy  sim.Duration
+
+	// WriteCostTrace is the cleaner cost aggregated from per-activation
+	// trace records; WriteCostStats is the same quantity derived from
+	// the FS counters. The two must agree exactly.
+	WriteCostTrace   float64
+	WriteCostStats   float64
+	CleanActivations int64
+
+	Spans     int
+	Aggregate *obs.Aggregates
+	Snapshot  core.StatsSnapshot
+}
+
+// NamedShare returns the fraction of traced disk busy time carrying a
+// named cause.
+func (r *TraceSmokeResult) NamedShare() float64 {
+	if r.TraceBusy == 0 {
+		return 0
+	}
+	return r.TraceNamed.Seconds() / r.TraceBusy.Seconds()
+}
+
+// DiskNamedShare is NamedShare over the disk's lifetime ByCause
+// counters.
+func (r *TraceSmokeResult) DiskNamedShare() float64 {
+	if r.DiskBusy == 0 {
+		return 0
+	}
+	return r.DiskNamed.Seconds() / r.DiskBusy.Seconds()
+}
+
+// TraceSmoke runs the tracing smoke experiment on LFS: the small-file
+// benchmark, then churn and explicit cleaning, with every disk request
+// cause-tagged and every operation spanned.
+func TraceSmoke(opts TraceSmokeOpts) (*TraceSmokeResult, error) {
+	rec := opts.Trace
+	if rec == nil {
+		rec = obs.NewRecorder()
+	}
+	cfg := opts.LFSConfig
+	cfg.Trace = rec
+	sys, err := NewLFS(opts.Capacity, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res, err := workload.SmallFile(sys, workload.SmallFileOpts{
+		NumFiles: opts.NumFiles, FileSize: opts.FileSize,
+		Dir: "/small", SyncBetweenPhases: true,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("tracesmoke small-file: %w", err)
+	}
+
+	fs, ok := sys.System.(*core.FS)
+	if !ok {
+		return nil, fmt.Errorf("tracesmoke: system is not an LFS")
+	}
+	// Churn: fill segments, delete every other file, and demand clean
+	// segments so the cleaner reads fragmented victims.
+	if err := fs.Mkdir("/churn"); err != nil {
+		return nil, err
+	}
+	payload := make([]byte, opts.FileSize)
+	for i := 0; i < opts.ChurnFiles; i++ {
+		p := fmt.Sprintf("/churn/f%d", i)
+		if err := fs.Create(p); err != nil {
+			return nil, err
+		}
+		if err := fs.Write(p, 0, payload); err != nil {
+			return nil, err
+		}
+	}
+	if err := fs.Sync(); err != nil {
+		return nil, err
+	}
+	for i := 0; i < opts.ChurnFiles; i += 2 {
+		if err := fs.Remove(fmt.Sprintf("/churn/f%d", i)); err != nil {
+			return nil, err
+		}
+	}
+	if err := fs.Sync(); err != nil {
+		return nil, err
+	}
+	if _, err := fs.CleanUntil(fs.CleanSegments() + opts.CleanSegments); err != nil {
+		return nil, fmt.Errorf("tracesmoke clean: %w", err)
+	}
+	if err := fs.Sync(); err != nil {
+		return nil, err
+	}
+
+	snap := fs.StatsSnapshot()
+	agg := rec.Aggregates()
+	out := &TraceSmokeResult{
+		Create: res.Create, Read: res.Read, Delete: res.Delete,
+		WriteCostTrace:   agg.Clean.WriteCost,
+		WriteCostStats:   snap.WriteCost(),
+		CleanActivations: agg.Clean.Activations,
+		Spans:            len(rec.Spans()),
+		Aggregate:        agg,
+		Snapshot:         snap,
+	}
+	out.TraceNamed, out.TraceBusy = agg.AttributedBusy()
+	out.DiskNamed, out.DiskBusy = snap.Disk.AttributedBusy()
+	return out, nil
+}
+
+// FormatTraceSmoke renders the result as the smoke-test report: the
+// phase rates, the busy-time decomposition, and the cleaner summary.
+func FormatTraceSmoke(r *TraceSmokeResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Tracing smoke test - small-file workload with cleaning\n")
+	fmt.Fprintf(&b, "%v\n%v\n%v\n", r.Create, r.Read, r.Delete)
+	fmt.Fprintf(&b, "disk busy %v, %.2f%% attributed to a named cause\n",
+		r.TraceBusy, 100*r.NamedShare())
+	for _, io := range r.Aggregate.IO {
+		fmt.Fprintf(&b, "  %-14s %8d reqs %10d sectors %12v (%5.1f%%)\n",
+			io.Cause, io.Requests, io.Sectors, io.Busy,
+			100*io.Busy.Seconds()/r.TraceBusy.Seconds())
+	}
+	fmt.Fprintf(&b, "cleaner: %d activations, write cost %.2f (stats-derived %.2f)\n",
+		r.CleanActivations, r.WriteCostTrace, r.WriteCostStats)
+	fmt.Fprintf(&b, "victim utilisation: %v\n", r.Aggregate.Clean.Utilization)
+	return b.String()
+}

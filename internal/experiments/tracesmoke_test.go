@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"lfs/internal/disk"
+	"lfs/internal/sim"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// smokeOpts returns the test-sized smoke configuration shared by the
+// attribution test and the golden file.
+func smokeOpts() TraceSmokeOpts {
+	o := DefaultTraceSmokeOpts()
+	o.NumFiles = 500
+	o.ChurnFiles = 1500
+	o.CleanSegments = 6
+	return o
+}
+
+func TestTraceSmokeAttribution(t *testing.T) {
+	r, err := TraceSmoke(smokeOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The acceptance bar: at least 99% of disk busy time carries a
+	// named cause. The implementation should in fact hit 100%.
+	if share := r.NamedShare(); share < 0.99 {
+		t.Errorf("traced named share = %.4f, want >= 0.99", share)
+	}
+	if share := r.DiskNamedShare(); share < 0.99 {
+		t.Errorf("disk-counter named share = %.4f, want >= 0.99", share)
+	}
+
+	// The decomposition must sum to the total busy time within 0.1%,
+	// both over the trace events and over the disk's own counters.
+	var traceSum sim.Duration
+	for _, io := range r.Aggregate.IO {
+		traceSum += io.Busy
+	}
+	if r.TraceBusy == 0 || relErr(traceSum, r.TraceBusy) > 0.001 {
+		t.Errorf("trace ByCause sum %v vs busy %v (rel err %v)",
+			traceSum, r.TraceBusy, relErr(traceSum, r.TraceBusy))
+	}
+	var statSum sim.Duration
+	for c := disk.IOCause(0); c < disk.NumCauses; c++ {
+		statSum += r.Snapshot.Disk.ByCause[c].Busy
+	}
+	if r.Snapshot.Disk.BusyTime == 0 || relErr(statSum, r.Snapshot.Disk.BusyTime) > 0.001 {
+		t.Errorf("disk ByCause sum %v vs busy %v (rel err %v)",
+			statSum, r.Snapshot.Disk.BusyTime, relErr(statSum, r.Snapshot.Disk.BusyTime))
+	}
+
+	// The cleaner ran and its trace-derived write cost agrees with the
+	// counter-derived one.
+	if r.CleanActivations == 0 {
+		t.Fatal("cleaner never ran; the smoke test must exercise cleaning")
+	}
+	if r.WriteCostTrace < 1 {
+		t.Errorf("write cost %v < 1", r.WriteCostTrace)
+	}
+	if math.Abs(r.WriteCostTrace-r.WriteCostStats) > 1e-9 {
+		t.Errorf("write cost from trace %v != from stats %v", r.WriteCostTrace, r.WriteCostStats)
+	}
+
+	// Both the log writer and the cleaner must appear in the
+	// decomposition by name.
+	seen := map[disk.IOCause]bool{}
+	for _, io := range r.Aggregate.IO {
+		seen[io.Cause] = true
+	}
+	for _, want := range []disk.IOCause{disk.CauseLogAppend, disk.CauseCleanerRead,
+		disk.CauseCleanerWrite, disk.CauseCheckpoint, disk.CauseReadMiss} {
+		if !seen[want] {
+			t.Errorf("cause %v missing from decomposition", want)
+		}
+	}
+}
+
+func relErr(a, b sim.Duration) float64 {
+	return math.Abs(a.Seconds()-b.Seconds()) / b.Seconds()
+}
+
+// TestTraceSmokeGolden pins the full smoke report — phase rates, the
+// busy-time decomposition, and the cleaner summary — against a golden
+// file. The simulation is deterministic, so any diff means the timing
+// model, the instrumentation coverage, or the cleaner changed;
+// regenerate with `go test ./internal/experiments -run Golden -update`.
+func TestTraceSmokeGolden(t *testing.T) {
+	r, err := TraceSmoke(smokeOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := FormatTraceSmoke(r)
+	golden := filepath.Join("testdata", "tracesmoke.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	if got != string(want) {
+		t.Errorf("smoke report drifted from golden file (regenerate with -update if intended)\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}

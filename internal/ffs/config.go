@@ -21,6 +21,7 @@ package ffs
 import (
 	"fmt"
 
+	"lfs/internal/obs"
 	"lfs/internal/sim"
 )
 
@@ -46,6 +47,11 @@ type Config struct {
 	MIPS float64
 	// Costs is the instruction cost table.
 	Costs sim.Costs
+	// Trace, when non-nil, receives operation spans and cause-tagged
+	// disk events; Mount registers it as the disk's tracer. It may be
+	// the same recorder an LFS instance uses, for side-by-side traces
+	// on one timeline.
+	Trace *obs.Recorder
 }
 
 // DefaultConfig returns the configuration used in the paper's

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"lfs/internal/cache"
+	"lfs/internal/disk"
 	"lfs/internal/layout"
 )
 
@@ -190,7 +191,7 @@ func (fs *FS) readBlockRA(in *layout.Inode, lbn int64) (*cache.Block, error) {
 	bs := fs.cfg.BlockSize
 	fs.cpu.Charge(fs.cfg.Costs.BlockSetup + fs.cfg.Costs.DiskOpSetup)
 	span := make([]byte, run*bs)
-	if err := fs.d.ReadSectors(fs.lay.sectorOf(pb), span, "file read"); err != nil {
+	if err := fs.d.ReadSectors(fs.lay.sectorOf(pb), span, disk.CauseReadMiss, "file read"); err != nil {
 		return nil, err
 	}
 	var first *cache.Block

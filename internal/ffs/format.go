@@ -76,7 +76,7 @@ func Format(d *disk.Disk, cfg Config) error {
 	}
 	buf := make([]byte, cfg.BlockSize)
 	sb.encode(buf)
-	if err := d.WriteSectors(0, buf, true, "format: superblock"); err != nil {
+	if err := d.WriteSectors(0, buf, true, disk.CauseFormat, "format: superblock"); err != nil {
 		return err
 	}
 
@@ -92,7 +92,7 @@ func Format(d *disk.Disk, cfg Config) error {
 			// Root inode occupies slot 0 of group 0.
 			setBit(bm[lay.inodeBitmapOff:], 0)
 		}
-		if err := d.WriteSectors(lay.bitmapBlock(g)*lay.sectorsPerBlock, bm, true, "format: bitmap"); err != nil {
+		if err := d.WriteSectors(lay.bitmapBlock(g)*lay.sectorsPerBlock, bm, true, disk.CauseFormat, "format: bitmap"); err != nil {
 			return err
 		}
 		// Zero the inode table so stale inodes cannot be mistaken
@@ -100,7 +100,7 @@ func Format(d *disk.Disk, cfg Config) error {
 		zero := make([]byte, cfg.BlockSize)
 		for b := 0; b < cfg.inodeTableBlocks(); b++ {
 			pb := lay.inodeTableStart(g) + int64(b)
-			if err := d.WriteSectors(pb*lay.sectorsPerBlock, zero, true, "format: inode table"); err != nil {
+			if err := d.WriteSectors(pb*lay.sectorsPerBlock, zero, true, disk.CauseFormat, "format: inode table"); err != nil {
 				return err
 			}
 		}
@@ -111,11 +111,11 @@ func Format(d *disk.Disk, cfg Config) error {
 	root.Nlink = 2
 	itBuf := make([]byte, cfg.BlockSize)
 	pb := lay.inodeBlock(layout.RootIno)
-	if err := d.ReadSectors(pb*lay.sectorsPerBlock, itBuf, "format"); err != nil {
+	if err := d.ReadSectors(pb*lay.sectorsPerBlock, itBuf, disk.CauseFormat, "format"); err != nil {
 		return err
 	}
 	root.Encode(itBuf[lay.inodeOffsetInBlock(layout.RootIno):])
-	return d.WriteSectors(pb*lay.sectorsPerBlock, itBuf, true, "format: root inode")
+	return d.WriteSectors(pb*lay.sectorsPerBlock, itBuf, true, disk.CauseFormat, "format: root inode")
 }
 
 // diskLayout precomputes the address arithmetic of an FFS instance.

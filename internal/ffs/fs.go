@@ -7,6 +7,7 @@ import (
 	"lfs/internal/cache"
 	"lfs/internal/disk"
 	"lfs/internal/layout"
+	"lfs/internal/obs"
 	"lfs/internal/sim"
 	"lfs/internal/vfs"
 )
@@ -44,6 +45,10 @@ type FS struct {
 	lastRead map[layout.Ino]int64
 
 	unmounted bool
+
+	// rec is the attached trace recorder (cfg.Trace); nil when
+	// tracing is disabled.
+	rec *obs.Recorder
 }
 
 // Mount opens a formatted FFS on the disk.
@@ -51,8 +56,14 @@ func Mount(d *disk.Disk, cfg Config) (*FS, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	// Attach the trace recorder before the first read so mount-time
+	// I/O is traced; the nil guard avoids storing a typed-nil
+	// *obs.Recorder in the disk.Tracer interface.
+	if cfg.Trace != nil {
+		d.SetTracer(cfg.Trace)
+	}
 	buf := make([]byte, cfg.BlockSize)
-	if err := d.ReadSectors(0, buf, "mount: superblock"); err != nil {
+	if err := d.ReadSectors(0, buf, disk.CauseRecovery, "mount: superblock"); err != nil {
 		return nil, err
 	}
 	sb, err := decodeSuperblock(buf)
@@ -74,6 +85,7 @@ func Mount(d *disk.Disk, cfg Config) (*FS, error) {
 		names:      make(map[layout.Ino]map[string]nameEntry),
 		insertHint: make(map[layout.Ino]int64),
 		lastRead:   make(map[layout.Ino]int64),
+		rec:        cfg.Trace,
 	}
 	// Rebuild free counts from the bitmaps.
 	fs.freeBlocks = make([]int, sb.Groups)
@@ -108,6 +120,43 @@ func (fs *FS) CacheStats() cache.Stats {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	return fs.bc.Stats()
+}
+
+// StatsSnapshot is a consistent copy of the baseline's statistics
+// surfaces, taken atomically under the FS lock.
+type StatsSnapshot struct {
+	// Time is the simulated time of the snapshot.
+	Time sim.Time
+	// Disk holds the device counters, including the busy-time
+	// decomposition by I/O cause.
+	Disk disk.Stats
+	// Cache holds the buffer cache counters.
+	Cache cache.Stats
+	// CPUInstructions is the total simulated instructions charged.
+	CPUInstructions int64
+	// FreeSpace is the free data bytes.
+	FreeSpace int64
+	// Trace is the aggregated trace when a recorder is attached, nil
+	// otherwise.
+	Trace *obs.Aggregates
+}
+
+// StatsSnapshot atomically captures all statistics surfaces.
+func (fs *FS) StatsSnapshot() StatsSnapshot {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	var free int64
+	for _, n := range fs.freeBlocks {
+		free += int64(n)
+	}
+	return StatsSnapshot{
+		Time:            fs.clock.Now(),
+		Disk:            fs.d.Stats(),
+		Cache:           fs.bc.Stats(),
+		CPUInstructions: fs.cpu.Instructions(),
+		FreeSpace:       free * int64(fs.cfg.BlockSize),
+		Trace:           fs.rec.Aggregates(),
+	}
 }
 
 // DropCaches evicts all clean blocks, the paper's between-phase
@@ -145,7 +194,7 @@ func (fs *FS) getBlock(pb int64, load bool, label string) (*cache.Block, error) 
 	fs.cpu.Charge(fs.cfg.Costs.BlockSetup)
 	if load {
 		fs.cpu.Charge(fs.cfg.Costs.DiskOpSetup)
-		if err := fs.d.ReadSectors(fs.lay.sectorOf(pb), b.Data, label); err != nil {
+		if err := fs.d.ReadSectors(fs.lay.sectorOf(pb), b.Data, disk.CauseReadMiss, label); err != nil {
 			fs.bc.Remove(blockKey(pb))
 			return nil, err
 		}
@@ -163,7 +212,7 @@ func (fs *FS) dirty(b *cache.Block) {
 func (fs *FS) writeBlockSync(b *cache.Block, label string) error {
 	fs.cpu.Charge(fs.cfg.Costs.DiskOpSetup)
 	pb := b.Key.Off
-	if err := fs.d.WriteSectors(fs.lay.sectorOf(pb), b.Data, true, label); err != nil {
+	if err := fs.d.WriteSectors(fs.lay.sectorOf(pb), b.Data, true, disk.CauseSyncWrite, label); err != nil {
 		return err
 	}
 	fs.bc.MarkClean(b)
@@ -196,7 +245,7 @@ func (fs *FS) writeback(all bool) error {
 			return nil
 		}
 		fs.cpu.Charge(fs.cfg.Costs.DiskOpSetup)
-		if err := fs.d.WriteSectors(fs.lay.sectorOf(runStart), run, false, "writeback"); err != nil {
+		if err := fs.d.WriteSectors(fs.lay.sectorOf(runStart), run, false, disk.CauseWriteback, "writeback"); err != nil {
 			return err
 		}
 		for _, b := range runBlocks {

@@ -36,7 +36,7 @@ type FsckReport struct {
 func Fsck(d *disk.Disk, cfg Config) (*FsckReport, error) {
 	start := d.Clock().Now()
 	buf := make([]byte, cfg.BlockSize)
-	if err := d.ReadSectors(0, buf, "fsck: superblock"); err != nil {
+	if err := d.ReadSectors(0, buf, disk.CauseTool, "fsck: superblock"); err != nil {
 		return nil, err
 	}
 	sb, err := decodeSuperblock(buf)
@@ -56,7 +56,7 @@ func Fsck(d *disk.Disk, cfg Config) (*FsckReport, error) {
 	inodeBitmap := make(map[layout.Ino]bool)
 	for g := 0; g < int(sb.Groups); g++ {
 		bm := make([]byte, cfg.BlockSize)
-		if err := d.ReadSectors(lay.bitmapBlock(g)*lay.sectorsPerBlock, bm, "fsck: bitmap"); err != nil {
+		if err := d.ReadSectors(lay.bitmapBlock(g)*lay.sectorsPerBlock, bm, disk.CauseTool, "fsck: bitmap"); err != nil {
 			return nil, err
 		}
 		for b := 0; b < int(sb.BlocksPerGroup); b++ {
@@ -72,7 +72,7 @@ func Fsck(d *disk.Disk, cfg Config) (*FsckReport, error) {
 		for tb := 0; tb < lay.itBlocks; tb++ {
 			it := make([]byte, cfg.BlockSize)
 			pb := lay.inodeTableStart(g) + int64(tb)
-			if err := d.ReadSectors(pb*lay.sectorsPerBlock, it, "fsck: inode table"); err != nil {
+			if err := d.ReadSectors(pb*lay.sectorsPerBlock, it, disk.CauseTool, "fsck: inode table"); err != nil {
 				return nil, err
 			}
 			for slot := tb * lay.inodesPerBlock; slot < (tb+1)*lay.inodesPerBlock && slot < int(sb.InodesPerGroup); slot++ {
@@ -107,7 +107,7 @@ func Fsck(d *disk.Disk, cfg Config) (*FsckReport, error) {
 	claimed := make(map[int64]layout.Ino)
 	var walkBlocks func(in *layout.Inode) error
 	readBlock := func(pb int64, p []byte) error {
-		return d.ReadSectors(pb*lay.sectorsPerBlock, p, "fsck: walk")
+		return d.ReadSectors(pb*lay.sectorsPerBlock, p, disk.CauseTool, "fsck: walk")
 	}
 	claim := func(a layout.DiskAddr, ino layout.Ino) {
 		if a.IsNil() {

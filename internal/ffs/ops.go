@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"lfs/internal/layout"
+	"lfs/internal/obs"
 	"lfs/internal/sim"
 	"lfs/internal/vfs"
 )
@@ -23,13 +24,32 @@ func (fs *FS) maxFileSize() int64 {
 	return layout.MaxFileBlocks(fs.cfg.BlockSize) * int64(fs.cfg.BlockSize)
 }
 
+// opStart samples the simulated clock and CPU at operation entry.
+func (fs *FS) opStart() (sim.Time, int64) {
+	return fs.clock.Now(), fs.cpu.Instructions()
+}
+
+// endOp wraps err with operation and path context (*vfs.PathError)
+// and, when a recorder is attached, emits the operation's span. Must
+// be called with fs.mu held.
+func (fs *FS) endOp(op, path string, start sim.Time, cpu0 int64, err error) error {
+	err = vfs.WrapPathError(op, path, err)
+	if fs.rec != nil {
+		msg := ""
+		if err != nil {
+			msg = err.Error()
+		}
+		fs.rec.Span(obs.Span{Op: op, Path: path, Start: start,
+			End: fs.clock.Now(), CPU: fs.cpu.Instructions() - cpu0, Err: msg})
+	}
+	return err
+}
+
 // createNode is the shared implementation of Create and Mkdir. It
 // performs FFS's defining synchronous writes: the new inode's table
 // block and the parent directory's data block go to disk before the
 // call returns (Figure 1 of the paper).
 func (fs *FS) createNode(path string, isDir bool) error {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
 	if err := fs.checkMounted(); err != nil {
 		return err
 	}
@@ -88,10 +108,20 @@ func (fs *FS) createNode(path string, isDir bool) error {
 }
 
 // Create makes a new empty regular file.
-func (fs *FS) Create(path string) error { return fs.createNode(path, false) }
+func (fs *FS) Create(path string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	start, cpu0 := fs.opStart()
+	return fs.endOp("create", path, start, cpu0, fs.createNode(path, false))
+}
 
 // Mkdir makes a new empty directory.
-func (fs *FS) Mkdir(path string) error { return fs.createNode(path, true) }
+func (fs *FS) Mkdir(path string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	start, cpu0 := fs.opStart()
+	return fs.endOp("mkdir", path, start, cpu0, fs.createNode(path, true))
+}
 
 // lookupFile resolves path and requires a regular file.
 func (fs *FS) lookupFile(path string) (layout.Inode, error) {
@@ -115,6 +145,12 @@ func (fs *FS) lookupFile(path string) (layout.Inode, error) {
 func (fs *FS) Write(path string, off int64, data []byte) error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
+	start, cpu0 := fs.opStart()
+	return fs.endOp("write", path, start, cpu0, fs.write(path, off, data))
+}
+
+// write is Write without the lock, span, or error wrapping.
+func (fs *FS) write(path string, off int64, data []byte) error {
 	if err := fs.checkMounted(); err != nil {
 		return err
 	}
@@ -143,6 +179,13 @@ func (fs *FS) Write(path string, off int64, data []byte) error {
 func (fs *FS) Read(path string, off int64, buf []byte) (int, error) {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
+	start, cpu0 := fs.opStart()
+	n, err := fs.read(path, off, buf)
+	return n, fs.endOp("read", path, start, cpu0, err)
+}
+
+// read is Read without the lock, span, or error wrapping.
+func (fs *FS) read(path string, off int64, buf []byte) (int, error) {
 	if err := fs.checkMounted(); err != nil {
 		return 0, err
 	}
@@ -166,6 +209,13 @@ func (fs *FS) Read(path string, off int64, buf []byte) (int, error) {
 func (fs *FS) Stat(path string) (vfs.FileInfo, error) {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
+	start, cpu0 := fs.opStart()
+	fi, err := fs.stat(path)
+	return fi, fs.endOp("stat", path, start, cpu0, err)
+}
+
+// stat is Stat without the lock, span, or error wrapping.
+func (fs *FS) stat(path string) (vfs.FileInfo, error) {
 	if err := fs.checkMounted(); err != nil {
 		return vfs.FileInfo{}, err
 	}
@@ -195,6 +245,13 @@ func (fs *FS) Stat(path string) (vfs.FileInfo, error) {
 func (fs *FS) ReadDir(path string) ([]layout.DirEntry, error) {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
+	start, cpu0 := fs.opStart()
+	ents, err := fs.readDir(path)
+	return ents, fs.endOp("readdir", path, start, cpu0, err)
+}
+
+// readDir is ReadDir without the lock, span, or error wrapping.
+func (fs *FS) readDir(path string) ([]layout.DirEntry, error) {
 	if err := fs.checkMounted(); err != nil {
 		return nil, err
 	}
@@ -216,6 +273,12 @@ func (fs *FS) ReadDir(path string) ([]layout.DirEntry, error) {
 func (fs *FS) Remove(path string) error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
+	start, cpu0 := fs.opStart()
+	return fs.endOp("remove", path, start, cpu0, fs.remove(path))
+}
+
+// remove is Remove without the lock, span, or error wrapping.
+func (fs *FS) remove(path string) error {
 	if err := fs.checkMounted(); err != nil {
 		return err
 	}
@@ -291,6 +354,12 @@ func (fs *FS) Remove(path string) error {
 func (fs *FS) Link(oldPath, newPath string) error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
+	start, cpu0 := fs.opStart()
+	return fs.endOp("link", oldPath, start, cpu0, fs.link(oldPath, newPath))
+}
+
+// link is Link without the lock, span, or error wrapping.
+func (fs *FS) link(oldPath, newPath string) error {
 	if err := fs.checkMounted(); err != nil {
 		return err
 	}
@@ -334,6 +403,12 @@ func (fs *FS) Link(oldPath, newPath string) error {
 func (fs *FS) Rename(oldPath, newPath string) error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
+	start, cpu0 := fs.opStart()
+	return fs.endOp("rename", oldPath, start, cpu0, fs.rename(oldPath, newPath))
+}
+
+// rename is Rename without the lock, span, or error wrapping.
+func (fs *FS) rename(oldPath, newPath string) error {
 	if err := fs.checkMounted(); err != nil {
 		return err
 	}
@@ -414,6 +489,12 @@ func (fs *FS) Rename(oldPath, newPath string) error {
 func (fs *FS) Truncate(path string, size int64) error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
+	start, cpu0 := fs.opStart()
+	return fs.endOp("truncate", path, start, cpu0, fs.truncate(path, size))
+}
+
+// truncate is Truncate without the lock, span, or error wrapping.
+func (fs *FS) truncate(path string, size int64) error {
 	if err := fs.checkMounted(); err != nil {
 		return err
 	}
@@ -442,10 +523,11 @@ func (fs *FS) Truncate(path string, size int64) error {
 func (fs *FS) Sync() error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
-	return fs.sync()
+	start, cpu0 := fs.opStart()
+	return fs.endOp("sync", "/", start, cpu0, fs.sync())
 }
 
-// sync is Sync without the lock, for internal callers.
+// sync is Sync without the lock, span, or error wrapping.
 func (fs *FS) sync() error {
 	if err := fs.checkMounted(); err != nil {
 		return err
@@ -462,6 +544,12 @@ func (fs *FS) sync() error {
 func (fs *FS) Unmount() error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
+	start, cpu0 := fs.opStart()
+	return fs.endOp("unmount", "/", start, cpu0, fs.unmount())
+}
+
+// unmount is Unmount without the lock, span, or error wrapping.
+func (fs *FS) unmount() error {
 	if err := fs.sync(); err != nil {
 		return err
 	}

@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Histogram is a fixed-bucket histogram: Counts[i] holds observations
+// v with Bounds[i-1] <= v < Bounds[i]; the last bucket is unbounded
+// above. len(Counts) == len(Bounds)+1.
+type Histogram struct {
+	Bounds []float64
+	Counts []int64
+}
+
+// NewHistogram returns a histogram over the given ascending upper
+// bounds.
+func NewHistogram(bounds ...float64) Histogram {
+	return Histogram{Bounds: bounds, Counts: make([]int64, len(bounds)+1)}
+}
+
+// NewLatencyHistogram returns the log-scale latency histogram used for
+// per-op latencies, in seconds: 1µs to 1s in roughly 1-3-10 steps.
+func NewLatencyHistogram() Histogram {
+	return NewHistogram(1e-6, 1e-5, 1e-4, 1e-3, 3e-3, 1e-2, 3e-2, 1e-1, 3e-1, 1)
+}
+
+// NewUtilizationHistogram returns the segment-utilisation histogram:
+// ten linear buckets over [0, 1].
+func NewUtilizationHistogram() Histogram {
+	return NewHistogram(0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9)
+}
+
+// Observe adds one observation.
+func (h *Histogram) Observe(v float64) {
+	for i, b := range h.Bounds {
+		if v < b {
+			h.Counts[i]++
+			return
+		}
+	}
+	h.Counts[len(h.Counts)-1]++
+}
+
+// Total returns the number of observations.
+func (h Histogram) Total() int64 {
+	var n int64
+	for _, c := range h.Counts {
+		n += c
+	}
+	return n
+}
+
+// Merge adds other's counts into h; the bucket layouts must match.
+func (h *Histogram) Merge(other Histogram) error {
+	if len(h.Counts) != len(other.Counts) {
+		return fmt.Errorf("obs: merging histograms with %d and %d buckets",
+			len(h.Counts), len(other.Counts))
+	}
+	for i, c := range other.Counts {
+		h.Counts[i] += c
+	}
+	return nil
+}
+
+// String renders the non-empty buckets on one line, e.g.
+// "[0.1,0.2):12 [0.8,0.9):3".
+func (h Histogram) String() string {
+	var b strings.Builder
+	for i, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		switch {
+		case i == 0:
+			fmt.Fprintf(&b, "[<%g):%d", h.Bounds[0], c)
+		case i == len(h.Bounds):
+			fmt.Fprintf(&b, "[>=%g):%d", h.Bounds[i-1], c)
+		default:
+			fmt.Fprintf(&b, "[%g,%g):%d", h.Bounds[i-1], h.Bounds[i], c)
+		}
+	}
+	if b.Len() == 0 {
+		return "(empty)"
+	}
+	return b.String()
+}

@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"lfs/internal/disk"
+	"lfs/internal/sim"
+)
+
+// Record is the JSONL wire form: one line per span, disk event, or
+// cleaner activation, discriminated by Type. Times are simulated
+// nanoseconds since the simulation epoch.
+type Record struct {
+	Type string `json:"type"` // "span" | "io" | "clean"
+
+	// span
+	Op    string `json:"op,omitempty"`
+	Path  string `json:"path,omitempty"`
+	Start int64  `json:"start_ns,omitempty"`
+	End   int64  `json:"end_ns,omitempty"`
+	CPU   int64  `json:"cpu,omitempty"`
+	Err   string `json:"err,omitempty"`
+
+	// io
+	Time    int64  `json:"time_ns,omitempty"`
+	Kind    string `json:"kind,omitempty"`
+	Sector  int64  `json:"sector,omitempty"`
+	Sectors int    `json:"sectors,omitempty"`
+	Sync    bool   `json:"sync,omitempty"`
+	Cause   string `json:"cause,omitempty"`
+	Service int64  `json:"service_ns,omitempty"`
+	Label   string `json:"label,omitempty"`
+
+	// clean (Time is shared with io)
+	Seg            int     `json:"seg,omitempty"`
+	Utilization    float64 `json:"util,omitempty"`
+	BytesRead      int64   `json:"bytes_read,omitempty"`
+	BytesCopied    int64   `json:"bytes_copied,omitempty"`
+	BytesReclaimed int64   `json:"bytes_reclaimed,omitempty"`
+	WriteCost      float64 `json:"write_cost,omitempty"`
+}
+
+// WriteJSONL writes everything recorded so far as one JSON object per
+// line, in record-type order (spans, then I/O, then cleans); within a
+// type, records are in the order they were recorded, which is
+// simulated-time order.
+func (r *Recorder) WriteJSONL(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, s := range r.spans {
+		rec := Record{Type: "span", Op: s.Op, Path: s.Path,
+			Start: int64(s.Start), End: int64(s.End), CPU: s.CPU, Err: s.Err}
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	}
+	for _, ev := range r.events {
+		rec := Record{Type: "io", Time: int64(ev.Time), Kind: ev.Kind.String(),
+			Sector: ev.Sector, Sectors: ev.Sectors, Sync: ev.Sync,
+			Cause: ev.Cause.String(), Service: int64(ev.Service), Label: ev.Label}
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	}
+	for _, c := range r.cleans {
+		rec := Record{Type: "clean", Time: int64(c.Time), Seg: c.Seg,
+			Utilization: c.Utilization, BytesRead: c.BytesRead,
+			BytesCopied: c.BytesCopied, BytesReclaimed: c.BytesReclaimed,
+			WriteCost: c.WriteCost}
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses a JSONL trace written by WriteJSONL.
+func ReadJSONL(r io.Reader) ([]Record, error) {
+	var recs []Record
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			return nil, fmt.Errorf("obs: trace line %d: %w", line, err)
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return recs, nil
+}
+
+// AggregateRecords computes the same Aggregates over parsed JSONL
+// records that Recorder.Aggregates computes over live ones; lfstrace
+// uses it to summarise a trace file.
+func AggregateRecords(recs []Record) *Aggregates {
+	var spans []Span
+	var events []disk.Event
+	var cleans []CleanRecord
+	for _, rec := range recs {
+		switch rec.Type {
+		case "span":
+			spans = append(spans, Span{Op: rec.Op, Path: rec.Path,
+				Start: sim.Time(rec.Start), End: sim.Time(rec.End),
+				CPU: rec.CPU, Err: rec.Err})
+		case "io":
+			cause, _ := disk.ParseIOCause(rec.Cause)
+			kind := disk.OpRead
+			if rec.Kind == disk.OpWrite.String() {
+				kind = disk.OpWrite
+			}
+			events = append(events, disk.Event{Time: sim.Time(rec.Time), Kind: kind,
+				Sector: rec.Sector, Sectors: rec.Sectors, Sync: rec.Sync,
+				Cause: cause, Service: sim.Duration(rec.Service), Label: rec.Label})
+		case "clean":
+			cleans = append(cleans, CleanRecord{Time: sim.Time(rec.Time), Seg: rec.Seg,
+				Utilization: rec.Utilization, BytesRead: rec.BytesRead,
+				BytesCopied: rec.BytesCopied, BytesReclaimed: rec.BytesReclaimed,
+				WriteCost: rec.WriteCost})
+		}
+	}
+	return aggregate(spans, events, cleans)
+}

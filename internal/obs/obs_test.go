@@ -1,0 +1,238 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"lfs/internal/disk"
+	"lfs/internal/sim"
+)
+
+func TestHistogramObserve(t *testing.T) {
+	h := NewHistogram(1, 10, 100)
+	for _, v := range []float64{0.5, 0.9, 1, 5, 50, 100, 1e6} {
+		h.Observe(v)
+	}
+	want := []int64{2, 2, 1, 2}
+	for i, c := range h.Counts {
+		if c != want[i] {
+			t.Errorf("bucket %d = %d, want %d (counts %v)", i, c, want[i], h.Counts)
+		}
+	}
+	if h.Total() != 7 {
+		t.Errorf("Total = %d, want 7", h.Total())
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	h := NewHistogram(1, 10)
+	if got := h.String(); got != "(empty)" {
+		t.Errorf("empty String = %q", got)
+	}
+	h.Observe(0.5)
+	h.Observe(11)
+	s := h.String()
+	if !strings.Contains(s, "[<1):1") || !strings.Contains(s, "[>=10):1") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a := NewHistogram(1)
+	b := NewHistogram(1)
+	a.Observe(0)
+	b.Observe(2)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Counts[0] != 1 || a.Counts[1] != 1 {
+		t.Errorf("merged counts %v", a.Counts)
+	}
+	c := NewHistogram(1, 2)
+	if err := a.Merge(c); err == nil {
+		t.Error("merging mismatched layouts succeeded")
+	}
+}
+
+func TestNilRecorderSafe(t *testing.T) {
+	var r *Recorder
+	if r.Enabled() {
+		t.Error("nil recorder Enabled")
+	}
+	r.Record(disk.Event{})
+	r.Span(Span{})
+	r.Clean(CleanRecord{})
+	r.Reset()
+	if r.Spans() != nil || r.Events() != nil || r.Cleans() != nil {
+		t.Error("nil recorder returned records")
+	}
+	if r.Aggregates() != nil {
+		t.Error("nil recorder returned aggregates")
+	}
+	if err := r.WriteJSONL(&bytes.Buffer{}); err != nil {
+		t.Errorf("nil WriteJSONL: %v", err)
+	}
+}
+
+func TestWriteCost(t *testing.T) {
+	cases := []struct {
+		read, copied int64
+		want         float64
+	}{
+		{1000, 0, 2},    // empty victim: read it, write nothing back
+		{1000, 500, 4},  // u = 0.5: 2/(1-0.5)
+		{1000, 750, 8},  // u = 0.75: 2/(1-0.75)
+		{1000, 1000, 0}, // fully live: unbounded, reported as 0
+		{1000, 1200, 0}, // pathological copied > read
+		{0, 0, 0},       // nothing cleaned
+	}
+	for _, c := range cases {
+		if got := writeCost(c.read, c.copied); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("writeCost(%d, %d) = %v, want %v", c.read, c.copied, got, c.want)
+		}
+	}
+}
+
+func TestCleanDerivesWriteCost(t *testing.T) {
+	r := NewRecorder()
+	r.Clean(CleanRecord{Seg: 3, Utilization: 0.5, BytesRead: 1 << 20, BytesCopied: 1 << 19})
+	cleans := r.Cleans()
+	if len(cleans) != 1 {
+		t.Fatalf("got %d cleans", len(cleans))
+	}
+	if got := cleans[0].WriteCost; math.Abs(got-4) > 1e-12 {
+		t.Errorf("WriteCost = %v, want 4", got)
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	r := NewRecorder()
+	r.Span(Span{Op: "write", Path: "/a", Start: 0, End: sim.Time(1000)})
+	r.Span(Span{Op: "write", Path: "/b", Start: sim.Time(1000), End: sim.Time(4000), CPU: 10})
+	r.Span(Span{Op: "read", Path: "/a", Start: sim.Time(4000), End: sim.Time(4500), Err: "read /a: boom"})
+	r.Record(disk.Event{Kind: disk.OpWrite, Sectors: 8, Cause: disk.CauseLogAppend, Service: 100})
+	r.Record(disk.Event{Kind: disk.OpWrite, Sectors: 8, Cause: disk.CauseLogAppend, Service: 300})
+	r.Record(disk.Event{Kind: disk.OpRead, Sectors: 2, Cause: disk.CauseReadMiss, Service: 50})
+	r.Record(disk.Event{Kind: disk.OpRead, Sectors: 1, Cause: disk.CauseOther, Service: 25})
+	r.Clean(CleanRecord{Utilization: 0.25, BytesRead: 400, BytesCopied: 100, BytesReclaimed: 300})
+
+	a := r.Aggregates()
+	if len(a.Ops) != 2 || a.Ops[0].Op != "read" || a.Ops[1].Op != "write" {
+		t.Fatalf("ops = %+v", a.Ops)
+	}
+	w := a.Ops[1]
+	if w.Count != 2 || w.CPU != 10 || w.Total != 4000 || w.Min != 1000 || w.Max != 3000 {
+		t.Errorf("write stats = %+v", w)
+	}
+	if w.Mean() != 2000 {
+		t.Errorf("write mean = %v", w.Mean())
+	}
+	if a.Ops[0].Errors != 1 {
+		t.Errorf("read errors = %d", a.Ops[0].Errors)
+	}
+
+	if a.DiskBusy != 475 {
+		t.Errorf("DiskBusy = %v, want 475", a.DiskBusy)
+	}
+	named, total := a.AttributedBusy()
+	if named != 450 || total != 475 {
+		t.Errorf("AttributedBusy = %v, %v; want 450, 475", named, total)
+	}
+	var busy sim.Duration
+	for _, io := range a.IO {
+		busy += io.Busy
+		if io.Cause == disk.CauseLogAppend && (io.Requests != 2 || io.Sectors != 16) {
+			t.Errorf("log-append bucket = %+v", io)
+		}
+	}
+	if busy != a.DiskBusy {
+		t.Errorf("ByCause busy %v != DiskBusy %v", busy, a.DiskBusy)
+	}
+
+	if a.Clean.Activations != 1 || a.Clean.BytesReclaimed != 300 {
+		t.Errorf("clean stats = %+v", a.Clean)
+	}
+	if math.Abs(a.Clean.WriteCost-(400.0+100+300)/300) > 1e-12 {
+		t.Errorf("clean write cost = %v", a.Clean.WriteCost)
+	}
+	if a.Clean.Utilization.Total() != 1 {
+		t.Errorf("utilization histogram = %v", a.Clean.Utilization)
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	r := NewRecorder()
+	r.Span(Span{Op: "create", Path: "/f0", Start: sim.Time(10), End: sim.Time(30), CPU: 5})
+	r.Span(Span{Op: "remove", Path: "/f0", Start: sim.Time(40), End: sim.Time(45), Err: "remove /f0: gone"})
+	r.Record(disk.Event{Time: sim.Time(12), Kind: disk.OpWrite, Sector: 64, Sectors: 8,
+		Sync: true, Cause: disk.CauseCheckpoint, Service: 700, Label: "checkpoint"})
+	r.Record(disk.Event{Time: sim.Time(20), Kind: disk.OpRead, Sector: 8, Sectors: 2,
+		Cause: disk.CauseReadMiss, Service: 200, Label: "file read"})
+	r.Clean(CleanRecord{Time: sim.Time(25), Seg: 7, Utilization: 0.5,
+		BytesRead: 1000, BytesCopied: 500, BytesReclaimed: 500})
+
+	var buf bytes.Buffer
+	if err := r.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(buf.String(), "\n"); n != 5 {
+		t.Fatalf("wrote %d lines, want 5:\n%s", n, buf.String())
+	}
+
+	recs, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 5 {
+		t.Fatalf("read %d records", len(recs))
+	}
+
+	live := r.Aggregates()
+	parsed := AggregateRecords(recs)
+	if len(parsed.Ops) != len(live.Ops) {
+		t.Fatalf("parsed %d ops, live %d", len(parsed.Ops), len(live.Ops))
+	}
+	for i := range live.Ops {
+		if parsed.Ops[i].Op != live.Ops[i].Op || parsed.Ops[i].Count != live.Ops[i].Count ||
+			parsed.Ops[i].Total != live.Ops[i].Total || parsed.Ops[i].Errors != live.Ops[i].Errors {
+			t.Errorf("op %d: parsed %+v, live %+v", i, parsed.Ops[i], live.Ops[i])
+		}
+	}
+	if parsed.DiskBusy != live.DiskBusy {
+		t.Errorf("parsed DiskBusy %v, live %v", parsed.DiskBusy, live.DiskBusy)
+	}
+	if len(parsed.IO) != len(live.IO) {
+		t.Fatalf("parsed %d IO buckets, live %d", len(parsed.IO), len(live.IO))
+	}
+	for i := range live.IO {
+		if parsed.IO[i] != live.IO[i] {
+			t.Errorf("IO %d: parsed %+v, live %+v", i, parsed.IO[i], live.IO[i])
+		}
+	}
+	if parsed.Clean.Activations != 1 || parsed.Clean.WriteCost != live.Clean.WriteCost {
+		t.Errorf("parsed clean %+v, live %+v", parsed.Clean, live.Clean)
+	}
+}
+
+func TestReadJSONLBadLine(t *testing.T) {
+	_, err := ReadJSONL(strings.NewReader("{\"type\":\"span\"}\nnot json\n"))
+	if err == nil {
+		t.Fatal("bad line accepted")
+	}
+	if !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("error %q does not name the line", err)
+	}
+}
+
+func TestResetDiscards(t *testing.T) {
+	r := NewRecorder()
+	r.Span(Span{Op: "x"})
+	r.Record(disk.Event{})
+	r.Clean(CleanRecord{})
+	r.Reset()
+	if len(r.Spans()) != 0 || len(r.Events()) != 0 || len(r.Cleans()) != 0 {
+		t.Error("Reset left records behind")
+	}
+}

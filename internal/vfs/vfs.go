@@ -41,6 +41,40 @@ var (
 	ErrUnmounted = errors.New("file system is unmounted")
 )
 
+// PathError records an error from a file-system operation together
+// with the operation name and the path it was applied to, in the
+// manner of os.PathError. Both file systems return *PathError from
+// every FileSystem method; Unwrap preserves errors.Is against the
+// sentinels above.
+type PathError struct {
+	// Op is the operation name ("create", "write", "rename", ...).
+	Op string
+	// Path is the path the operation was applied to. For two-path
+	// operations (Rename, Link) it is the source path.
+	Path string
+	// Err is the underlying error, wrapping one of the sentinels.
+	Err error
+}
+
+func (e *PathError) Error() string { return e.Op + " " + e.Path + ": " + e.Err.Error() }
+
+// Unwrap returns the underlying error, so errors.Is sees through the
+// path context to the sentinel.
+func (e *PathError) Unwrap() error { return e.Err }
+
+// WrapPathError wraps err in a *PathError unless it is nil or already
+// one (an op implemented in terms of another must not double-wrap).
+func WrapPathError(op, path string, err error) error {
+	if err == nil {
+		return nil
+	}
+	var pe *PathError
+	if errors.As(err, &pe) {
+		return err
+	}
+	return &PathError{Op: op, Path: path, Err: err}
+}
+
 // FileInfo describes a file, as returned by Stat.
 type FileInfo struct {
 	// Ino is the file's inode number.

@@ -32,6 +32,7 @@ import (
 	"lfs/internal/core"
 	"lfs/internal/disk"
 	"lfs/internal/layout"
+	"lfs/internal/obs"
 	"lfs/internal/sim"
 	"lfs/internal/vfs"
 )
@@ -48,7 +49,15 @@ type (
 	// CleanResult summarises a cleaner activation.
 	CleanResult = core.CleanResult
 	// Stats counts internal LFS activity.
+	//
+	// Deprecated-style note: prefer FS.StatsSnapshot, which copies
+	// every statistics surface atomically; reading Stats and DiskStats
+	// through separate accessors lets a running workload skew derived
+	// ratios.
 	Stats = core.Stats
+	// StatsSnapshot is an atomic copy of every statistics surface of
+	// a mounted FS, from FS.StatsSnapshot.
+	StatsSnapshot = core.StatsSnapshot
 	// CheckReport is the result of a consistency check (Fsck or
 	// FS.Check).
 	CheckReport = core.CheckReport
@@ -63,6 +72,25 @@ type (
 	// FileSystem is the operation set shared by LFS and the FFS
 	// baseline.
 	FileSystem = vfs.FileSystem
+	// PathError is the error type returned by all FileSystem
+	// operations: the operation, the path, and an underlying error
+	// wrapping one of the sentinels below (test with errors.Is, or
+	// errors.As to recover the path).
+	PathError = vfs.PathError
+	// TraceRecorder collects operation spans, cause-tagged disk
+	// events, and cleaner activation records. Attach one through
+	// Config.Trace (or BaselineConfig.Trace) before Mount.
+	TraceRecorder = obs.Recorder
+	// Span is one traced VFS operation.
+	Span = obs.Span
+	// CleanRecord is one traced cleaner activation.
+	CleanRecord = obs.CleanRecord
+	// TraceAggregates condenses a trace: per-op latency, disk
+	// busy-time decomposition by cause, cleaner cost summary.
+	TraceAggregates = obs.Aggregates
+	// IOCause attributes one disk request to the activity that
+	// issued it.
+	IOCause = disk.IOCause
 	// FileInfo describes a file, as returned by Stat.
 	FileInfo = vfs.FileInfo
 	// DirEntry is one directory entry.
@@ -83,6 +111,40 @@ const (
 	// CleanCostBenefit weights free space by data age.
 	CleanCostBenefit = core.CleanCostBenefit
 )
+
+// I/O causes, the categories the disk busy-time decomposition reports
+// (DiskStats.ByCause, indexed by IOCause).
+const (
+	// CauseOther is unattributed I/O.
+	CauseOther = disk.CauseOther
+	// CauseLogAppend is a segment write of new data.
+	CauseLogAppend = disk.CauseLogAppend
+	// CauseCleanerRead is the cleaner's whole-segment read.
+	CauseCleanerRead = disk.CauseCleanerRead
+	// CauseCleanerWrite is the cleaner rewriting live blocks.
+	CauseCleanerWrite = disk.CauseCleanerWrite
+	// CauseCheckpoint is a checkpoint-region write.
+	CauseCheckpoint = disk.CauseCheckpoint
+	// CauseInodeMap is inode and inode-map block I/O.
+	CauseInodeMap = disk.CauseInodeMap
+	// CauseReadMiss is a file cache miss.
+	CauseReadMiss = disk.CauseReadMiss
+	// CauseSyncWrite is the FFS baseline's synchronous metadata
+	// write.
+	CauseSyncWrite = disk.CauseSyncWrite
+	// CauseWriteback is the baseline's delayed write-back.
+	CauseWriteback = disk.CauseWriteback
+	// CauseRecovery is mount-time recovery I/O.
+	CauseRecovery = disk.CauseRecovery
+	// CauseFormat is volume initialisation.
+	CauseFormat = disk.CauseFormat
+	// CauseTool is offline tool I/O (dump, fsck walks).
+	CauseTool = disk.CauseTool
+)
+
+// NewTraceRecorder returns an empty trace recorder, ready to be
+// attached through Config.Trace.
+func NewTraceRecorder() *TraceRecorder { return obs.NewRecorder() }
 
 // Sentinel errors, tested with errors.Is.
 var (

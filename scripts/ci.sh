@@ -12,4 +12,13 @@ echo "== vet =="
 go vet ./...
 echo "== test -race =="
 go test -race ./...
+echo "== tracing smoke =="
+# Instrumented small-file + cleaning run: exports the JSONL trace,
+# summarises it with lfstrace, and writes the headline numbers
+# (write cost, ops/s, attribution share) to BENCH_trace.json.
+tracedir="$(mktemp -d)"
+go run ./cmd/lfsbench -experiment trace -quick \
+	-trace "$tracedir/trace.jsonl" -benchjson BENCH_trace.json
+go run ./cmd/lfstrace "$tracedir/trace.jsonl" > /dev/null
+rm -rf "$tracedir"
 echo "ci passed"

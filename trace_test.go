@@ -1,0 +1,193 @@
+package lfs_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"lfs"
+)
+
+// buildLFS formats and mounts a small LFS, optionally traced.
+func buildLFS(t testing.TB, rec *lfs.TraceRecorder) *lfs.FS {
+	t.Helper()
+	d := lfs.NewMemDisk(32 << 20)
+	cfg := lfs.DefaultConfig()
+	cfg.MaxInodes = 8192
+	cfg.Trace = rec
+	if err := lfs.Format(d, cfg); err != nil {
+		t.Fatal(err)
+	}
+	fs, err := lfs.Mount(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func buildFFS(t testing.TB, rec *lfs.TraceRecorder) *lfs.BaselineFS {
+	t.Helper()
+	d := lfs.NewMemDisk(32 << 20)
+	cfg := lfs.DefaultBaselineConfig()
+	cfg.Trace = rec
+	if err := lfs.FormatBaseline(d, cfg); err != nil {
+		t.Fatal(err)
+	}
+	fs, err := lfs.MountBaseline(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+// TestStatsSnapshotDuringWorkload hammers StatsSnapshot (and the trace
+// recorder's aggregation) from reader goroutines while a workload
+// mutates the file system. Run under -race (scripts/ci.sh does) this
+// verifies the snapshot surface is safe to read at any time.
+func TestStatsSnapshotDuringWorkload(t *testing.T) {
+	rec := lfs.NewTraceRecorder()
+	fs := buildLFS(t, rec)
+	ffs := buildFFS(t, rec)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := fs.StatsSnapshot()
+				if snap.Disk.Reads < 0 {
+					t.Error("impossible disk stats")
+					return
+				}
+				_ = snap.WriteCost()
+				bsnap := ffs.StatsSnapshot()
+				if bsnap.Disk.Writes < 0 {
+					t.Error("impossible baseline disk stats")
+					return
+				}
+				if agg := rec.Aggregates(); agg != nil {
+					_, _ = agg.AttributedBusy()
+				}
+			}
+		}()
+	}
+
+	payload := make([]byte, 4096)
+	for i := 0; i < 400; i++ {
+		p := fmt.Sprintf("/f%d", i)
+		if err := fs.Create(p); err != nil {
+			t.Fatal(err)
+		}
+		if err := fs.Write(p, 0, payload); err != nil {
+			t.Fatal(err)
+		}
+		if err := ffs.Create(p); err != nil {
+			t.Fatal(err)
+		}
+		if err := ffs.Write(p, 0, payload); err != nil {
+			t.Fatal(err)
+		}
+		if i%50 == 0 {
+			if err := fs.Sync(); err != nil {
+				t.Fatal(err)
+			}
+			if err := ffs.Sync(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	snap := fs.StatsSnapshot()
+	if snap.Trace == nil {
+		t.Fatal("traced FS snapshot carries no trace aggregates")
+	}
+	if snap.Trace.DiskBusy == 0 {
+		t.Error("trace aggregates saw no disk time")
+	}
+}
+
+// TestTracingChargesNoSimulatedTime runs the same workload with and
+// without a recorder attached and requires identical simulated
+// timelines and identical disk statistics: observation must not
+// perturb the experiment.
+func TestTracingChargesNoSimulatedTime(t *testing.T) {
+	run := func(rec *lfs.TraceRecorder) lfs.StatsSnapshot {
+		fs := buildLFS(t, rec)
+		payload := make([]byte, 4096)
+		for i := 0; i < 300; i++ {
+			p := fmt.Sprintf("/f%d", i)
+			if err := fs.Create(p); err != nil {
+				t.Fatal(err)
+			}
+			if err := fs.Write(p, 0, payload); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := fs.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 300; i += 2 {
+			if err := fs.Remove(fmt.Sprintf("/f%d", i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := fs.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		return fs.StatsSnapshot()
+	}
+
+	plain := run(nil)
+	traced := run(lfs.NewTraceRecorder())
+	if plain.Time != traced.Time {
+		t.Errorf("simulated end time differs: untraced %v, traced %v", plain.Time, traced.Time)
+	}
+	if plain.Disk.BusyTime != traced.Disk.BusyTime {
+		t.Errorf("disk busy differs: untraced %v, traced %v", plain.Disk.BusyTime, traced.Disk.BusyTime)
+	}
+	if plain.CPUInstructions != traced.CPUInstructions {
+		t.Errorf("CPU instructions differ: untraced %d, traced %d", plain.CPUInstructions, traced.CPUInstructions)
+	}
+}
+
+// benchWorkload is the create/write/sync loop the overhead benchmarks
+// time, in host time: the acceptance bar is that attaching no recorder
+// costs nothing measurable and an attached recorder stays within a few
+// percent.
+func benchWorkload(b *testing.B, rec *lfs.TraceRecorder) {
+	b.ReportAllocs()
+	payload := make([]byte, 1024)
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		fs := buildLFS(b, rec)
+		b.StartTimer()
+		for j := 0; j < 200; j++ {
+			p := fmt.Sprintf("/f%d", j)
+			if err := fs.Create(p); err != nil {
+				b.Fatal(err)
+			}
+			if err := fs.Write(p, 0, payload); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := fs.Sync(); err != nil {
+			b.Fatal(err)
+		}
+		if rec != nil {
+			rec.Reset()
+		}
+	}
+}
+
+func BenchmarkWorkloadUntraced(b *testing.B) { benchWorkload(b, nil) }
+
+func BenchmarkWorkloadTraced(b *testing.B) { benchWorkload(b, lfs.NewTraceRecorder()) }
