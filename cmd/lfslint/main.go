@@ -1,0 +1,79 @@
+// Command lfslint runs the repository's static-analysis suite: five
+// analyzers that mechanically enforce the simulation and log
+// invariants the paper's results depend on (see internal/lint).
+//
+// Usage:
+//
+//	lfslint [-rules] [package patterns]
+//
+// Patterns are module-relative in the style of the go tool: "./..."
+// (the default) analyses the whole module, "./internal/..." a
+// subtree, "./internal/core" one package. Findings print as
+// "file:line: rule: message" and any finding makes the exit status 1,
+// so scripts/ci.sh can use the command as a gate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"lfs/internal/lint"
+)
+
+func main() {
+	rules := flag.Bool("rules", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: lfslint [-rules] [package patterns]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *rules {
+		for _, a := range lint.Analyzers {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	root, err := findModuleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lfslint:", err)
+		os.Exit(2)
+	}
+	pkgs, err := lint.LoadModule(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lfslint:", err)
+		os.Exit(2)
+	}
+	pkgs = lint.Match(pkgs, flag.Args())
+
+	diags := lint.Run(pkgs, lint.Analyzers)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "lfslint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+// findModuleRoot walks up from the working directory to the directory
+// holding go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above the working directory")
+		}
+		dir = parent
+	}
+}

@@ -162,6 +162,7 @@ func TestPlaceBlocksSpansSegments(t *testing.T) {
 	// Every placed block must read back with its payload.
 	buf := make([]byte, cfg.BlockSize)
 	for i, a := range addrs {
+		//lfslint:allow iocause raw-device readback below the FS; attribution is irrelevant here
 		if err := fs.d.ReadSectors(int64(a), buf, disk.CauseOther, "test"); err != nil {
 			t.Fatal(err)
 		}

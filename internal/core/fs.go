@@ -58,7 +58,13 @@ func (s Stats) WriteAmplification(blockSize int) float64 {
 // simulated clock (concurrent callers' operations interleave at
 // operation granularity on one clock).
 type FS struct {
-	mu  sync.Mutex
+	// mu serialises all operations. Fields documented "guarded by
+	// mu" are enforced by lfslint's lockcheck pass: exported methods
+	// must lock, unexported helpers run with the lock already held.
+	mu sync.Mutex
+	// d, cfg, sb, clock, cpu, and bc are set at mount and immutable
+	// thereafter (the structures they point to do their own
+	// serialisation under fs.mu).
 	d   *disk.Disk
 	cfg Config
 	sb  superblock
@@ -67,11 +73,13 @@ type FS struct {
 	cpu   *sim.CPU
 	bc    *cache.Cache
 
-	imap  *imapTable
+	// imap is the inode map; guarded by mu.
+	imap *imapTable
+	// usage tracks per-segment live bytes and state; guarded by mu.
 	usage []segUsage
 
 	// inodes is the in-core inode table; dirtyInodes queues inodes
-	// for the next segment write.
+	// for the next segment write. Both guarded by mu.
 	inodes      map[layout.Ino]*layout.Inode
 	dirtyInodes map[layout.Ino]bool
 
@@ -80,38 +88,43 @@ type FS struct {
 	// inode, directory block holding the entry). Without it,
 	// directory operations scan blocks linearly and the paper's
 	// 10000-files-in-one-directory workload turns quadratic.
+	// Guarded by mu.
 	names map[layout.Ino]map[string]nameEntry
 	// insertHint remembers, per directory, the first data block
-	// that may have room for a new entry.
+	// that may have room for a new entry. Guarded by mu.
 	insertHint map[layout.Ino]int64
 	// lastRead tracks each file's last-read block for sequential
-	// read-ahead detection.
+	// read-ahead detection. Guarded by mu.
 	lastRead map[layout.Ino]int64
 
 	// Active log position: segment curSeg, next free block curBlk.
 	// pendingBlk marks the start of the assembled-but-unissued
-	// region of segBuf.
+	// region of segBuf. All guarded by mu.
 	curSeg     int
 	curBlk     int
 	pendingBlk int
 	segBuf     []byte
 
 	// writeSerial numbers log units; ckptSerial numbers
-	// checkpoints.
+	// checkpoints. Guarded by mu.
 	writeSerial uint64
 	ckptSerial  uint64
 	lastCkpt    sim.Time
 
-	// liveBytes is the total live-data estimate across segments.
+	// liveBytes is the total live-data estimate across segments;
+	// cleanCount the number of clean segments. Guarded by mu.
 	liveBytes  int64
 	cleanCount int
 	// pendingClean counts segPending segments: reclaimed by the
-	// cleaner, reusable only after the next checkpoint.
+	// cleaner, reusable only after the next checkpoint. Guarded by
+	// mu.
 	pendingClean int
 
+	// cleaning and unmounted are lifecycle flags; guarded by mu.
 	cleaning  bool
 	unmounted bool
 
+	// stats holds the internal counters; guarded by mu.
 	stats Stats
 
 	// rec is the attached trace recorder (cfg.Trace); nil when

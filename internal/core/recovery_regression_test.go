@@ -183,6 +183,7 @@ func TestReviveBlockInodeErrorKeepsLiveness(t *testing.T) {
 	// Snapshot the intact block — the cleaner reads the victim
 	// segment before examining it.
 	blk := make([]byte, fs.cfg.BlockSize)
+	//lfslint:allow iocause raw-device snapshot below the FS; attribution is irrelevant here
 	if err := fs.d.ReadSectors(blockStart, blk, disk.CauseOther, "test"); err != nil {
 		t.Fatal(err)
 	}
@@ -248,6 +249,7 @@ func TestRollForwardRejectsStaleEpochUnit(t *testing.T) {
 	unit := make([]byte, 2*bs)
 	encodeSummary(h, []blockRef{{Kind: kindInodes}}, unit[:bs])
 	copy(unit[bs:], inodeBlk)
+	//lfslint:allow iocause raw-device forgery of a stale log unit; attribution is irrelevant here
 	if err := d.WriteSectors(headSector, unit, true, disk.CauseOther, "test: stale unit"); err != nil {
 		t.Fatal(err)
 	}

@@ -142,8 +142,11 @@ func (m *MemStore) AllocatedBytes() int64 {
 // by the command-line tools (mklfs, lfsck, lfsdump) to operate on disk
 // images that persist between runs.
 type FileStore struct {
-	mu   sync.Mutex
-	f    *os.File
+	mu sync.Mutex
+	// f is the image file handle; guarded by mu (tools may scan an
+	// image while a mounted FS flushes to it).
+	f *os.File
+	// size is fixed at open and immutable thereafter.
 	size int64
 }
 
@@ -200,5 +203,11 @@ func (s *FileStore) WriteAt(p []byte, off int64) error {
 	return err
 }
 
-// Close closes the image file.
-func (s *FileStore) Close() error { return s.f.Close() }
+// Close closes the image file. It takes the lock so a close cannot
+// race a ReadAt/WriteAt in flight from another goroutine (lfslint's
+// lockcheck pass caught the unlocked access).
+func (s *FileStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.f.Close()
+}

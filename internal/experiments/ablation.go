@@ -131,7 +131,7 @@ func SegSizeAblation(opts SegSizeOpts) ([]SegSizeRow, error) {
 
 		// Small-file phase on the same aged volume.
 		res, err := workload.SmallFile(sys, workload.SmallFileOpts{
-			NumFiles: opts.Files, FileSize: 1024, Dir: "/s", SyncBetweenPhases: true,
+			NumFiles: opts.Files, FileSize: 1024, Dir: "/s", SyncBetweenPhases: true, Seed: 42,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("segsize %d small files: %w", ss, err)

@@ -60,7 +60,7 @@ func BlockSizeAblation(opts BlockSizeOpts) ([]BlockSizeRow, error) {
 		lfs := sys.System.(*core.FS)
 		res, err := workload.SmallFile(sys, workload.SmallFileOpts{
 			NumFiles: opts.Files, FileSize: opts.FileSize,
-			Dir: "/s", SyncBetweenPhases: true,
+			Dir: "/s", SyncBetweenPhases: true, Seed: 42,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("blocksize %d: %w", bs, err)

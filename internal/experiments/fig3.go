@@ -73,7 +73,7 @@ func Fig3(opts Fig3Opts) ([]Fig3Row, error) {
 			}
 			w := workload.SmallFileOpts{
 				NumFiles: c.count, FileSize: c.size,
-				Dir: "/small", SyncBetweenPhases: true,
+				Dir: "/small", SyncBetweenPhases: true, Seed: 42,
 			}
 			res, err := workload.SmallFile(sys, w)
 			if err != nil {

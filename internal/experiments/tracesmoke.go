@@ -104,7 +104,7 @@ func TraceSmoke(opts TraceSmokeOpts) (*TraceSmokeResult, error) {
 	}
 	res, err := workload.SmallFile(sys, workload.SmallFileOpts{
 		NumFiles: opts.NumFiles, FileSize: opts.FileSize,
-		Dir: "/small", SyncBetweenPhases: true,
+		Dir: "/small", SyncBetweenPhases: true, Seed: 42,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("tracesmoke small-file: %w", err)

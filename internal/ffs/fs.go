@@ -16,6 +16,10 @@ import (
 // safe for concurrent use: a single mutex serialises all operations
 // on the shared simulated clock.
 type FS struct {
+	// mu serialises all operations; the mutable fields below are
+	// guarded by it (enforced by lfslint's lockcheck pass: exported
+	// methods lock, unexported helpers run with the lock held). The
+	// handles d..lay are set at mount and immutable thereafter.
 	mu    sync.Mutex
 	d     *disk.Disk
 	cfg   Config
@@ -26,24 +30,26 @@ type FS struct {
 	lay   diskLayout
 
 	// freeBlocks and freeInodes track per-group free counts,
-	// rebuilt from the bitmaps at mount.
+	// rebuilt from the bitmaps at mount. Guarded by mu.
 	freeBlocks []int
 	freeInodes []int
 	// nextDirGroup rotates new directories across groups, FFS's
-	// directory-spreading policy.
+	// directory-spreading policy. Guarded by mu.
 	nextDirGroup int
 	// atimes holds in-core access times (classic UNIX updates atime
 	// lazily; we keep it in memory and lose it on crash, which the
-	// paper's workloads never observe).
+	// paper's workloads never observe). Guarded by mu.
 	atimes map[layout.Ino]sim.Time
 	// names is the directory name cache (the namei cache), and
 	// insertHint the per-directory first-block-with-room hint.
+	// Guarded by mu.
 	names      map[layout.Ino]map[string]nameEntry
 	insertHint map[layout.Ino]int64
 	// lastRead tracks each file's last-read block for sequential
-	// read-ahead detection.
+	// read-ahead detection. Guarded by mu.
 	lastRead map[layout.Ino]int64
 
+	// unmounted is the lifecycle flag; guarded by mu.
 	unmounted bool
 
 	// rec is the attached trace recorder (cfg.Trace); nil when

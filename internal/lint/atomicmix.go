@@ -1,0 +1,92 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// AtomicMixAnalyzer flags fields that are accessed both through
+// sync/atomic and through plain loads or stores. Mixing the two is a
+// data race even when it happens to pass the race detector's
+// schedules: the plain access carries no happens-before edge. The
+// repository's concurrency story is coarse (one mutex per FS, one per
+// recorder), so any sync/atomic use is deliberate and must be total.
+//
+// The analysis is name-based within a package: a field name that
+// appears as &x.f in an atomic call is tracked, and every other
+// selector access to a field of that name is flagged. Without type
+// information two distinct structs sharing a field name could alias;
+// in that unlikely case the finding is silenced with
+// //lfslint:allow atomicmix and a justification.
+var AtomicMixAnalyzer = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "fields accessed via sync/atomic must never be accessed plainly",
+	Run:  runAtomicMix,
+}
+
+func runAtomicMix(pkg *Package) []Diagnostic {
+	// Pass 1: find fields used atomically, and remember the exact
+	// selector nodes inside atomic calls so pass 2 exempts them.
+	atomicFields := make(map[string]bool)
+	exempt := make(map[*ast.SelectorExpr]bool)
+	for _, f := range pkg.Files {
+		atomicName := importName(f.AST, "sync/atomic")
+		if atomicName == "" {
+			continue
+		}
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fun, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := fun.X.(*ast.Ident)
+			if !ok || !isPkgIdent(id, atomicName) {
+				return true
+			}
+			for _, arg := range call.Args {
+				unary, ok := arg.(*ast.UnaryExpr)
+				if !ok {
+					continue
+				}
+				sel, ok := unary.X.(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				atomicFields[sel.Sel.Name] = true
+				exempt[sel] = true
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+
+	// Pass 2: flag every other access to those field names.
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || !atomicFields[sel.Sel.Name] || exempt[sel] {
+				return true
+			}
+			// A selector on an unresolved identifier is most likely a
+			// package-qualified name (pkg.Name), not a field access;
+			// receivers and locals carry parser-resolved objects.
+			if id, ok := sel.X.(*ast.Ident); ok && id.Obj == nil {
+				return true
+			}
+			diags = append(diags, Diagnostic{
+				Pos:  pkg.Fset.Position(sel.Pos()),
+				Rule: "atomicmix",
+				Msg: "field " + sel.Sel.Name + " is accessed with sync/atomic elsewhere in this package; " +
+					"a plain access races with it — use the atomic API everywhere",
+			})
+			return true
+		})
+	}
+	return diags
+}

@@ -1,0 +1,117 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// errwrapDirs are the packages implementing vfs.FileSystem whose
+// exported operations promise *vfs.PathError (or nil) to callers —
+// the race-safe public error API from the tracing PR. The in-memory
+// model in internal/vfs is exempt: it is the behavioural oracle, and
+// the equivalence tests compare error classes through errors.Is.
+var errwrapDirs = []string{"internal/core", "internal/ffs"}
+
+// vfsOps is the vfs.FileSystem method set plus the fsync extension —
+// the operations whose errors cross the VFS boundary.
+var vfsOps = map[string]bool{
+	"Create":    true,
+	"Mkdir":     true,
+	"Write":     true,
+	"Read":      true,
+	"Stat":      true,
+	"ReadDir":   true,
+	"Remove":    true,
+	"Rename":    true,
+	"Link":      true,
+	"Truncate":  true,
+	"Sync":      true,
+	"Unmount":   true,
+	"FsyncFile": true,
+}
+
+// ErrWrapAnalyzer requires every exported VFS operation in the two
+// file systems to return its error through endOp (which wraps with
+// *vfs.PathError and emits the operation's trace span) or through
+// vfs.WrapPathError directly. Returning a bare sentinel would leak an
+// unwrapped error to callers — breaking errors.As(*vfs.PathError) —
+// and would silently skip the operation's span, violating the
+// every-op-is-traced invariant.
+var ErrWrapAnalyzer = &Analyzer{
+	Name: "errwrap",
+	Doc:  "exported VFS ops in core/ffs must return errors via endOp or vfs.WrapPathError",
+	Run:  runErrWrap,
+}
+
+func runErrWrap(pkg *Package) []Diagnostic {
+	if !pkg.inDirs(errwrapDirs...) {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		for _, decl := range f.AST.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Recv == nil || fn.Body == nil || !vfsOps[fn.Name.Name] {
+				continue
+			}
+			if !returnsError(fn) {
+				continue
+			}
+			// Closures inside the method return to the closure, not
+			// to the VFS caller, so they are skipped.
+			walkSkippingFuncLit(fn.Body, func(n ast.Node) bool {
+				ret, ok := n.(*ast.ReturnStmt)
+				if !ok {
+					return true
+				}
+				if len(ret.Results) == 0 {
+					diags = append(diags, Diagnostic{
+						Pos:  pkg.Fset.Position(ret.Pos()),
+						Rule: "errwrap",
+						Msg:  fn.Name.Name + " uses a naked return; return the error through endOp or vfs.WrapPathError",
+					})
+					return true
+				}
+				errExpr := ret.Results[len(ret.Results)-1]
+				if !wrapsError(errExpr) {
+					diags = append(diags, Diagnostic{
+						Pos:  pkg.Fset.Position(errExpr.Pos()),
+						Rule: "errwrap",
+						Msg: fn.Name.Name + " returns a bare error; wrap it with endOp or " +
+							"vfs.WrapPathError so callers get a *vfs.PathError (and the op's span is recorded)",
+					})
+				}
+				return true
+			})
+		}
+	}
+	return diags
+}
+
+// returnsError reports whether the function's last result is an error
+// by its type name (syntactic; the VFS ops all spell it "error").
+func returnsError(fn *ast.FuncDecl) bool {
+	res := fn.Type.Results
+	if res == nil || len(res.List) == 0 {
+		return false
+	}
+	last, ok := res.List[len(res.List)-1].Type.(*ast.Ident)
+	return ok && last.Name == "error"
+}
+
+// wrapsError reports whether the returned error expression is one of
+// the sanctioned forms: nil, a call to the receiver's endOp, or a call
+// to vfs.WrapPathError.
+func wrapsError(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name == "nil"
+	case *ast.CallExpr:
+		switch fun := e.Fun.(type) {
+		case *ast.SelectorExpr:
+			return fun.Sel.Name == "endOp" || fun.Sel.Name == "WrapPathError"
+		case *ast.Ident:
+			return fun.Name == "endOp" || fun.Name == "WrapPathError"
+		}
+	}
+	return false
+}

@@ -1,0 +1,236 @@
+// Package lint implements lfslint, the repository's static-analysis
+// suite. The paper's results are shapes produced by a deterministic
+// latency model, so every figure we reproduce silently depends on
+// conventions the compiler cannot check: the simulated clock is the
+// only time source, every disk request names its IOCause, VFS
+// operations fail only with *vfs.PathError, and lock-guarded state is
+// touched only under the lock. Each analyzer here turns one of those
+// conventions into a build gate (run by scripts/ci.sh before the
+// tests).
+//
+// The suite is written against the standard library only (go/ast,
+// go/parser, go/token) so go.mod stays dependency-free. Analyses are
+// therefore syntactic: they resolve package qualifiers through the
+// file's import table rather than full type information, which is
+// precise enough for this repository's idioms and keeps a whole-module
+// run under a second.
+//
+// A finding can be suppressed where the violation is intentional by
+// placing
+//
+//	//lfslint:allow <rule>[,<rule>...] <one-line justification>
+//
+// on the flagged line or the line directly above it. Allow directives
+// are deliberately line-scoped: there is no file- or package-wide
+// escape hatch, so every exception is visible next to the code it
+// excuses.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding: a violated rule at a position.
+type Diagnostic struct {
+	// Pos locates the finding; Filename is relative to the module
+	// root.
+	Pos token.Position
+	// Rule names the analyzer that produced the finding.
+	Rule string
+	// Msg explains the violation and the sanctioned alternative.
+	Msg string
+}
+
+// String formats the finding as "file:line: rule: message", the
+// grep- and editor-friendly shape cmd/lfslint prints.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Rule, d.Msg)
+}
+
+// File is one parsed source file plus its allow directives.
+type File struct {
+	// AST is the parsed file (with comments).
+	AST *ast.File
+	// Allows maps a line number to the set of rules an
+	// //lfslint:allow directive on that line suppresses.
+	Allows map[int]map[string]bool
+}
+
+// Package is all Go files of one directory (test files included: the
+// invariants hold for test code too).
+type Package struct {
+	// RelDir is the slash-separated directory path relative to the
+	// module root ("." for the root package).
+	RelDir string
+	// Name is the package name of the first file (files of a
+	// directory are analyzed together regardless of package clause,
+	// so external _test packages are covered too).
+	Name string
+	// Fset is the position table shared by every package of a load.
+	Fset *token.FileSet
+	// Files are the parsed sources.
+	Files []*File
+}
+
+// inDirs reports whether the package lies in (or under) one of the
+// given module-relative directories.
+func (p *Package) inDirs(dirs ...string) bool {
+	for _, d := range dirs {
+		if p.RelDir == d || strings.HasPrefix(p.RelDir, d+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// Analyzer is one named pass over a package.
+type Analyzer struct {
+	// Name is the rule name, as printed in diagnostics and matched
+	// by allow directives.
+	Name string
+	// Doc is a one-line description for cmd/lfslint -rules.
+	Doc string
+	// Run inspects one package and returns its findings (allow
+	// filtering happens in the driver).
+	Run func(pkg *Package) []Diagnostic
+}
+
+// Analyzers is the full suite, in the order findings are reported.
+var Analyzers = []*Analyzer{
+	WallclockAnalyzer,
+	IOCauseAnalyzer,
+	ErrWrapAnalyzer,
+	LockCheckAnalyzer,
+	AtomicMixAnalyzer,
+}
+
+// allowDirective is the comment prefix of the escape hatch.
+const allowDirective = "lfslint:allow"
+
+// parseAllows extracts the allow directives of a parsed file, keyed by
+// line number.
+func parseAllows(fset *token.FileSet, f *ast.File) map[int]map[string]bool {
+	allows := make(map[int]map[string]bool)
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			text = strings.TrimSpace(text)
+			if !strings.HasPrefix(text, allowDirective) {
+				continue
+			}
+			rest := strings.TrimPrefix(text, allowDirective)
+			fields := strings.Fields(rest)
+			if len(fields) == 0 {
+				continue
+			}
+			line := fset.Position(c.Pos()).Line
+			set := allows[line]
+			if set == nil {
+				set = make(map[string]bool)
+				allows[line] = set
+			}
+			for _, rule := range strings.Split(fields[0], ",") {
+				if rule != "" {
+					set[rule] = true
+				}
+			}
+		}
+	}
+	return allows
+}
+
+// allowed reports whether an allow directive for rule covers the given
+// line: the directive may sit on the flagged line itself or on the
+// line directly above it.
+func (f *File) allowed(rule string, line int) bool {
+	for _, l := range [2]int{line, line - 1} {
+		if f.Allows[l][rule] {
+			return true
+		}
+	}
+	return false
+}
+
+// fileFor maps a diagnostic back to the file it was reported in, for
+// allow filtering.
+func fileFor(pkg *Package, d Diagnostic) *File {
+	for _, f := range pkg.Files {
+		if pkg.Fset.Position(f.AST.Pos()).Filename == d.Pos.Filename {
+			return f
+		}
+	}
+	return nil
+}
+
+// Run executes the analyzers over the packages, drops findings covered
+// by allow directives, and returns the rest sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			for _, d := range a.Run(pkg) {
+				if f := fileFor(pkg, d); f != nil && f.allowed(d.Rule, d.Pos.Line) {
+					continue
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pos.Filename != out[j].Pos.Filename {
+			return out[i].Pos.Filename < out[j].Pos.Filename
+		}
+		if out[i].Pos.Line != out[j].Pos.Line {
+			return out[i].Pos.Line < out[j].Pos.Line
+		}
+		return out[i].Rule < out[j].Rule
+	})
+	return out
+}
+
+// importName returns the local name the file binds the given import
+// path to, or "" when the file does not import it. The default name is
+// the path's last element; a blank or dot import returns "".
+func importName(f *ast.File, path string) string {
+	for _, imp := range f.Imports {
+		p := strings.Trim(imp.Path.Value, `"`)
+		if p != path {
+			continue
+		}
+		if imp.Name != nil {
+			if imp.Name.Name == "_" || imp.Name.Name == "." {
+				return ""
+			}
+			return imp.Name.Name
+		}
+		if i := strings.LastIndex(p, "/"); i >= 0 {
+			return p[i+1:]
+		}
+		return p
+	}
+	return ""
+}
+
+// isPkgIdent reports whether the identifier refers to the package
+// bound to name in this file: same name and no local declaration
+// shadowing it (the parser resolves file-scope objects, so a shadowed
+// use carries a non-nil Obj).
+func isPkgIdent(id *ast.Ident, name string) bool {
+	return name != "" && id.Name == name && id.Obj == nil
+}
+
+// walkSkippingFuncLit walks the statements of a function body without
+// descending into function literals, for rules about what a method
+// itself does (closures escape the method's control flow).
+func walkSkippingFuncLit(n ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		return fn(n)
+	})
+}

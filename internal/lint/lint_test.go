@@ -1,0 +1,150 @@
+package lint_test
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"lfs/internal/lint"
+)
+
+// -update regenerates the golden files from the current analyzer
+// output (inspect the diff before committing).
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// runCase loads one testdata/src case as if it were a module root and
+// returns the formatted findings, one per line.
+func runCase(t *testing.T, caseDir string) []string {
+	t.Helper()
+	pkgs, err := lint.LoadModule(caseDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := lint.Run(pkgs, lint.Analyzers)
+	lines := make([]string, len(diags))
+	for i, d := range diags {
+		lines[i] = d.String()
+	}
+	return lines
+}
+
+// TestAnalyzersGolden runs the full suite over each miniature module
+// under testdata/src and compares the findings — positions, rules,
+// and messages — against the case's golden file. The miniatures
+// contain positive cases (must be flagged), negative cases (must not
+// be), out-of-scope packages, and one escape-hatch use per rule, so
+// an exact match exercises both directions of every pass.
+func TestAnalyzersGolden(t *testing.T) {
+	cases, err := os.ReadDir(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cases) == 0 {
+		t.Fatal("no testdata cases")
+	}
+	for _, c := range cases {
+		if !c.IsDir() {
+			continue
+		}
+		t.Run(c.Name(), func(t *testing.T) {
+			got := strings.Join(runCase(t, filepath.Join("testdata", "src", c.Name())), "\n")
+			if got != "" {
+				got += "\n"
+			}
+			goldenPath := filepath.Join("testdata", "golden", c.Name()+".txt")
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("diagnostics mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
+			}
+		})
+	}
+}
+
+// TestEveryAnalyzerHasFindings guards the golden corpus itself: each
+// of the five rules must produce at least one finding somewhere in
+// testdata, so a pass broken into silence cannot hide behind an
+// accidentally empty golden file.
+func TestEveryAnalyzerHasFindings(t *testing.T) {
+	seen := make(map[string]bool)
+	cases, err := os.ReadDir(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cases {
+		if !c.IsDir() {
+			continue
+		}
+		for _, line := range runCase(t, filepath.Join("testdata", "src", c.Name())) {
+			parts := strings.SplitN(line, ": ", 3)
+			if len(parts) == 3 {
+				seen[parts[1]] = true
+			}
+		}
+	}
+	for _, a := range lint.Analyzers {
+		if !seen[a.Name] {
+			t.Errorf("rule %s produced no findings across testdata", a.Name)
+		}
+	}
+}
+
+// TestRepoIsClean is the meta-test behind the ci.sh gate: running the
+// full suite over this repository itself must produce no findings.
+// Every invariant the analyzers encode is supposed to hold for real.
+func TestRepoIsClean(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Fatalf("cannot locate module root: %v", err)
+	}
+	pkgs, err := lint.LoadModule(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("loaded only %d packages; loader is missing the module", len(pkgs))
+	}
+	for _, d := range lint.Run(pkgs, lint.Analyzers) {
+		t.Errorf("%s", d)
+	}
+}
+
+// TestMatch exercises the go-style package patterns cmd/lfslint
+// accepts.
+func TestMatch(t *testing.T) {
+	pkgs, err := lint.LoadModule(filepath.Join("testdata", "src", "wallclock"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		patterns []string
+		want     int
+	}{
+		{nil, 2},
+		{[]string{"./..."}, 2},
+		{[]string{"./internal/..."}, 1},
+		{[]string{"./internal/core"}, 1},
+		{[]string{"./cmd/tool"}, 1},
+		{[]string{"./nosuchdir"}, 0},
+	} {
+		if got := len(lint.Match(pkgs, tc.patterns)); got != tc.want {
+			t.Errorf("Match(%v) selected %d packages, want %d", tc.patterns, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package lint
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// LoadModule parses every Go file under root (the directory holding
+// go.mod) into packages keyed by directory. Hidden directories,
+// testdata trees, and generated vendor directories are skipped, the
+// same set the go tool ignores. Test files are included: the
+// invariants the analyzers enforce apply to test code too.
+func LoadModule(root string) ([]*Package, error) {
+	fset := token.NewFileSet()
+	byDir := make(map[string]*Package)
+
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if path == root {
+				return nil
+			}
+			if strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+				name == "testdata" || name == "vendor" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(name, ".go") {
+			return nil
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		rel = filepath.ToSlash(rel)
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		// The relative path becomes the position filename, so
+		// diagnostics print module-relative locations.
+		astFile, err := parser.ParseFile(fset, rel, src, parser.ParseComments)
+		if err != nil {
+			return fmt.Errorf("lint: %w", err)
+		}
+		dir := filepath.ToSlash(filepath.Dir(rel))
+		pkg := byDir[dir]
+		if pkg == nil {
+			pkg = &Package{RelDir: dir, Name: astFile.Name.Name, Fset: fset}
+			byDir[dir] = pkg
+		}
+		pkg.Files = append(pkg.Files, &File{
+			AST:    astFile,
+			Allows: parseAllows(fset, astFile),
+		})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	pkgs := make([]*Package, 0, len(byDir))
+	for _, pkg := range byDir {
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].RelDir < pkgs[j].RelDir })
+	return pkgs, nil
+}
+
+// Match filters packages by go-style path patterns relative to the
+// module root: "./..." (or "...") selects everything, "./dir/..."
+// selects a subtree, and "./dir" selects one directory. An empty
+// pattern list selects everything.
+func Match(pkgs []*Package, patterns []string) []*Package {
+	if len(patterns) == 0 {
+		return pkgs
+	}
+	var out []*Package
+	for _, pkg := range pkgs {
+		for _, pat := range patterns {
+			if matchPattern(pkg.RelDir, pat) {
+				out = append(out, pkg)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// matchPattern reports whether the module-relative directory matches
+// one go-style pattern.
+func matchPattern(relDir, pat string) bool {
+	pat = strings.TrimPrefix(pat, "./")
+	pat = strings.TrimSuffix(pat, "/")
+	if pat == "..." || pat == "" || pat == "." {
+		return true
+	}
+	if strings.HasSuffix(pat, "/...") {
+		base := strings.TrimSuffix(pat, "/...")
+		return relDir == base || strings.HasPrefix(relDir, base+"/")
+	}
+	return relDir == pat
+}

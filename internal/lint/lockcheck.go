@@ -1,0 +1,201 @@
+package lint
+
+import (
+	"go/ast"
+	"regexp"
+	"strings"
+)
+
+// guardedRe matches the field-doc convention "guarded by <mutex>".
+var guardedRe = regexp.MustCompile(`(?i)guarded by ([A-Za-z_][A-Za-z0-9_]*)`)
+
+// LockCheckAnalyzer enforces the "guarded by mu" field-doc
+// convention: an exported method that reads or writes a field
+// documented as guarded must lock the named mutex in its own body.
+// The repository's locking discipline has exactly two tiers — exported
+// methods take the lock, unexported helpers assume it is held — so the
+// pass checks exported methods only. Two escape valves exist for
+// exported entry points that legitimately run unlocked: a name ending
+// in "Locked" (caller holds the lock by contract) or an
+// //lfslint:allow lockcheck annotation with a justification.
+//
+// The check is a heuristic, not a proof: it matches fs.mu.Lock()
+// lexically against the receiver and cannot see locks taken by
+// callees. It exists to catch the easy, common mistake — a new
+// accessor added without the lock — which the race detector only
+// catches if a test happens to race it.
+var LockCheckAnalyzer = &Analyzer{
+	Name: "lockcheck",
+	Doc:  "exported methods touching 'guarded by mu' fields must lock mu (or be *Locked)",
+	Run:  runLockCheck,
+}
+
+// guardedField records one documented guard: struct S's field F is
+// guarded by the mutex field M.
+type guardedField struct {
+	structName string
+	fieldName  string
+	mutexName  string
+}
+
+func runLockCheck(pkg *Package) []Diagnostic {
+	guards := collectGuards(pkg)
+	if len(guards) == 0 {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		for _, decl := range f.AST.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Recv == nil || fn.Body == nil {
+				continue
+			}
+			if !ast.IsExported(fn.Name.Name) || strings.HasSuffix(fn.Name.Name, "Locked") {
+				continue
+			}
+			recvType, recvName := receiverOf(fn)
+			if recvName == "" {
+				continue
+			}
+			fields := guards[recvType]
+			if len(fields) == 0 {
+				continue
+			}
+			diags = append(diags, checkMethod(pkg, fn, recvName, fields)...)
+		}
+	}
+	return diags
+}
+
+// collectGuards scans the package's struct declarations for fields
+// documented "guarded by <mutex>", keyed by struct name.
+func collectGuards(pkg *Package) map[string]map[string]string {
+	guards := make(map[string]map[string]string)
+	for _, f := range pkg.Files {
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			// The named mutex must itself be a field of the struct;
+			// this drops prose that happens to match the pattern.
+			fieldNames := make(map[string]bool)
+			for _, field := range st.Fields.List {
+				for _, name := range field.Names {
+					fieldNames[name.Name] = true
+				}
+			}
+			for _, field := range st.Fields.List {
+				mu := guardNameOf(field)
+				if mu == "" || !fieldNames[mu] {
+					continue
+				}
+				for _, name := range field.Names {
+					if name.Name == mu {
+						continue // the mutex does not guard itself
+					}
+					m := guards[ts.Name.Name]
+					if m == nil {
+						m = make(map[string]string)
+						guards[ts.Name.Name] = m
+					}
+					m[name.Name] = mu
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+// guardNameOf extracts the mutex name from a field's doc or line
+// comment, or "" when the field is not documented as guarded.
+func guardNameOf(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedRe.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// receiverOf returns the method's receiver type name (pointer
+// stripped) and receiver variable name.
+func receiverOf(fn *ast.FuncDecl) (typeName, varName string) {
+	if len(fn.Recv.List) == 0 {
+		return "", ""
+	}
+	recv := fn.Recv.List[0]
+	t := recv.Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	id, ok := t.(*ast.Ident)
+	if !ok {
+		return "", ""
+	}
+	if len(recv.Names) == 0 {
+		return id.Name, ""
+	}
+	return id.Name, recv.Names[0].Name
+}
+
+// checkMethod flags guarded-field accesses in one exported method that
+// lacks the corresponding lock call. Closures are included: a closure
+// defined inside the method runs in the same locking context.
+func checkMethod(pkg *Package, fn *ast.FuncDecl, recvName string, fields map[string]string) []Diagnostic {
+	// Which mutexes does the body lock (recv.mu.Lock / recv.mu.RLock)?
+	locked := make(map[string]bool)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		muSel, ok := sel.X.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := muSel.X.(*ast.Ident); ok && id.Name == recvName {
+			locked[muSel.Sel.Name] = true
+		}
+		return true
+	})
+
+	var diags []Diagnostic
+	flagged := make(map[string]bool) // one finding per field per method
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok || id.Name != recvName {
+			return true
+		}
+		mu, guarded := fields[sel.Sel.Name]
+		if !guarded || locked[mu] || flagged[sel.Sel.Name] {
+			return true
+		}
+		flagged[sel.Sel.Name] = true
+		diags = append(diags, Diagnostic{
+			Pos:  pkg.Fset.Position(sel.Pos()),
+			Rule: "lockcheck",
+			Msg: fn.Name.Name + " accesses " + recvName + "." + sel.Sel.Name +
+				" (guarded by " + mu + ") without " + recvName + "." + mu +
+				".Lock; lock it, rename the method *Locked, or annotate",
+		})
+		return true
+	})
+	return diags
+}

@@ -1,0 +1,27 @@
+// Package pkg is a deliberately broken miniature of mixed atomics: a
+// field accessed through sync/atomic in one place and plainly in
+// another must be flagged by the atomicmix pass.
+package pkg
+
+import "sync/atomic"
+
+type gauge struct {
+	hits  int64
+	total int64
+}
+
+// bump and read use the atomic API consistently: ok.
+func (g *gauge) bump() { atomic.AddInt64(&g.hits, 1) }
+
+func (g *gauge) read() int64 { return atomic.LoadInt64(&g.hits) }
+
+// racy reads hits plainly while others use sync/atomic: flagged.
+func (g *gauge) racy() int64 { return g.hits }
+
+// plain reads a field never touched by sync/atomic: no finding.
+func (g *gauge) plain() int64 { return g.total }
+
+// tolerated demonstrates the escape hatch.
+//
+//lfslint:allow atomicmix approximate read tolerated in this demo
+func (g *gauge) tolerated() int64 { return g.hits }

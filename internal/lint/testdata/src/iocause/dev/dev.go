@@ -1,0 +1,40 @@
+// Package dev is a deliberately broken miniature of a disk caller:
+// the iocause pass must flag literal, converted, and zero-value cause
+// arguments while accepting named constants and forwarded variables.
+package dev
+
+type cause int
+
+// The miniature cause space, mirroring disk.IOCause.
+const (
+	CauseOther cause = iota
+	CauseData
+	NumCauses
+)
+
+type device struct{}
+
+func (device) ReadSectors(sector int64, p []byte, c cause, label string) error {
+	return nil
+}
+
+func (device) WriteSectors(sector int64, p []byte, sync bool, c cause, label string) error {
+	return nil
+}
+
+func use(d device, buf []byte) {
+	_ = d.ReadSectors(0, buf, CauseData, "named constant: ok")
+	_ = d.WriteSectors(0, buf, true, CauseData, "named constant: ok")
+	_ = d.ReadSectors(0, buf, 0, "raw literal: flagged")
+	_ = d.ReadSectors(0, buf, cause(1), "converted literal: flagged")
+	_ = d.ReadSectors(0, buf, CauseOther, "zero value: flagged")
+	_ = d.WriteSectors(0, buf, false, NumCauses, "bound: flagged")
+	//lfslint:allow iocause raw-device poke in this demo
+	_ = d.ReadSectors(0, buf, CauseOther, "annotated: suppressed")
+}
+
+// forward passes a cause through a parameter, the sanctioned shape
+// for helpers that issue I/O on behalf of a caller.
+func forward(d device, c cause, buf []byte) error {
+	return d.ReadSectors(0, buf, c, "forwarded variable: ok")
+}

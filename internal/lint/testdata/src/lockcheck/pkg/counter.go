@@ -1,0 +1,54 @@
+// Package pkg is a deliberately broken miniature of a lock-guarded
+// structure: exported methods touching "guarded by mu" fields without
+// the lock must be flagged by the lockcheck pass.
+package pkg
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	// n is the running count; guarded by mu.
+	n int
+	// name is immutable after construction.
+	name string
+}
+
+// Add locks before touching n: ok.
+func (c *counter) Add(d int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n += d
+}
+
+// Get reads n without the lock and must be flagged.
+func (c *counter) Get() int { return c.n }
+
+// GetLocked documents by its suffix that the caller holds mu: ok.
+func (c *counter) GetLocked() int { return c.n }
+
+// peek is unexported: internal callers hold the lock by convention.
+func (c *counter) peek() int { return c.n }
+
+// Name reads an unguarded field: no finding.
+func (c *counter) Name() string { return c.name }
+
+// Racy demonstrates the escape hatch.
+//
+//lfslint:allow lockcheck racy snapshot tolerated in this demo
+func (c *counter) Racy() int { return c.n }
+
+type rwbox struct {
+	rw sync.RWMutex
+	// v is the boxed value; guarded by rw.
+	v int
+}
+
+// Load takes the read lock: ok.
+func (b *rwbox) Load() int {
+	b.rw.RLock()
+	defer b.rw.RUnlock()
+	return b.v
+}
+
+// Store forgets the lock and must be flagged.
+func (b *rwbox) Store(v int) { b.v = v }

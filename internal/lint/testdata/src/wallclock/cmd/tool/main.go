@@ -1,0 +1,14 @@
+// Command tool sits outside the simulation directories, where
+// wall-clock use is legitimate (progress output, host timing): the
+// wallclock pass must report nothing here.
+package main
+
+import (
+	"fmt"
+	"time"
+)
+
+func main() {
+	start := time.Now()
+	fmt.Println("host elapsed:", time.Since(start))
+}

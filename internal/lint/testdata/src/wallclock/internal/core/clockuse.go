@@ -1,0 +1,33 @@
+// Package core is a deliberately broken miniature of a simulation
+// package: wall-clock reads and implicitly seeded randomness inside
+// the scoped directories must be flagged by the wallclock pass.
+package core
+
+import (
+	"math/rand"
+	"time"
+)
+
+// now reads the wall clock and must be flagged.
+func now() int64 { return time.Now().UnixNano() }
+
+// wait sleeps on the wall clock and must be flagged.
+func wait() { time.Sleep(time.Millisecond) }
+
+// age measures wall-clock elapsed time and must be flagged.
+func age(t0 time.Time) time.Duration { return time.Since(t0) }
+
+// roll uses the implicitly seeded global source and must be flagged.
+func roll() int { return rand.Intn(6) }
+
+// seeded is the sanctioned pattern: an explicit seed, no finding.
+func seeded(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(6)
+}
+
+// sanctioned demonstrates the escape hatch: the directive on the line
+// above the violation suppresses it.
+//
+//lfslint:allow wallclock demonstration of the escape hatch
+func sanctioned() int64 { return time.Now().Unix() }

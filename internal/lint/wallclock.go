@@ -1,0 +1,111 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// wallclockDirs are the packages whose results the paper's figures
+// depend on: everything inside them must run on the simulated clock
+// and on explicitly seeded RNGs, or reruns stop being reproducible.
+var wallclockDirs = []string{
+	"internal/core",
+	"internal/disk",
+	"internal/ffs",
+	"internal/cache",
+	"internal/sim",
+	"internal/workload",
+	"internal/experiments",
+}
+
+// forbiddenTimeFuncs are the package time functions that read or wait
+// on the wall clock. Types (time.Duration) and constants
+// (time.Millisecond) remain usable: sim.Duration is time.Duration.
+var forbiddenTimeFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// allowedRandNames are the math/rand identifiers usable in simulation
+// code: the explicit-seed constructors and the types they involve.
+// Everything else on the package (Intn, Float64, Perm, Shuffle, Seed,
+// ...) goes through the implicitly seeded global source, which makes
+// reruns irreproducible.
+var allowedRandNames = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+	"Rand":      true,
+	"Source":    true,
+	"Source64":  true,
+	"Zipf":      true,
+}
+
+// WallclockAnalyzer forbids wall-clock time sources and implicitly
+// seeded randomness in the simulation packages. The paper's results
+// are deterministic functions of the latency model; a single time.Now
+// or global rand.Intn makes a figure unreproducible.
+var WallclockAnalyzer = &Analyzer{
+	Name: "wallclock",
+	Doc:  "simulation packages must use the simulated clock and explicitly seeded RNGs",
+	Run:  runWallclock,
+}
+
+func runWallclock(pkg *Package) []Diagnostic {
+	if !pkg.inDirs(wallclockDirs...) {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		timeName := importName(f.AST, "time")
+		randName := importName(f.AST, "math/rand")
+		randV2Name := importName(f.AST, "math/rand/v2")
+		if timeName == "" && randName == "" && randV2Name == "" {
+			continue
+		}
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			switch {
+			case isPkgIdent(id, timeName) && forbiddenTimeFuncs[sel.Sel.Name]:
+				diags = append(diags, Diagnostic{
+					Pos:  pkg.Fset.Position(sel.Pos()),
+					Rule: "wallclock",
+					Msg: "time." + sel.Sel.Name + " reads the wall clock; " +
+						"use the simulated clock (sim.Clock) so results stay deterministic",
+				})
+			case isPkgIdent(id, randName) && !allowedRandNames[sel.Sel.Name]:
+				diags = append(diags, Diagnostic{
+					Pos:  pkg.Fset.Position(sel.Pos()),
+					Rule: "wallclock",
+					Msg: "rand." + sel.Sel.Name + " uses the implicitly seeded global source; " +
+						"use rand.New(rand.NewSource(seed)) with a seed threaded through config",
+				})
+			case isPkgIdent(id, randV2Name):
+				// math/rand/v2 auto-seeds its global and its
+				// constructors take no seed we can thread from
+				// config, so the package is rejected wholesale.
+				diags = append(diags, Diagnostic{
+					Pos:  pkg.Fset.Position(sel.Pos()),
+					Rule: "wallclock",
+					Msg: "math/rand/v2 is auto-seeded; " +
+						"use math/rand with rand.New(rand.NewSource(seed)) instead",
+				})
+			}
+			return true
+		})
+	}
+	return diags
+}

@@ -80,7 +80,9 @@ func writeCost(read, copied int64) float64 {
 // timeline) and read while a workload runs, so it carries its own
 // lock; all methods are safe on a nil receiver.
 type Recorder struct {
-	mu     sync.Mutex
+	mu sync.Mutex
+	// spans, events, and cleans are the recorded streams; all
+	// guarded by mu.
 	spans  []Span
 	events []disk.Event
 	cleans []CleanRecord

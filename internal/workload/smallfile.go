@@ -16,16 +16,19 @@ type SmallFileOpts struct {
 	// SyncBetweenPhases forces buffered writes out before the
 	// timer stops, so the create phase pays for its disk traffic.
 	SyncBetweenPhases bool
+	// Seed drives the deterministic payload pattern, so reruns are
+	// bit-identical and configs can vary the data independently.
+	Seed int64
 }
 
 // DefaultSmallFile1K returns the paper's 10000 × 1 KB configuration.
 func DefaultSmallFile1K() SmallFileOpts {
-	return SmallFileOpts{NumFiles: 10000, FileSize: 1024, Dir: "/small1k", SyncBetweenPhases: true}
+	return SmallFileOpts{NumFiles: 10000, FileSize: 1024, Dir: "/small1k", SyncBetweenPhases: true, Seed: 42}
 }
 
 // DefaultSmallFile10K returns the paper's 1000 × 10 KB configuration.
 func DefaultSmallFile10K() SmallFileOpts {
-	return SmallFileOpts{NumFiles: 1000, FileSize: 10240, Dir: "/small10k", SyncBetweenPhases: true}
+	return SmallFileOpts{NumFiles: 1000, FileSize: 10240, Dir: "/small10k", SyncBetweenPhases: true, Seed: 42}
 }
 
 // SmallFileResult holds the three measured phases of Figure 3.
@@ -49,7 +52,7 @@ func SmallFile(sys System, opts SmallFileOpts) (SmallFileResult, error) {
 	}
 	name := func(i int) string { return fmt.Sprintf("%s/f%06d", opts.Dir, i) }
 	payload := make([]byte, opts.FileSize)
-	fill(payload, 42)
+	fill(payload, opts.Seed)
 	totalBytes := int64(opts.NumFiles) * int64(opts.FileSize)
 
 	var err error

@@ -7,8 +7,19 @@ cd "$(dirname "$0")/.."
 
 echo "== build =="
 go build ./...
+echo "== gofmt =="
+unformatted="$(gofmt -l .)"
+if [ -n "$unformatted" ]; then
+	echo "gofmt drift in:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
 echo "== vet =="
 go vet ./...
+echo "== lint =="
+go run ./cmd/lfslint ./...
+echo "== lint test suite =="
+go test -v ./internal/lint/
 echo "== tests =="
 go test ./...
 echo "== race (core packages) =="

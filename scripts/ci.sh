@@ -8,8 +8,21 @@ cd "$(dirname "$0")/.."
 
 echo "== build =="
 go build ./...
+echo "== gofmt =="
+# Formatting drift fails the gate before anything slower runs.
+unformatted="$(gofmt -l .)"
+if [ -n "$unformatted" ]; then
+	echo "gofmt drift in:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
 echo "== vet =="
 go vet ./...
+echo "== lint =="
+# lfslint enforces the simulation/log invariants (simulated clock
+# only, named IOCauses, *vfs.PathError returns, guarded-field
+# locking, no mixed atomics) before the test suite spends minutes.
+go run ./cmd/lfslint ./...
 echo "== test -race =="
 go test -race ./...
 echo "== tracing smoke =="
