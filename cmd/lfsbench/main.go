@@ -12,13 +12,16 @@
 //	lfsbench -experiment recovery   # §4.4: crash recovery time
 //	lfsbench -experiment ablation-segsize   # segment size sweep
 //	lfsbench -experiment ablation-policy    # greedy vs cost-benefit cleaning
+//	lfsbench -experiment concurrency # multi-client throughput scaling
 //	lfsbench -experiment all        # everything
 //
 // -quick shrinks the workloads by roughly 10x for a fast smoke run.
 //
 // The trace experiment runs the instrumented small-file + cleaning
 // smoke test; -trace exports its full JSONL trace (see cmd/lfstrace)
-// and -benchjson writes its headline numbers as one JSON object.
+// and -benchjson writes its headline numbers as one JSON object. The
+// concurrency experiment sweeps closed-loop client counts over LFS
+// (group commit on and off) and FFS; -benchjson writes its curve.
 package main
 
 import (
@@ -26,17 +29,18 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"lfs/internal/experiments"
 	"lfs/internal/obs"
 )
 
 func main() {
-	exp := flag.String("experiment", "all", "experiment to run (fig1|fig3|fig4|fig5|scaling|recovery|ablation-segsize|ablation-policy|ablation-ckpt|ablation-blocksize|utilization|trace|all)")
+	exp := flag.String("experiment", "all", "experiment to run (see -experiment list, or \"all\")")
 	quick := flag.Bool("quick", false, "shrink workloads ~10x for a fast run")
 	csvDir := flag.String("csvdir", "", "also write each experiment's rows as <dir>/<experiment>.csv")
 	flag.StringVar(&traceOut, "trace", "", "write the trace experiment's JSONL trace to this file")
-	flag.StringVar(&benchJSON, "benchjson", "", "write the trace experiment's summary JSON to this file")
+	flag.StringVar(&benchJSON, "benchjson", "", "write the trace or concurrency experiment's summary JSON to this file")
 	flag.Parse()
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
@@ -59,8 +63,9 @@ func main() {
 		"ablation-ckpt":      runAblationCkpt,
 		"ablation-blocksize": runAblationBlockSize,
 		"trace":              runTrace,
+		"concurrency":        runConcurrency,
 	}
-	order := []string{"fig1", "fig3", "fig4", "fig5", "scaling", "recovery", "ablation-segsize", "ablation-policy", "ablation-ckpt", "ablation-blocksize", "utilization", "trace"}
+	order := []string{"fig1", "fig3", "fig4", "fig5", "scaling", "recovery", "ablation-segsize", "ablation-policy", "ablation-ckpt", "ablation-blocksize", "utilization", "trace", "concurrency"}
 
 	if *exp == "all" {
 		for _, name := range order {
@@ -75,7 +80,11 @@ func main() {
 	}
 	run, ok := runners[*exp]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "lfsbench: unknown experiment %q\n", *exp)
+		names := make([]string, 0, len(runners)+1)
+		names = append(names, order...)
+		names = append(names, "all")
+		fmt.Fprintf(os.Stderr, "lfsbench: unknown experiment %q (valid: %s)\n",
+			*exp, strings.Join(names, ", "))
 		os.Exit(2)
 	}
 	if err := run(*quick); err != nil {
@@ -311,6 +320,47 @@ func runTrace(quick bool) error {
 		}
 	}
 	return nil
+}
+
+func runConcurrency(quick bool) error {
+	opts := experiments.DefaultConcurrencyOpts()
+	if quick {
+		opts.Capacity = 64 << 20
+		opts.ClientCounts = []int{1, 4, 8}
+		opts.OpsPerClient = 32
+	}
+	rows, err := experiments.Concurrency(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.FormatConcurrency(rows))
+	if benchJSON != "" {
+		type point struct {
+			Clients          int     `json:"clients"`
+			LFSOpsPerSec     float64 `json:"lfs_ops_per_s"`
+			LFSNoGCOpsPerSec float64 `json:"lfs_nogc_ops_per_s"`
+			FFSOpsPerSec     float64 `json:"ffs_ops_per_s"`
+			GroupCommits     int64   `json:"group_commits"`
+			Piggybacked      int64   `json:"piggybacked"`
+			LFSWritesPerOp   float64 `json:"lfs_writes_per_op"`
+			FFSWritesPerOp   float64 `json:"ffs_writes_per_op"`
+		}
+		curve := make([]point, len(rows))
+		for i, r := range rows {
+			curve[i] = point{r.Clients, r.LFSOpsPerSec, r.LFSNoGCOpsPerSec,
+				r.FFSOpsPerSec, r.GroupCommits, r.Piggybacked,
+				r.LFSWritesPerOp, r.FFSWritesPerOp}
+		}
+		summary := map[string]any{"experiment": "concurrency", "curve": curve}
+		buf, err := json.MarshalIndent(summary, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(benchJSON, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	return emitCSV("concurrency", func(f *os.File) error { return experiments.CSVConcurrency(f, rows) })
 }
 
 func runAblationBlockSize(quick bool) error {

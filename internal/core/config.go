@@ -100,6 +100,16 @@ type Config struct {
 	// using the idle cycles of the disk subsystem". Off by default
 	// so experiments measure cleaning cost explicitly.
 	CleanOnIdle bool
+	// GroupCommit batches concurrent fsyncs: a sync request flushes
+	// everything dirty in one segment transfer, so a later fsync whose
+	// data rode that transfer finds nothing left to write and only
+	// waits for the disk (it piggybacks). This is the log analogue of
+	// group commit in logging databases — §4.1's observation that "a
+	// single [log] write can handle multiple sync requests" — and it
+	// is what makes small-file throughput scale with concurrent
+	// clients. Off by default: a lone client gains nothing, and the
+	// default fsync path touches only the synced file's blocks.
+	GroupCommit bool
 	// MIPS is the simulated CPU speed.
 	MIPS float64
 	// Costs is the instruction cost table.

@@ -41,6 +41,13 @@ type Stats struct {
 	// comparing it with BlocksWritten gives the log's write
 	// amplification (metadata, summaries, and cleaner copies).
 	UserBytesWritten int64
+	// GroupCommits counts fsyncs that flushed the dirty set on behalf
+	// of every waiting client (Config.GroupCommit).
+	GroupCommits int64
+	// PiggybackedSyncs counts fsyncs that found their file already
+	// clean — their data rode an earlier group commit — and only
+	// waited for the disk.
+	PiggybackedSyncs int64
 }
 
 // WriteAmplification returns total log bytes written per user byte,
@@ -127,6 +134,10 @@ type FS struct {
 	// stats holds the internal counters; guarded by mu.
 	stats Stats
 
+	// client labels spans and disk events with the issuing client's
+	// ID in multi-client runs (0 = unattributed). Guarded by mu.
+	client int
+
 	// rec is the attached trace recorder (cfg.Trace); nil when
 	// tracing is disabled. The recorder has its own lock, so spans
 	// recorded under fs.mu never deadlock with concurrent readers.
@@ -163,6 +174,17 @@ func newSkeleton(d *disk.Disk, cfg Config, sb superblock) *FS {
 
 // Disk returns the underlying device for experiment instrumentation.
 func (fs *FS) Disk() *disk.Disk { return fs.d }
+
+// SetClient labels subsequent operations (their spans and the disk
+// events they cause) with the issuing client's ID; the multi-client
+// server sets it before each operation it dispatches. Zero restores
+// unattributed traffic.
+func (fs *FS) SetClient(id int) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.client = id
+	fs.d.SetClient(id)
+}
 
 // Clock returns the simulated clock.
 func (fs *FS) Clock() *sim.Clock { return fs.clock }

@@ -37,7 +37,8 @@ func (fs *FS) endOp(op, path string, start sim.Time, cpu0 int64, err error) erro
 			msg = err.Error()
 		}
 		fs.rec.Span(obs.Span{Op: op, Path: path, Start: start,
-			End: fs.clock.Now(), CPU: fs.cpu.Instructions() - cpu0, Err: msg})
+			End: fs.clock.Now(), CPU: fs.cpu.Instructions() - cpu0, Err: msg,
+			Client: fs.client})
 	}
 	return err
 }
@@ -511,6 +512,9 @@ func (fs *FS) fsyncFile(path string) error {
 		return err
 	}
 	ino := in.Ino
+	if fs.cfg.GroupCommit {
+		return fs.groupFsync(ino)
+	}
 	// Data blocks of this file only.
 	var data []*cache.Block
 	for _, b := range fs.bc.DirtyBlocks() {
@@ -548,6 +552,45 @@ func (fs *FS) fsyncFile(path string) error {
 	}
 	fs.d.Drain()
 	return nil
+}
+
+// groupFsync is the Config.GroupCommit sync path: if the file still
+// has dirty state, flush everything dirty in one log transfer (the
+// group commit — every other client's pending data rides it); if an
+// earlier group commit already carried this file's data, there is
+// nothing to write and the sync merely waits for the disk (it
+// piggybacks). With N clients interleaving writes and fsyncs, one
+// segment transfer satisfies up to N sync requests, which is where
+// multi-client throughput scaling comes from.
+func (fs *FS) groupFsync(ino layout.Ino) error {
+	if !fs.fileDirty(ino) {
+		fs.stats.PiggybackedSyncs++
+		fs.d.Drain()
+		return nil
+	}
+	fs.stats.GroupCommits++
+	if err := fs.flush(flushAll); err != nil {
+		return err
+	}
+	fs.d.Drain()
+	return nil
+}
+
+// fileDirty reports whether the file has any state not yet written to
+// the log: dirty data or indirect blocks, or a dirty inode.
+func (fs *FS) fileDirty(ino layout.Ino) bool {
+	if fs.dirtyInodes[ino] {
+		return true
+	}
+	for _, b := range fs.bc.DirtyBlocks() {
+		if b.Key.Ino != ino {
+			continue
+		}
+		if b.Key.Kind == cache.KindFile || b.Key.Kind == cache.KindIndirect {
+			return true
+		}
+	}
+	return false
 }
 
 // Sync forces a segment write of everything dirty and waits for the

@@ -123,6 +123,9 @@ type Event struct {
 	// Label is the file-system-provided annotation ("inode",
 	// "dir data", "segment", ...).
 	Label string
+	// Client is the issuing client's ID in multi-client runs
+	// (SetClient); 0 when unattributed.
+	Client int
 }
 
 // Tracer receives every disk request when attached via SetTracer.
@@ -231,6 +234,18 @@ type Disk struct {
 	// or -1 when the head position is unknown (fresh disk).
 	nextSector int64
 
+	// sched is the request scheduling policy; queue holds issued
+	// asynchronous writes whose service has not been accounted yet
+	// (see queue.go). qseq numbers queued requests for stable
+	// tie-breaking; maxQueueDepth is the queue's high-water mark.
+	sched         SchedPolicy
+	queue         []queuedReq
+	qseq          uint64
+	maxQueueDepth int
+	// client labels requests with the issuing client ID (SetClient);
+	// 0 means unattributed.
+	client int
+
 	stats  Stats
 	tracer Tracer
 	faults faultState
@@ -290,21 +305,35 @@ func (d *Disk) Capacity() int64 { return d.geom.TotalBytes() }
 // Sectors returns the usable capacity in sectors.
 func (d *Disk) Sectors() int64 { return d.geom.TotalSectors() }
 
-// Stats returns a snapshot of the activity counters.
-func (d *Disk) Stats() Stats { return d.stats }
+// Stats returns a snapshot of the activity counters. Queued
+// asynchronous requests are dispatched first so the counters always
+// reflect every issued request.
+func (d *Disk) Stats() Stats {
+	d.dispatchQueued()
+	return d.stats
+}
 
-// ResetStats zeroes the activity counters.
-func (d *Disk) ResetStats() { d.stats = Stats{} }
+// ResetStats zeroes the activity counters, dispatching queued
+// requests first so their service lands in the old window.
+func (d *Disk) ResetStats() {
+	d.dispatchQueued()
+	d.stats = Stats{}
+}
 
 // SetTracer attaches a tracer receiving every request; nil detaches.
 func (d *Disk) SetTracer(t Tracer) { d.tracer = t }
 
-// BusyUntil returns the time the disk arm becomes free.
-func (d *Disk) BusyUntil() sim.Time { return d.busyUntil }
+// BusyUntil returns the time the disk arm becomes free, dispatching
+// any queued asynchronous requests first so the horizon covers them.
+func (d *Disk) BusyUntil() sim.Time {
+	d.dispatchQueued()
+	return d.busyUntil
+}
 
-// Drain advances the clock until all queued asynchronous writes have
-// completed, and returns the new current time.
+// Drain dispatches all queued asynchronous writes, advances the clock
+// until they have completed, and returns the new current time.
 func (d *Disk) Drain() sim.Time {
+	d.dispatchQueued()
 	return d.clock.AdvanceTo(d.busyUntil)
 }
 
@@ -381,6 +410,7 @@ func (d *Disk) ReadSectors(sector int64, p []byte, cause IOCause, label string) 
 	if cause >= NumCauses {
 		cause = CauseOther
 	}
+	d.dispatchQueued()
 	start := d.begin()
 	dur, seq, seekCyl := d.service(sector, len(p))
 	d.busyUntil = start.Add(dur)
@@ -391,7 +421,8 @@ func (d *Disk) ReadSectors(sector int64, p []byte, cause IOCause, label string) 
 	d.stats.ByCause[cause].Sectors += int64(len(p) / SectorSize)
 	d.stats.ByCause[cause].Busy += dur
 	d.trace(Event{Time: start, Kind: OpRead, Sector: sector, Sectors: len(p) / SectorSize,
-		Sync: true, Sequential: seq, SeekCylinders: seekCyl, Service: dur, Cause: cause, Label: label})
+		Sync: true, Sequential: seq, SeekCylinders: seekCyl, Service: dur, Cause: cause,
+		Label: label, Client: d.client})
 	return d.store.ReadAt(p, sector*SectorSize)
 }
 
@@ -439,20 +470,30 @@ func (d *Disk) WriteSectors(sector int64, p []byte, sync bool, cause IOCause, la
 	if cause >= NumCauses {
 		cause = CauseOther
 	}
-	start := d.begin()
-	dur, seq, seekCyl := d.service(sector, len(p))
-	d.busyUntil = start.Add(dur)
 	if sync {
+		// A blocking write is a scheduling barrier: everything queued
+		// ahead of it is serviced first, then the caller waits for its
+		// own request.
+		d.dispatchQueued()
+		start := d.begin()
+		dur, seq, seekCyl := d.service(sector, len(p))
+		d.busyUntil = start.Add(dur)
 		d.clock.AdvanceTo(d.busyUntil)
 		d.stats.SyncWrites++
+		d.stats.Writes++
+		d.stats.SectorsWritten += int64(len(p) / SectorSize)
+		d.stats.ByCause[cause].Requests++
+		d.stats.ByCause[cause].Sectors += int64(len(p) / SectorSize)
+		d.stats.ByCause[cause].Busy += dur
+		d.trace(Event{Time: start, Kind: OpWrite, Sector: sector, Sectors: len(p) / SectorSize,
+			Sync: true, Sequential: seq, SeekCylinders: seekCyl, Service: dur, Cause: cause,
+			Label: label, Client: d.client})
+	} else {
+		// Asynchronous writes join the request queue; the scheduling
+		// policy decides their service order at the next barrier.
+		// Data still reaches the store below at issue time.
+		d.enqueue(sector, len(p), cause, label)
 	}
-	d.stats.Writes++
-	d.stats.SectorsWritten += int64(len(p) / SectorSize)
-	d.stats.ByCause[cause].Requests++
-	d.stats.ByCause[cause].Sectors += int64(len(p) / SectorSize)
-	d.stats.ByCause[cause].Busy += dur
-	d.trace(Event{Time: start, Kind: OpWrite, Sector: sector, Sectors: len(p) / SectorSize,
-		Sync: sync, Sequential: seq, SeekCylinders: seekCyl, Service: dur, Cause: cause, Label: label})
 	switch dec.Action {
 	case WriteDrop:
 		// Silently lost: the caller sees success, nothing persists.

@@ -1,0 +1,174 @@
+package disk
+
+import (
+	"testing"
+
+	"lfs/internal/sim"
+)
+
+// queueTestDisk builds a small memory disk for scheduler tests.
+func queueTestDisk(t *testing.T) *Disk {
+	t.Helper()
+	return NewMem(32<<20, sim.NewClock())
+}
+
+// scatter returns sector addresses spread across the disk, far apart
+// in cylinders, in a deliberately bad (alternating extremes) order.
+func scatter(d *Disk, n int) []int64 {
+	total := d.Sectors()
+	out := make([]int64, 0, n)
+	for i := 0; i < n; i++ {
+		var s int64
+		if i%2 == 0 {
+			s = int64(i/2+1) * 64
+		} else {
+			s = total - int64(i/2+1)*64
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// TestFCFSMatchesSerialTimeline verifies the queue is invisible under
+// FCFS: issuing asynchronous writes through the queue produces the
+// same busy horizon, statistics, and event stream as the pre-queue
+// model (arrival order is service order).
+func TestFCFSMatchesSerialTimeline(t *testing.T) {
+	buf := make([]byte, 2*SectorSize)
+	run := func(sync bool) (sim.Time, Stats) {
+		d := queueTestDisk(t)
+		for _, s := range scatter(d, 8) {
+			if err := d.WriteSectors(s, buf, sync, CauseOther, "q"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		end := d.Drain()
+		return end, d.Stats()
+	}
+	asyncEnd, asyncStats := run(false)
+	syncEnd, syncStats := run(true)
+	if asyncEnd != syncEnd {
+		t.Errorf("FCFS async end %v != serial sync end %v", asyncEnd, syncEnd)
+	}
+	if asyncStats.BusyTime != syncStats.BusyTime {
+		t.Errorf("FCFS async busy %v != serial busy %v", asyncStats.BusyTime, syncStats.BusyTime)
+	}
+	if asyncStats.Seeks != syncStats.Seeks {
+		t.Errorf("FCFS async seeks %d != serial seeks %d", asyncStats.Seeks, syncStats.Seeks)
+	}
+}
+
+// TestSSTFReducesSeekTime verifies SSTF reorders a scattered batch
+// into a cheaper schedule than FCFS while doing the same transfers.
+func TestSSTFReducesSeekTime(t *testing.T) {
+	buf := make([]byte, 2*SectorSize)
+	run := func(p SchedPolicy) Stats {
+		d := queueTestDisk(t)
+		d.SetScheduler(p)
+		for _, s := range scatter(d, 16) {
+			if err := d.WriteSectors(s, buf, false, CauseOther, "q"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if p == SSTF && d.QueueDepth() != 16 {
+			t.Fatalf("SSTF queued %d requests, want 16", d.QueueDepth())
+		}
+		d.Drain()
+		if d.QueueDepth() != 0 {
+			t.Fatalf("queue not drained: %d left", d.QueueDepth())
+		}
+		return d.Stats()
+	}
+	fcfs := run(FCFS)
+	sstf := run(SSTF)
+	if sstf.SectorsWritten != fcfs.SectorsWritten || sstf.Writes != fcfs.Writes {
+		t.Fatalf("transfer volume differs: sstf %+v fcfs %+v", sstf, fcfs)
+	}
+	if sstf.SeekCylinders >= fcfs.SeekCylinders {
+		t.Errorf("SSTF seek distance %d not below FCFS %d", sstf.SeekCylinders, fcfs.SeekCylinders)
+	}
+	if sstf.BusyTime >= fcfs.BusyTime {
+		t.Errorf("SSTF busy %v not below FCFS %v", sstf.BusyTime, fcfs.BusyTime)
+	}
+}
+
+// TestQueueBarriers verifies a blocking read dispatches queued writes
+// first, and that Stats/BusyUntil observe queued requests.
+func TestQueueBarriers(t *testing.T) {
+	d := queueTestDisk(t)
+	d.SetScheduler(SSTF)
+	buf := make([]byte, 2*SectorSize)
+	for _, s := range scatter(d, 4) {
+		if err := d.WriteSectors(s, buf, false, CauseOther, "q"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d.MaxQueueDepth() != 4 {
+		t.Errorf("max queue depth %d, want 4", d.MaxQueueDepth())
+	}
+	if got := d.Stats().Writes; got != 4 {
+		t.Errorf("Stats barrier saw %d writes, want 4", got)
+	}
+	for _, s := range scatter(d, 4) {
+		if err := d.WriteSectors(s, buf, false, CauseOther, "q"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.ReadSectors(0, buf, CauseOther, "barrier read"); err != nil {
+		t.Fatal(err)
+	}
+	if d.QueueDepth() != 0 {
+		t.Errorf("blocking read left %d queued requests", d.QueueDepth())
+	}
+	if got := d.Stats().Writes; got != 8 {
+		t.Errorf("writes after read barrier %d, want 8", got)
+	}
+}
+
+// TestSSTFDeterministic runs the same SSTF schedule twice and demands
+// identical service order via the event trace.
+func TestSSTFDeterministic(t *testing.T) {
+	buf := make([]byte, 2*SectorSize)
+	run := func() []Event {
+		d := queueTestDisk(t)
+		d.SetScheduler(SSTF)
+		var evs []Event
+		d.SetTracer(tracerFunc(func(ev Event) { evs = append(evs, ev) }))
+		for _, s := range scatter(d, 12) {
+			if err := d.WriteSectors(s, buf, false, CauseOther, "q"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		d.Drain()
+		return evs
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("event counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestClientLabel verifies SetClient stamps events.
+func TestClientLabel(t *testing.T) {
+	d := queueTestDisk(t)
+	var evs []Event
+	d.SetTracer(tracerFunc(func(ev Event) { evs = append(evs, ev) }))
+	buf := make([]byte, SectorSize)
+	d.SetClient(7)
+	if err := d.WriteSectors(0, buf, false, CauseOther, "w"); err != nil {
+		t.Fatal(err)
+	}
+	d.SetClient(3)
+	if err := d.ReadSectors(0, buf, CauseOther, "r"); err != nil {
+		t.Fatal(err)
+	}
+	d.Drain()
+	if len(evs) != 2 || evs[0].Client != 7 || evs[1].Client != 3 {
+		t.Errorf("client labels wrong: %+v", evs)
+	}
+}

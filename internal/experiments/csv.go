@@ -122,3 +122,17 @@ func CSVUtilization(w io.Writer, r *UtilizationResult, policy string) error {
 	}
 	return writeCSV(w, []string{"policy", "bin_low_pct", "bin_high_pct", "segments"}, recs)
 }
+
+// CSVConcurrency writes the multi-client throughput sweep.
+func CSVConcurrency(w io.Writer, rows []ConcurrencyRow) error {
+	var recs [][]string
+	for _, r := range rows {
+		recs = append(recs, []string{i(int64(r.Clients)),
+			f(r.LFSOpsPerSec), f(r.LFSNoGCOpsPerSec), f(r.FFSOpsPerSec),
+			i(r.GroupCommits), i(r.Piggybacked),
+			f(r.LFSWritesPerOp), f(r.FFSWritesPerOp)})
+	}
+	return writeCSV(w, []string{"clients", "lfs_ops_per_s", "lfs_nogc_ops_per_s",
+		"ffs_ops_per_s", "group_commits", "piggybacked",
+		"lfs_writes_per_op", "ffs_writes_per_op"}, recs)
+}

@@ -55,6 +55,10 @@ type FS struct {
 	// rec is the attached trace recorder (cfg.Trace); nil when
 	// tracing is disabled.
 	rec *obs.Recorder
+
+	// client labels spans and disk events with the issuing client's
+	// ID in multi-client runs (0 = unattributed). Guarded by mu.
+	client int
 }
 
 // Mount opens a formatted FFS on the disk.
@@ -117,6 +121,17 @@ func Mount(d *disk.Disk, cfg Config) (*FS, error) {
 
 // Disk returns the underlying device, for experiment instrumentation.
 func (fs *FS) Disk() *disk.Disk { return fs.d }
+
+// SetClient labels subsequent operations (their spans and the disk
+// events they cause) with the issuing client's ID; the multi-client
+// server sets it before each operation it dispatches. Zero restores
+// unattributed traffic.
+func (fs *FS) SetClient(id int) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.client = id
+	fs.d.SetClient(id)
+}
 
 // Clock returns the simulated clock.
 func (fs *FS) Clock() *sim.Clock { return fs.clock }

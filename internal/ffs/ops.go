@@ -40,7 +40,8 @@ func (fs *FS) endOp(op, path string, start sim.Time, cpu0 int64, err error) erro
 			msg = err.Error()
 		}
 		fs.rec.Span(obs.Span{Op: op, Path: path, Start: start,
-			End: fs.clock.Now(), CPU: fs.cpu.Instructions() - cpu0, Err: msg})
+			End: fs.clock.Now(), CPU: fs.cpu.Instructions() - cpu0, Err: msg,
+			Client: fs.client})
 	}
 	return err
 }

@@ -136,9 +136,9 @@ func TestMatch(t *testing.T) {
 		patterns []string
 		want     int
 	}{
-		{nil, 2},
-		{[]string{"./..."}, 2},
-		{[]string{"./internal/..."}, 1},
+		{nil, 4},
+		{[]string{"./..."}, 4},
+		{[]string{"./internal/..."}, 3},
 		{[]string{"./internal/core"}, 1},
 		{[]string{"./cmd/tool"}, 1},
 		{[]string{"./nosuchdir"}, 0},

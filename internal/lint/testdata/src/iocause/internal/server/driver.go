@@ -1,0 +1,24 @@
+// Package server is a miniature of the multi-client driver issuing
+// raw device requests: outside internal/disk the zero-value cause is
+// unattributed traffic and must be flagged even here, one level above
+// the file systems.
+package server
+
+type cause int
+
+// The miniature cause space, mirroring disk.IOCause.
+const (
+	CauseOther cause = iota
+	CauseLogAppend
+)
+
+type device struct{}
+
+func (device) WriteSectors(sector int64, p []byte, sync bool, c cause, label string) error {
+	return nil
+}
+
+func drive(d device, buf []byte) {
+	_ = d.WriteSectors(0, buf, false, CauseLogAppend, "named constant: ok")
+	_ = d.WriteSectors(0, buf, true, CauseOther, "zero value outside internal/disk: flagged")
+}

@@ -1,0 +1,23 @@
+// Package sched is a deliberately broken miniature of the event-loop
+// package: the scheduler orders events on the simulated clock, so any
+// wall-clock read or implicitly seeded draw here breaks same-seed
+// reproducibility and must be flagged.
+package sched
+
+import (
+	"math/rand"
+	"time"
+)
+
+// deadline reads the wall clock and must be flagged.
+func deadline() int64 { return time.Now().UnixNano() }
+
+// jitter draws from the implicitly seeded global source and must be
+// flagged.
+func jitter() int64 { return rand.Int63n(1000) }
+
+// seededJitter is the sanctioned pattern: an explicit seed threaded
+// in, no finding.
+func seededJitter(seed int64) int64 {
+	return rand.New(rand.NewSource(seed)).Int63n(1000)
+}

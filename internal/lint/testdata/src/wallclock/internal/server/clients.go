@@ -1,0 +1,13 @@
+// Package server is a deliberately broken miniature of the
+// multi-client driver: client think time must come from the event
+// loop's simulated clock, so sleeping or ticking on the wall clock
+// must be flagged.
+package server
+
+import "time"
+
+// think sleeps on the wall clock and must be flagged.
+func think() { time.Sleep(10 * time.Millisecond) }
+
+// pace ticks on the wall clock and must be flagged.
+func pace() <-chan time.Time { return time.Tick(time.Second) }

@@ -15,6 +15,8 @@ var wallclockDirs = []string{
 	"internal/sim",
 	"internal/workload",
 	"internal/experiments",
+	"internal/sched",
+	"internal/server",
 }
 
 // forbiddenTimeFuncs are the package time functions that read or wait

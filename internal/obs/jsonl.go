@@ -24,6 +24,12 @@ type Record struct {
 	CPU   int64  `json:"cpu,omitempty"`
 	Err   string `json:"err,omitempty"`
 
+	// span and io share Client: the issuing client ID in multi-client
+	// runs; omitted (0) for unattributed traffic, so single-client
+	// traces are byte-identical to those written before the field
+	// existed.
+	Client int `json:"client,omitempty"`
+
 	// io
 	Time    int64  `json:"time_ns,omitempty"`
 	Kind    string `json:"kind,omitempty"`
@@ -57,7 +63,8 @@ func (r *Recorder) WriteJSONL(w io.Writer) error {
 	enc := json.NewEncoder(bw)
 	for _, s := range r.spans {
 		rec := Record{Type: "span", Op: s.Op, Path: s.Path,
-			Start: int64(s.Start), End: int64(s.End), CPU: s.CPU, Err: s.Err}
+			Start: int64(s.Start), End: int64(s.End), CPU: s.CPU, Err: s.Err,
+			Client: s.Client}
 		if err := enc.Encode(rec); err != nil {
 			return err
 		}
@@ -65,7 +72,8 @@ func (r *Recorder) WriteJSONL(w io.Writer) error {
 	for _, ev := range r.events {
 		rec := Record{Type: "io", Time: int64(ev.Time), Kind: ev.Kind.String(),
 			Sector: ev.Sector, Sectors: ev.Sectors, Sync: ev.Sync,
-			Cause: ev.Cause.String(), Service: int64(ev.Service), Label: ev.Label}
+			Cause: ev.Cause.String(), Service: int64(ev.Service), Label: ev.Label,
+			Client: ev.Client}
 		if err := enc.Encode(rec); err != nil {
 			return err
 		}
@@ -118,7 +126,7 @@ func AggregateRecords(recs []Record) *Aggregates {
 		case "span":
 			spans = append(spans, Span{Op: rec.Op, Path: rec.Path,
 				Start: sim.Time(rec.Start), End: sim.Time(rec.End),
-				CPU: rec.CPU, Err: rec.Err})
+				CPU: rec.CPU, Err: rec.Err, Client: rec.Client})
 		case "io":
 			cause, _ := disk.ParseIOCause(rec.Cause)
 			kind := disk.OpRead
@@ -127,7 +135,8 @@ func AggregateRecords(recs []Record) *Aggregates {
 			}
 			events = append(events, disk.Event{Time: sim.Time(rec.Time), Kind: kind,
 				Sector: rec.Sector, Sectors: rec.Sectors, Sync: rec.Sync,
-				Cause: cause, Service: sim.Duration(rec.Service), Label: rec.Label})
+				Cause: cause, Service: sim.Duration(rec.Service), Label: rec.Label,
+				Client: rec.Client})
 		case "clean":
 			cleans = append(cleans, CleanRecord{Time: sim.Time(rec.Time), Seg: rec.Seg,
 				Utilization: rec.Utilization, BytesRead: rec.BytesRead,

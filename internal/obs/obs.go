@@ -27,14 +27,16 @@ import (
 
 // Span is one VFS operation: its name, target path, simulated start
 // and end times, the CPU instructions it charged, and the error it
-// returned ("" on success).
+// returned ("" on success). Client is the issuing client's ID in
+// multi-client runs (0 = unattributed single-client traffic).
 type Span struct {
-	Op    string
-	Path  string
-	Start sim.Time
-	End   sim.Time
-	CPU   int64
-	Err   string
+	Op     string
+	Path   string
+	Start  sim.Time
+	End    sim.Time
+	CPU    int64
+	Err    string
+	Client int
 }
 
 // Latency returns the operation's simulated duration.

@@ -1,0 +1,130 @@
+package sched
+
+import (
+	"testing"
+
+	"lfs/internal/sim"
+)
+
+// TestEventOrder verifies time ordering and stable tie-breaking: same
+// instant fires in scheduling order.
+func TestEventOrder(t *testing.T) {
+	clock := sim.NewClock()
+	l := NewLoop(clock, 1)
+	var got []string
+	rec := func(name string) func() { return func() { got = append(got, name) } }
+	l.At(20, "c", rec("c"))
+	l.At(10, "a1", rec("a1"))
+	l.At(10, "a2", rec("a2"))
+	l.At(15, "b", rec("b"))
+	l.At(10, "a3", rec("a3"))
+	if n := l.Run(); n != 5 {
+		t.Fatalf("Run processed %d events, want 5", n)
+	}
+	want := []string{"a1", "a2", "a3", "b", "c"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event order %v, want %v", got, want)
+		}
+	}
+	if clock.Now() != 20 {
+		t.Errorf("clock at %v, want 20ns", clock.Now())
+	}
+}
+
+// TestPastEventsRunWithoutRewind confirms an event scheduled before
+// the current clock fires without moving the clock backwards.
+func TestPastEventsRunWithoutRewind(t *testing.T) {
+	clock := sim.NewClock()
+	l := NewLoop(clock, 1)
+	var at []sim.Time
+	l.At(5, "slow", func() {
+		clock.Advance(100) // handler consumes simulated time
+		at = append(at, clock.Now())
+	})
+	l.At(10, "queued", func() { at = append(at, clock.Now()) })
+	l.Run()
+	if at[0] != 105 || at[1] != 105 {
+		t.Errorf("handler times %v, want [105 105]", at)
+	}
+}
+
+// TestHandlersScheduleMore verifies events scheduled from inside a
+// handler are processed, and RunUntil respects its deadline.
+func TestHandlersScheduleMore(t *testing.T) {
+	clock := sim.NewClock()
+	l := NewLoop(clock, 1)
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 5 {
+			l.After(10, "tick", tick)
+		}
+	}
+	l.At(0, "tick", tick)
+	if n := l.RunUntil(25); n != 3 { // ticks at 0, 10, 20
+		t.Fatalf("RunUntil(25) processed %d, want 3", n)
+	}
+	if l.Len() != 1 {
+		t.Fatalf("pending events %d, want 1", l.Len())
+	}
+	l.Run()
+	if count != 5 {
+		t.Errorf("ran %d ticks, want 5", count)
+	}
+}
+
+// TestDeterminism runs the same randomized schedule twice and demands
+// identical event orders and timelines.
+func TestDeterminism(t *testing.T) {
+	run := func() ([]string, sim.Time) {
+		clock := sim.NewClock()
+		l := NewLoop(clock, 42)
+		var names []string
+		for i := 0; i < 3; i++ {
+			id := byte('A' + i)
+			var next func()
+			n := 0
+			next = func() {
+				names = append(names, string(id))
+				clock.Advance(sim.Duration(l.RNG().Int63n(1000)))
+				n++
+				if n < 20 {
+					l.After(sim.Duration(l.RNG().Int63n(500)), "op", next)
+				}
+			}
+			l.At(sim.Time(i), "op", next)
+		}
+		l.Run()
+		return names, clock.Now()
+	}
+	n1, t1 := run()
+	n2, t2 := run()
+	if t1 != t2 {
+		t.Fatalf("end times differ: %v vs %v", t1, t2)
+	}
+	if len(n1) != len(n2) {
+		t.Fatalf("event counts differ: %d vs %d", len(n1), len(n2))
+	}
+	for i := range n1 {
+		if n1[i] != n2[i] {
+			t.Fatalf("event %d differs: %s vs %s", i, n1[i], n2[i])
+		}
+	}
+}
+
+// TestReentrantStepPanics guards the single-threaded contract.
+func TestReentrantStepPanics(t *testing.T) {
+	l := NewLoop(sim.NewClock(), 1)
+	l.At(0, "outer", func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("re-entrant Step did not panic")
+			}
+		}()
+		l.At(1, "inner", func() {})
+		l.Step()
+	})
+	l.Run()
+}

@@ -1,0 +1,280 @@
+// Package server drives a file system with N closed-loop simulated
+// clients — the paper's office-and-engineering environment of "many
+// users sharing one server", where sync requests from different users
+// overlap and the log can satisfy several of them with one segment
+// write (§4.1).
+//
+// Each client issues small-file write/fsync operations in a loop:
+// think, write, then fsync as a *separate* scheduled event. Splitting
+// the op in two is the point of the exercise — between one client's
+// write and its fsync the event loop runs other clients' writes, so by
+// the time the first fsync fires the cache holds several clients'
+// dirty data. With Config.GroupCommit enabled on LFS, that first fsync
+// flushes everything in one segment transfer and the other clients'
+// fsyncs piggyback; FFS gains nothing because its per-file costs are
+// dominated by scattered synchronous metadata writes.
+//
+// Everything runs on one goroutine over one simulated clock
+// (internal/sched), so a run is a pure function of the seed: same
+// seed, same interleaving, byte-identical traces.
+package server
+
+import (
+	"fmt"
+	"math/rand"
+
+	"lfs/internal/sched"
+	"lfs/internal/sim"
+	"lfs/internal/vfs"
+)
+
+// FS is the surface the server drives: the common VFS operations plus
+// the hooks both file systems provide for attribution and timing.
+type FS interface {
+	vfs.FileSystem
+	// SetClient labels subsequent operations with the issuing
+	// client's ID for span and I/O attribution.
+	SetClient(id int)
+	// Clock is the simulated clock the file system runs on; the
+	// event loop shares it.
+	Clock() *sim.Clock
+}
+
+// fileSyncer is the optional single-file sync (LFS has it). Targets
+// without it fall back to Sync, which is what fsync cost on the FFS
+// of the day: forcing the file's blocks plus whatever else is dirty.
+type fileSyncer interface {
+	FsyncFile(path string) error
+}
+
+// Config shapes a multi-client run.
+type Config struct {
+	// Clients is the number of closed-loop clients.
+	Clients int
+	// OpsPerClient is how many write+fsync operations each client
+	// issues.
+	OpsPerClient int
+	// WriteSize is the bytes written per operation.
+	WriteSize int
+	// FilesPerClient is how many files each client cycles through.
+	FilesPerClient int
+	// ThinkTime is the mean simulated pause between one operation
+	// completing and the next being issued; each pause is jittered
+	// uniformly in [0, ThinkTime) plus a sub-microsecond stagger so
+	// clients do not stay in lockstep. Zero means back-to-back.
+	ThinkTime sim.Duration
+	// Seed makes the run reproducible; it feeds the event loop and
+	// every per-client RNG.
+	Seed int64
+}
+
+// DefaultConfig returns a small-file commit workload: 4 KB writes,
+// each fsynced, no think time.
+func DefaultConfig() Config {
+	return Config{
+		Clients:        4,
+		OpsPerClient:   64,
+		WriteSize:      4096,
+		FilesPerClient: 8,
+		Seed:           1,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.Clients < 1 {
+		return fmt.Errorf("server: %d clients", c.Clients)
+	}
+	if c.OpsPerClient < 1 {
+		return fmt.Errorf("server: %d ops per client", c.OpsPerClient)
+	}
+	if c.WriteSize < 1 {
+		return fmt.Errorf("server: write size %d", c.WriteSize)
+	}
+	if c.FilesPerClient < 1 {
+		return fmt.Errorf("server: %d files per client", c.FilesPerClient)
+	}
+	if c.ThinkTime < 0 {
+		return fmt.Errorf("server: negative think time %v", c.ThinkTime)
+	}
+	return nil
+}
+
+// ClientStats is one client's view of the run.
+type ClientStats struct {
+	// Client is the client ID (1-based; 0 means unattributed).
+	Client int
+	// Ops counts completed write+fsync operations.
+	Ops int64
+	// BytesWritten counts payload bytes.
+	BytesWritten int64
+	// TotalLatency sums write-to-fsync-completion latencies.
+	TotalLatency sim.Duration
+	// MaxLatency is the worst single operation.
+	MaxLatency sim.Duration
+}
+
+// MeanLatency returns the client's average operation latency.
+func (s ClientStats) MeanLatency() sim.Duration {
+	if s.Ops == 0 {
+		return 0
+	}
+	return s.TotalLatency / sim.Duration(s.Ops)
+}
+
+// Result summarises a multi-client run.
+type Result struct {
+	// Clients echoes the client count.
+	Clients int
+	// Ops and BytesWritten total over all clients.
+	Ops          int64
+	BytesWritten int64
+	// Start and End bound the run in simulated time.
+	Start sim.Time
+	End   sim.Time
+	// Events is the number of scheduler events processed.
+	Events int64
+	// PerClient holds each client's statistics, in client order.
+	PerClient []ClientStats
+}
+
+// Elapsed returns the simulated duration of the run.
+func (r Result) Elapsed() sim.Duration { return r.End.Sub(r.Start) }
+
+// OpsPerSecond returns aggregate throughput in operations per
+// simulated second.
+func (r Result) OpsPerSecond() float64 {
+	el := r.Elapsed().Seconds()
+	if el <= 0 {
+		return 0
+	}
+	return float64(r.Ops) / el
+}
+
+// Run drives cfg.Clients closed-loop clients against fsys until every
+// client has issued its operations, then returns the aggregate result.
+// The first operation error aborts the run and is returned.
+func Run(fsys FS, cfg Config) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	loop := sched.NewLoop(fsys.Clock(), cfg.Seed)
+	res := Result{
+		Clients:   cfg.Clients,
+		Start:     fsys.Clock().Now(),
+		PerClient: make([]ClientStats, cfg.Clients),
+	}
+	var firstErr error
+	fail := func(err error) {
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+
+	// Per-client working directories, created up front so the run
+	// itself is pure write/fsync traffic.
+	for c := 1; c <= cfg.Clients; c++ {
+		fsys.SetClient(c)
+		if err := fsys.Mkdir(clientDir(c)); err != nil {
+			fsys.SetClient(0)
+			return Result{}, err
+		}
+	}
+
+	payload := make([]byte, cfg.WriteSize)
+	for c := 1; c <= cfg.Clients; c++ {
+		client := c
+		st := &res.PerClient[client-1]
+		st.Client = client
+		// Each client draws think-time jitter from its own seeded
+		// stream, so adding a client never perturbs the others'
+		// schedules.
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(client)*0x9e3779b9))
+		created := make([]bool, cfg.FilesPerClient)
+		n := 0
+		var issue func()
+		issue = func() {
+			if firstErr != nil {
+				return
+			}
+			slot := n % cfg.FilesPerClient
+			path := fmt.Sprintf("%s/f%03d", clientDir(client), slot)
+			start := loop.Clock().Now()
+			fsys.SetClient(client)
+			if !created[slot] {
+				if err := fsys.Create(path); err != nil {
+					fail(err)
+					return
+				}
+				created[slot] = true
+			}
+			if err := fsys.Write(path, 0, payload); err != nil {
+				fail(err)
+				return
+			}
+			// The fsync is a separate event: other clients' writes
+			// scheduled at or before now run first, so the sync
+			// request finds a batch to commit, not just this file.
+			loop.After(0, "fsync", func() {
+				if firstErr != nil {
+					return
+				}
+				fsys.SetClient(client)
+				if err := syncFile(fsys, path); err != nil {
+					fail(err)
+					return
+				}
+				lat := loop.Clock().Now().Sub(start)
+				st.Ops++
+				st.BytesWritten += int64(len(payload))
+				st.TotalLatency += lat
+				if lat > st.MaxLatency {
+					st.MaxLatency = lat
+				}
+				n++
+				if n < cfg.OpsPerClient {
+					loop.After(think(rng, cfg.ThinkTime), "write", issue)
+				}
+			})
+		}
+		// Stagger the first issue by one nanosecond per client: a
+		// deterministic ramp that fixes the initial arrival order
+		// without meaningfully offsetting the clients.
+		loop.At(res.Start.Add(sim.Duration(client)), "write", issue)
+	}
+
+	res.Events = loop.Run()
+	fsys.SetClient(0)
+	if firstErr != nil {
+		return Result{}, firstErr
+	}
+	res.End = fsys.Clock().Now()
+	for i := range res.PerClient {
+		res.Ops += res.PerClient[i].Ops
+		res.BytesWritten += res.PerClient[i].BytesWritten
+	}
+	return res, nil
+}
+
+// clientDir returns client c's working directory.
+func clientDir(c int) string { return fmt.Sprintf("/client%02d", c) }
+
+// think draws the pause before a client's next operation: uniform
+// jitter in [0, mean) on top of a sub-microsecond floor, so same-seed
+// runs repeat exactly and zero think time still breaks lockstep.
+func think(rng *rand.Rand, mean sim.Duration) sim.Duration {
+	d := sim.Duration(rng.Int63n(1000))
+	if mean > 0 {
+		d += sim.Duration(rng.Int63n(int64(mean)))
+	}
+	return d
+}
+
+// syncFile forces path's data to disk, preferring the single-file
+// fsync when the target has one.
+func syncFile(fsys FS, path string) error {
+	if s, ok := fsys.(fileSyncer); ok {
+		return s.FsyncFile(path)
+	}
+	return fsys.Sync()
+}

@@ -22,8 +22,8 @@ echo "== lint test suite =="
 go test -v ./internal/lint/
 echo "== tests =="
 go test ./...
-echo "== race (core packages) =="
-go test -race ./internal/core/ ./internal/ffs/ ./internal/cache/
+echo "== race (full suite) =="
+go test -race ./...
 echo "== benchmarks (1 iteration) =="
 go test -bench=. -benchtime=1x -benchmem .
 echo "== tools =="

@@ -34,4 +34,10 @@ go run ./cmd/lfsbench -experiment trace -quick \
 	-trace "$tracedir/trace.jsonl" -benchjson BENCH_trace.json
 go run ./cmd/lfstrace "$tracedir/trace.jsonl" > /dev/null
 rm -rf "$tracedir"
+echo "== concurrency smoke =="
+# Multi-client throughput curve (LFS group commit vs ablation vs FFS):
+# the scaling claim of the concurrency subsystem, recorded alongside
+# the tracing numbers.
+go run ./cmd/lfsbench -experiment concurrency -quick \
+	-benchjson BENCH_concurrency.json
 echo "ci passed"
