@@ -22,17 +22,26 @@
 // and -benchjson writes its headline numbers as one JSON object. The
 // concurrency experiment sweeps closed-loop client counts over LFS
 // (group commit on and off) and FFS; -benchjson writes its curve.
+//
+// -metrics <file> attaches a simulated-clock metrics sampler to every
+// LFS any experiment builds and writes the combined time-series JSONL
+// (one "fs"-labelled stream per instance) at exit; replay it with
+// cmd/lfstop. -metrics-interval sets the sampling spacing in
+// simulated time. The metrics experiment is the plane's smoke test.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
+	"time"
 
 	"lfs/internal/experiments"
 	"lfs/internal/obs"
+	"lfs/internal/sim"
 )
 
 func main() {
@@ -40,8 +49,24 @@ func main() {
 	quick := flag.Bool("quick", false, "shrink workloads ~10x for a fast run")
 	csvDir := flag.String("csvdir", "", "also write each experiment's rows as <dir>/<experiment>.csv")
 	flag.StringVar(&traceOut, "trace", "", "write the trace experiment's JSONL trace to this file")
-	flag.StringVar(&benchJSON, "benchjson", "", "write the trace or concurrency experiment's summary JSON to this file")
+	flag.StringVar(&benchJSON, "benchjson", "", "write the trace, concurrency, or metrics experiment's summary JSON to this file")
+	metricsOut := flag.String("metrics", "", "sample every LFS's metrics plane and write the combined JSONL time series to this file (replay with lfstop)")
+	metricsInterval := flag.Duration("metrics-interval", time.Second, "simulated-time spacing between metrics samples")
 	flag.Parse()
+	realStdout = os.Stdout
+	if *metricsOut != "" {
+		if *metricsInterval <= 0 {
+			fmt.Fprintln(os.Stderr, "lfsbench: -metrics-interval must be positive")
+			os.Exit(2)
+		}
+		collector = &metricsCollector{interval: sim.Duration(*metricsInterval)}
+		experiments.MetricsSink = collector.sampler
+		if *metricsOut == "-" {
+			// The JSONL stream owns stdout; experiment reports move
+			// to stderr so `lfsbench -metrics - | lfstop` stays clean.
+			os.Stdout = os.Stderr
+		}
+	}
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
 			fmt.Fprintf(os.Stderr, "lfsbench: %v\n", err)
@@ -64,8 +89,9 @@ func main() {
 		"ablation-blocksize": runAblationBlockSize,
 		"trace":              runTrace,
 		"concurrency":        runConcurrency,
+		"metrics":            runMetrics,
 	}
-	order := []string{"fig1", "fig3", "fig4", "fig5", "scaling", "recovery", "ablation-segsize", "ablation-policy", "ablation-ckpt", "ablation-blocksize", "utilization", "trace", "concurrency"}
+	order := []string{"fig1", "fig3", "fig4", "fig5", "scaling", "recovery", "ablation-segsize", "ablation-policy", "ablation-ckpt", "ablation-blocksize", "utilization", "trace", "concurrency", "metrics"}
 
 	if *exp == "all" {
 		for _, name := range order {
@@ -76,6 +102,7 @@ func main() {
 			}
 			fmt.Println()
 		}
+		finishMetrics(*metricsOut)
 		return
 	}
 	run, ok := runners[*exp]
@@ -89,6 +116,77 @@ func main() {
 	}
 	if err := run(*quick); err != nil {
 		fmt.Fprintf(os.Stderr, "lfsbench: %v\n", err)
+		os.Exit(1)
+	}
+	finishMetrics(*metricsOut)
+}
+
+// collector gathers one labelled sampler per LFS instance when
+// -metrics is on.
+var collector *metricsCollector
+
+// realStdout is the process stdout saved before any `-metrics -`
+// redirection, so the JSONL stream reaches the pipe.
+var realStdout *os.File
+
+// metricsCollector hands fresh samplers to experiments.MetricsSink
+// and remembers them for the combined JSONL export.
+type metricsCollector struct {
+	interval sim.Duration
+	samplers []*obs.Sampler
+}
+
+// sampler returns a fresh sampler labelled <name>-<n> so the streams
+// of a sweep's instances stay distinguishable in one file.
+func (c *metricsCollector) sampler(name string) *obs.Sampler {
+	s := obs.NewSampler(c.interval)
+	s.SetLabel(fmt.Sprintf("%s-%d", strings.ToLower(name), len(c.samplers)))
+	c.samplers = append(c.samplers, s)
+	return s
+}
+
+// write concatenates every sampler's JSONL stream into path; "-"
+// streams to stdout (for piping into lfstop) with the status line on
+// stderr.
+func (c *metricsCollector) write(path string) error {
+	out := io.Writer(realStdout)
+	status := io.Writer(os.Stderr)
+	var f *os.File
+	if path != "-" {
+		var err error
+		f, err = os.Create(path)
+		if err != nil {
+			return err
+		}
+		out = f
+		status = os.Stdout
+	}
+	var n int
+	for _, s := range c.samplers {
+		if err := s.WriteJSONL(out); err != nil {
+			if f != nil {
+				f.Close()
+			}
+			return err
+		}
+		n += len(s.Samples())
+	}
+	if f != nil {
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(status, "metrics: %d samples from %d instances -> %s\n", n, len(c.samplers), path)
+	return nil
+}
+
+// finishMetrics writes the collected metrics file, if enabled.
+func finishMetrics(path string) {
+	if collector == nil || path == "" {
+		return
+	}
+	if err := collector.write(path); err != nil {
+		fmt.Fprintf(os.Stderr, "lfsbench: writing metrics: %v\n", err)
 		os.Exit(1)
 	}
 }
@@ -344,12 +442,17 @@ func runConcurrency(quick bool) error {
 			Piggybacked      int64   `json:"piggybacked"`
 			LFSWritesPerOp   float64 `json:"lfs_writes_per_op"`
 			FFSWritesPerOp   float64 `json:"ffs_writes_per_op"`
+			LFSP50Ms         float64 `json:"lfs_p50_ms"`
+			LFSP95Ms         float64 `json:"lfs_p95_ms"`
+			LFSP99Ms         float64 `json:"lfs_p99_ms"`
 		}
 		curve := make([]point, len(rows))
 		for i, r := range rows {
 			curve[i] = point{r.Clients, r.LFSOpsPerSec, r.LFSNoGCOpsPerSec,
 				r.FFSOpsPerSec, r.GroupCommits, r.Piggybacked,
-				r.LFSWritesPerOp, r.FFSWritesPerOp}
+				r.LFSWritesPerOp, r.FFSWritesPerOp,
+				r.LFSP50.Seconds() * 1000, r.LFSP95.Seconds() * 1000,
+				r.LFSP99.Seconds() * 1000}
 		}
 		summary := map[string]any{"experiment": "concurrency", "curve": curve}
 		buf, err := json.MarshalIndent(summary, "", "  ")
@@ -361,6 +464,41 @@ func runConcurrency(quick bool) error {
 		}
 	}
 	return emitCSV("concurrency", func(f *os.File) error { return experiments.CSVConcurrency(f, rows) })
+}
+
+func runMetrics(quick bool) error {
+	opts := experiments.DefaultMetricsSmokeOpts()
+	if quick {
+		opts.NumFiles = 500
+		opts.ChurnFiles = 1500
+		opts.CleanSegments = 6
+	}
+	r, err := experiments.MetricsSmoke(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.FormatMetricsSmoke(r))
+	if benchJSON != "" {
+		summary := map[string]any{
+			"experiment":             "metrics",
+			"samples":                r.Samples,
+			"series":                 r.Series,
+			"elapsed_s":              r.Elapsed.Seconds(),
+			"final_ops":              r.FinalOps,
+			"final_blocks_written":   r.FinalBlocksWritten,
+			"final_segments_cleaned": r.FinalSegmentsCleaned,
+			"final_write_cost":       r.FinalWriteCost,
+			"final_clean_segments":   r.FinalCleanSegs,
+		}
+		buf, err := json.MarshalIndent(summary, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(benchJSON, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func runAblationBlockSize(quick bool) error {

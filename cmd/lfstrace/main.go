@@ -83,15 +83,17 @@ func summarise(name string, recs []obs.Record) {
 
 	if len(agg.Ops) > 0 {
 		fmt.Printf("operations\n")
-		fmt.Printf("%-10s %8s %6s %12s %12s %12s %12s\n",
-			"op", "count", "errs", "mean", "min", "max", "cpu/op")
+		fmt.Printf("%-10s %8s %6s %12s %12s %12s %12s %12s %12s %12s\n",
+			"op", "count", "errs", "mean", "min", "max", "p50", "p95", "p99", "cpu/op")
 		for _, o := range agg.Ops {
 			cpuPerOp := int64(0)
 			if o.Count > 0 {
 				cpuPerOp = o.CPU / o.Count
 			}
-			fmt.Printf("%-10s %8d %6d %12v %12v %12v %12d\n",
-				o.Op, o.Count, o.Errors, o.Mean(), o.Min, o.Max, cpuPerOp)
+			fmt.Printf("%-10s %8d %6d %12v %12v %12v %12v %12v %12v %12d\n",
+				o.Op, o.Count, o.Errors, o.Mean(), o.Min, o.Max,
+				quantileDur(o.Latency, 0.5), quantileDur(o.Latency, 0.95),
+				quantileDur(o.Latency, 0.99), cpuPerOp)
 		}
 		fmt.Printf("\nlatency histograms (seconds)\n")
 		for _, o := range agg.Ops {
@@ -122,4 +124,10 @@ func summarise(name string, recs []obs.Record) {
 		fmt.Printf("  write cost      %.2f\n", c.WriteCost)
 		fmt.Printf("  victim util     %v\n", c.Utilization)
 	}
+}
+
+// quantileDur converts a latency-histogram quantile (seconds) to a
+// duration for display.
+func quantileDur(h obs.Histogram, p float64) sim.Duration {
+	return sim.Duration(h.Quantile(p) * float64(sim.Second))
 }

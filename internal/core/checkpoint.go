@@ -279,6 +279,12 @@ func Mount(d *disk.Disk, cfg Config) (*FS, error) {
 		// the checkpointed head.
 		_ = 0
 	}
+	// Register the metrics plane last so its probes see fully
+	// recovered state, and take the baseline sample at mount time.
+	if err := fs.initMetrics(); err != nil {
+		return nil, err
+	}
+	fs.samp.Tick(fs.clock.Now())
 	return fs, nil
 }
 

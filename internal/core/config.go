@@ -119,6 +119,14 @@ type Config struct {
 	// as the disk's tracer. A nil recorder costs nothing; a non-nil
 	// one never changes the simulated timeline.
 	Trace *obs.Recorder
+	// Metrics, when non-nil, samples the metrics plane: Mount binds
+	// the sampler (a sampler serves exactly one instance) and
+	// registers every producer; thereafter each operation tick
+	// appends a time-series sample whenever the simulated clock
+	// crosses the sampler's interval. Like Trace, a nil sampler costs
+	// nothing and a non-nil one never changes the simulated timeline,
+	// the statistics, or the bytes on disk.
+	Metrics *obs.Sampler
 }
 
 // DefaultConfig returns the paper's evaluation configuration: 4 KB

@@ -142,6 +142,16 @@ type FS struct {
 	// tracing is disabled. The recorder has its own lock, so spans
 	// recorded under fs.mu never deadlock with concurrent readers.
 	rec *obs.Recorder
+
+	// samp is the attached metrics sampler (cfg.Metrics); nil when
+	// the metrics plane is disabled. Its registered probes read
+	// fs state directly, so sampling happens only with mu held.
+	samp *obs.Sampler
+	// opsDone/opsErr/opLat feed the sampler's throughput and latency
+	// series; maintained only when samp is non-nil. Guarded by mu.
+	opsDone int64
+	opsErr  int64
+	opLat   obs.Histogram
 }
 
 // newSkeleton builds an FS with empty state: every segment clean, an
@@ -166,6 +176,8 @@ func newSkeleton(d *disk.Disk, cfg Config, sb superblock) *FS {
 		segBuf:      make([]byte, cfg.SegmentSize),
 		writeSerial: 1,
 		rec:         cfg.Trace,
+		samp:        cfg.Metrics,
+		opLat:       obs.NewLatencyHistogram(),
 	}
 	fs.usage[0].State = segActive
 	fs.cleanCount = int(sb.Segments) - 1

@@ -40,6 +40,14 @@ func (fs *FS) endOp(op, path string, start sim.Time, cpu0 int64, err error) erro
 			End: fs.clock.Now(), CPU: fs.cpu.Instructions() - cpu0, Err: msg,
 			Client: fs.client})
 	}
+	if fs.samp != nil {
+		fs.opsDone++
+		if err != nil {
+			fs.opsErr++
+		}
+		fs.opLat.Observe(fs.clock.Now().Sub(start).Seconds())
+		fs.samp.Tick(fs.clock.Now())
+	}
 	return err
 }
 

@@ -313,6 +313,13 @@ func (d *Disk) Stats() Stats {
 	return d.stats
 }
 
+// PeekStats returns the activity counters without dispatching queued
+// asynchronous requests: service time for still-queued writes is not
+// yet accounted. The metrics sampler reads through here — dispatching
+// would reorder an SSTF queue mid-batch, so a sampling-enabled run
+// would diverge from a disabled one.
+func (d *Disk) PeekStats() Stats { return d.stats }
+
 // ResetStats zeroes the activity counters, dispatching queued
 // requests first so their service lands in the old window.
 func (d *Disk) ResetStats() {

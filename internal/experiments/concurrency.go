@@ -6,6 +6,7 @@ import (
 
 	"lfs/internal/core"
 	"lfs/internal/ffs"
+	"lfs/internal/obs"
 	"lfs/internal/server"
 	"lfs/internal/sim"
 )
@@ -65,6 +66,26 @@ type ConcurrencyRow struct {
 	// operation — the per-op cost that group commit amortises.
 	LFSWritesPerOp float64
 	FFSWritesPerOp float64
+
+	// LFSP50/P95/P99 are operation-latency percentiles of the
+	// group-commit LFS run, bucket-interpolated from the per-client
+	// latency histograms merged across clients.
+	LFSP50 sim.Duration
+	LFSP95 sim.Duration
+	LFSP99 sim.Duration
+}
+
+// latencyPercentiles merges the per-client latency histograms and
+// returns the p50/p95/p99 operation latencies.
+func latencyPercentiles(per []server.ClientStats) (p50, p95, p99 sim.Duration, err error) {
+	merged := obs.NewLatencyHistogram()
+	for i := range per {
+		if e := merged.Merge(per[i].Latency); e != nil {
+			return 0, 0, 0, e
+		}
+	}
+	toDur := func(s float64) sim.Duration { return sim.Duration(s * float64(sim.Second)) }
+	return toDur(merged.Quantile(0.5)), toDur(merged.Quantile(0.95)), toDur(merged.Quantile(0.99)), nil
 }
 
 // Concurrency sweeps client counts over LFS (group commit on and off)
@@ -96,12 +117,24 @@ func Concurrency(opts ConcurrencyOpts) ([]ConcurrencyRow, error) {
 			return nil, err
 		}
 		lfs := sys.System.(*core.FS)
+		// When a metrics sampler is attached (lfsbench -metrics), the
+		// event loop pumps it at the sampler's own interval and a
+		// final forced sample pins the end-of-run state.
+		if samp := lfs.Metrics(); samp != nil {
+			scfg.MetricsInterval = samp.Interval()
+		} else {
+			scfg.MetricsInterval = 0
+		}
 		res, err := server.Run(lfs, scfg)
 		if err != nil {
 			return nil, fmt.Errorf("concurrency: lfs %d clients: %w", n, err)
 		}
+		lfs.SampleMetricsNow()
 		st := lfs.Stats()
 		row.LFSOpsPerSec = res.OpsPerSecond()
+		if row.LFSP50, row.LFSP95, row.LFSP99, err = latencyPercentiles(res.PerClient); err != nil {
+			return nil, fmt.Errorf("concurrency: merging latency histograms: %w", err)
+		}
 		row.GroupCommits = st.GroupCommits
 		row.Piggybacked = st.PiggybackedSyncs
 		row.LFSWritesPerOp = float64(sys.Disk.Stats().Writes) / float64(res.Ops)
@@ -112,11 +145,19 @@ func Concurrency(opts ConcurrencyOpts) ([]ConcurrencyRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		res2, err := server.Run(sys2.System.(*core.FS), scfg)
+		lfs2 := sys2.System.(*core.FS)
+		if samp := lfs2.Metrics(); samp != nil {
+			scfg.MetricsInterval = samp.Interval()
+		} else {
+			scfg.MetricsInterval = 0
+		}
+		res2, err := server.Run(lfs2, scfg)
 		if err != nil {
 			return nil, fmt.Errorf("concurrency: lfs-nogc %d clients: %w", n, err)
 		}
+		lfs2.SampleMetricsNow()
 		row.LFSNoGCOpsPerSec = res2.OpsPerSecond()
+		scfg.MetricsInterval = 0
 
 		// FFS baseline.
 		fsys, err := NewFFS(opts.Capacity, opts.FFSConfig)
@@ -135,6 +176,9 @@ func Concurrency(opts ConcurrencyOpts) ([]ConcurrencyRow, error) {
 	return rows, nil
 }
 
+// ms converts a simulated duration to milliseconds for display.
+func ms(d sim.Duration) float64 { return d.Seconds() * 1000 }
+
 // speedup returns v relative to base, 0 when base is 0.
 func speedup(v, base float64) float64 {
 	if base == 0 {
@@ -147,18 +191,20 @@ func speedup(v, base float64) float64 {
 func FormatConcurrency(rows []ConcurrencyRow) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Concurrency - closed-loop clients issuing 4KB write+fsync (throughput in ops/s)\n")
-	fmt.Fprintf(&b, "%8s %12s %12s %12s %9s %9s %8s %8s %10s %10s\n",
+	fmt.Fprintf(&b, "%8s %12s %12s %12s %9s %9s %8s %8s %10s %10s %8s %8s %8s\n",
 		"clients", "lfs", "lfs-nogc", "ffs", "lfs-spdup", "ffs-spdup",
-		"commits", "piggybk", "lfs-w/op", "ffs-w/op")
+		"commits", "piggybk", "lfs-w/op", "ffs-w/op",
+		"p50ms", "p95ms", "p99ms")
 	var lfsBase, ffsBase float64
 	for i, r := range rows {
 		if i == 0 {
 			lfsBase, ffsBase = r.LFSOpsPerSec, r.FFSOpsPerSec
 		}
-		fmt.Fprintf(&b, "%8d %12.1f %12.1f %12.1f %9.2f %9.2f %8d %8d %10.2f %10.2f\n",
+		fmt.Fprintf(&b, "%8d %12.1f %12.1f %12.1f %9.2f %9.2f %8d %8d %10.2f %10.2f %8.2f %8.2f %8.2f\n",
 			r.Clients, r.LFSOpsPerSec, r.LFSNoGCOpsPerSec, r.FFSOpsPerSec,
 			speedup(r.LFSOpsPerSec, lfsBase), speedup(r.FFSOpsPerSec, ffsBase),
-			r.GroupCommits, r.Piggybacked, r.LFSWritesPerOp, r.FFSWritesPerOp)
+			r.GroupCommits, r.Piggybacked, r.LFSWritesPerOp, r.FFSWritesPerOp,
+			ms(r.LFSP50), ms(r.LFSP95), ms(r.LFSP99))
 	}
 	return b.String()
 }

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+
+	"lfs/internal/sim"
 )
 
 // quickConcurrencyOpts shrinks the sweep for CI: the {1, 8} endpoints
@@ -69,15 +71,17 @@ func TestConcurrencyShape(t *testing.T) {
 func TestConcurrencyFormatAndCSV(t *testing.T) {
 	rows := []ConcurrencyRow{
 		{Clients: 1, LFSOpsPerSec: 40, LFSNoGCOpsPerSec: 41, FFSOpsPerSec: 25,
-			GroupCommits: 64, Piggybacked: 0, LFSWritesPerOp: 1.1, FFSWritesPerOp: 11.3},
+			GroupCommits: 64, Piggybacked: 0, LFSWritesPerOp: 1.1, FFSWritesPerOp: 11.3,
+			LFSP50: 25 * sim.Millisecond, LFSP95: 40 * sim.Millisecond, LFSP99: 45 * sim.Millisecond},
 		{Clients: 8, LFSOpsPerSec: 120, LFSNoGCOpsPerSec: 42, FFSOpsPerSec: 22,
-			GroupCommits: 64, Piggybacked: 448, LFSWritesPerOp: 0.14, FFSWritesPerOp: 3.4},
+			GroupCommits: 64, Piggybacked: 448, LFSWritesPerOp: 0.14, FFSWritesPerOp: 3.4,
+			LFSP50: 60 * sim.Millisecond, LFSP95: 81 * sim.Millisecond, LFSP99: 95 * sim.Millisecond},
 	}
 	out := FormatConcurrency(rows)
 	if lines := strings.Count(out, "\n"); lines != 4 {
 		t.Errorf("formatted output has %d lines, want 4:\n%s", lines, out)
 	}
-	for _, want := range []string{"clients", "120.0", "448", "3.00"} {
+	for _, want := range []string{"clients", "120.0", "448", "3.00", "p95ms", "81.00"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("formatted output missing %q:\n%s", want, out)
 		}

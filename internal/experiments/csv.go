@@ -130,9 +130,11 @@ func CSVConcurrency(w io.Writer, rows []ConcurrencyRow) error {
 		recs = append(recs, []string{i(int64(r.Clients)),
 			f(r.LFSOpsPerSec), f(r.LFSNoGCOpsPerSec), f(r.FFSOpsPerSec),
 			i(r.GroupCommits), i(r.Piggybacked),
-			f(r.LFSWritesPerOp), f(r.FFSWritesPerOp)})
+			f(r.LFSWritesPerOp), f(r.FFSWritesPerOp),
+			f(ms(r.LFSP50)), f(ms(r.LFSP95)), f(ms(r.LFSP99))})
 	}
 	return writeCSV(w, []string{"clients", "lfs_ops_per_s", "lfs_nogc_ops_per_s",
 		"ffs_ops_per_s", "group_commits", "piggybacked",
-		"lfs_writes_per_op", "ffs_writes_per_op"}, recs)
+		"lfs_writes_per_op", "ffs_writes_per_op",
+		"lfs_p50_ms", "lfs_p95_ms", "lfs_p99_ms"}, recs)
 }

@@ -13,6 +13,7 @@ import (
 	"lfs/internal/core"
 	"lfs/internal/disk"
 	"lfs/internal/ffs"
+	"lfs/internal/obs"
 	"lfs/internal/sim"
 	"lfs/internal/workload"
 )
@@ -29,8 +30,20 @@ type System struct {
 	Disk *disk.Disk
 }
 
+// MetricsSink, when set, supplies a metrics sampler for every LFS an
+// experiment builds (a fresh sampler per instance — samplers bind to
+// exactly one file system). cmd/lfsbench sets it when -metrics is
+// given, so every experiment gains time-series sampling without each
+// one growing a sampler option; an experiment that sets cfg.Metrics
+// itself takes precedence. The name is the experiment-visible system
+// label ("LFS"); the sink labels the returned sampler.
+var MetricsSink func(name string) *obs.Sampler
+
 // NewLFS formats and mounts an LFS on a fresh simulated disk.
 func NewLFS(capacity int64, cfg core.Config) (*System, error) {
+	if cfg.Metrics == nil && MetricsSink != nil {
+		cfg.Metrics = MetricsSink("LFS")
+	}
 	d := disk.NewMem(capacity, sim.NewClock())
 	if err := core.Format(d, cfg); err != nil {
 		return nil, err

@@ -1,0 +1,173 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"lfs/internal/core"
+	"lfs/internal/obs"
+	"lfs/internal/sim"
+	"lfs/internal/workload"
+)
+
+// MetricsSmokeOpts scales the metrics-plane smoke experiment: the
+// trace smoke's workload (small-file pass, churn, explicit cleaning)
+// run under a metrics sampler, so every series the plane exports moves
+// during the run.
+type MetricsSmokeOpts struct {
+	Capacity int64
+	// NumFiles/FileSize parameterise the small-file pass; ChurnFiles
+	// and CleanSegments force cleaner activity (see TraceSmokeOpts).
+	NumFiles      int
+	FileSize      int
+	ChurnFiles    int
+	CleanSegments int
+	// Interval is the sampling interval in simulated time.
+	Interval  sim.Duration
+	LFSConfig core.Config
+	// Metrics, when non-nil, is used instead of a fresh sampler, so a
+	// caller can export the JSONL afterwards (Interval is ignored).
+	Metrics *obs.Sampler
+}
+
+// DefaultMetricsSmokeOpts returns a CI-sized configuration sampling
+// once per simulated second over a couple of simulated minutes.
+func DefaultMetricsSmokeOpts() MetricsSmokeOpts {
+	return MetricsSmokeOpts{
+		Capacity:      64 << 20,
+		NumFiles:      2000,
+		FileSize:      1024,
+		ChurnFiles:    3000,
+		CleanSegments: 10,
+		Interval:      sim.Second,
+		LFSConfig:     defaultLFSConfig(),
+	}
+}
+
+// MetricsSmokeResult reports the series shape plus the final sample's
+// agreement with the end-of-run aggregates — the property the plane
+// promises: the last (forced) sample IS the end state, not an
+// approximation of it.
+type MetricsSmokeResult struct {
+	// Samples and Series describe the exported time series.
+	Samples int
+	Series  int
+	// Elapsed is the simulated duration covered by the samples.
+	Elapsed sim.Duration
+
+	// FinalOps/FinalBlocksWritten/FinalSegmentsCleaned are counters
+	// from the final sample; the matching Snapshot fields must equal
+	// them exactly.
+	FinalOps             int64
+	FinalBlocksWritten   int64
+	FinalSegmentsCleaned int64
+	// FinalWriteCost and FinalCleanSegs are gauges from the final
+	// sample.
+	FinalWriteCost float64
+	FinalCleanSegs float64
+	// FinalUtil is the final segment-utilization histogram.
+	FinalUtil obs.Histogram
+
+	Snapshot core.StatsSnapshot
+	Final    obs.Sample
+}
+
+// MetricsSmoke runs the metrics-plane smoke experiment: the small-file
+// benchmark plus churn and cleaning with a sampler attached, ending in
+// a forced sample so the series' final values pin the end-of-run
+// state.
+func MetricsSmoke(opts MetricsSmokeOpts) (*MetricsSmokeResult, error) {
+	samp := opts.Metrics
+	if samp == nil && MetricsSink != nil {
+		// lfsbench -metrics: let the sink label the sampler and keep
+		// it for the combined JSONL export.
+		samp = MetricsSink("LFS")
+	}
+	if samp == nil {
+		interval := opts.Interval
+		if interval <= 0 {
+			interval = sim.Second
+		}
+		samp = obs.NewSampler(interval)
+	}
+	cfg := opts.LFSConfig
+	cfg.Metrics = samp
+	sys, err := NewLFS(opts.Capacity, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := workload.SmallFile(sys, workload.SmallFileOpts{
+		NumFiles: opts.NumFiles, FileSize: opts.FileSize,
+		Dir: "/small", SyncBetweenPhases: true, Seed: 42,
+	}); err != nil {
+		return nil, fmt.Errorf("metricssmoke small-file: %w", err)
+	}
+
+	fs, ok := sys.System.(*core.FS)
+	if !ok {
+		return nil, fmt.Errorf("metricssmoke: system is not an LFS")
+	}
+	if err := fs.Mkdir("/churn"); err != nil {
+		return nil, err
+	}
+	payload := make([]byte, opts.FileSize)
+	for i := 0; i < opts.ChurnFiles; i++ {
+		p := fmt.Sprintf("/churn/f%d", i)
+		if err := fs.Create(p); err != nil {
+			return nil, err
+		}
+		if err := fs.Write(p, 0, payload); err != nil {
+			return nil, err
+		}
+	}
+	if err := fs.Sync(); err != nil {
+		return nil, err
+	}
+	for i := 0; i < opts.ChurnFiles; i += 2 {
+		if err := fs.Remove(fmt.Sprintf("/churn/f%d", i)); err != nil {
+			return nil, err
+		}
+	}
+	if err := fs.Sync(); err != nil {
+		return nil, err
+	}
+	if _, err := fs.CleanUntil(fs.CleanSegments() + opts.CleanSegments); err != nil {
+		return nil, fmt.Errorf("metricssmoke clean: %w", err)
+	}
+	if err := fs.Sync(); err != nil {
+		return nil, err
+	}
+	fs.SampleMetricsNow()
+
+	samples := samp.Samples()
+	if len(samples) < 2 {
+		return nil, fmt.Errorf("metricssmoke: only %d samples over the run", len(samples))
+	}
+	final := samples[len(samples)-1]
+	out := &MetricsSmokeResult{
+		Samples:              len(samples),
+		Series:               len(obs.SeriesNames(samples)),
+		Elapsed:              sim.Time(final.Time).Sub(sim.Time(samples[0].Time)),
+		FinalOps:             final.Counters["ops"],
+		FinalBlocksWritten:   final.Counters["log.blocks_written"],
+		FinalSegmentsCleaned: final.Counters["cleaner.segments_cleaned"],
+		FinalWriteCost:       final.Gauges["cleaner.write_cost"],
+		FinalCleanSegs:       final.Gauges["seg.clean"],
+		FinalUtil:            final.Hists["seg.util"].Hist(),
+		Snapshot:             fs.StatsSnapshot(),
+		Final:                final,
+	}
+	return out, nil
+}
+
+// FormatMetricsSmoke renders the result as the smoke-test report.
+func FormatMetricsSmoke(r *MetricsSmokeResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Metrics smoke test - small-file workload with cleaning, sampled on the sim clock\n")
+	fmt.Fprintf(&b, "%d samples over %v, %d series\n", r.Samples, r.Elapsed, r.Series)
+	fmt.Fprintf(&b, "final: %d ops, %d blocks written, %d segments cleaned, write cost %.2f (stats %.2f), %g clean segments\n",
+		r.FinalOps, r.FinalBlocksWritten, r.FinalSegmentsCleaned,
+		r.FinalWriteCost, r.Snapshot.WriteCost(), r.FinalCleanSegs)
+	fmt.Fprintf(&b, "segment utilisation: %v\n", r.FinalUtil)
+	return b.String()
+}

@@ -136,9 +136,9 @@ func TestMatch(t *testing.T) {
 		patterns []string
 		want     int
 	}{
-		{nil, 4},
-		{[]string{"./..."}, 4},
-		{[]string{"./internal/..."}, 3},
+		{nil, 5},
+		{[]string{"./..."}, 5},
+		{[]string{"./internal/..."}, 4},
 		{[]string{"./internal/core"}, 1},
 		{[]string{"./cmd/tool"}, 1},
 		{[]string{"./nosuchdir"}, 0},

@@ -17,6 +17,11 @@ var wallclockDirs = []string{
 	"internal/experiments",
 	"internal/sched",
 	"internal/server",
+	// The metrics/trace plane promises zero perturbation and
+	// byte-deterministic exports; a wall-clock read in a sampler
+	// breaks both. cmd/lfstop only replays recorded samples and
+	// stays out.
+	"internal/obs",
 }
 
 // forbiddenTimeFuncs are the package time functions that read or wait

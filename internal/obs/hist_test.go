@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// Regression: NaN compares false against every upper bound, so before
+// the NonFinite counter it silently landed in the unbounded top
+// bucket and inflated tail latency.
+func TestHistogramObserveNonFinite(t *testing.T) {
+	h := NewLatencyHistogram()
+	h.Observe(math.NaN())
+	h.Observe(math.Inf(1))
+	h.Observe(math.Inf(-1))
+	h.Observe(5e-4)
+	if got := h.Total(); got != 1 {
+		t.Fatalf("Total() = %d after 3 non-finite + 1 finite observations, want 1", got)
+	}
+	if top := h.Counts[len(h.Counts)-1]; top != 0 {
+		t.Fatalf("top bucket holds %d observations, want 0 (NaN/Inf must not land there)", top)
+	}
+	if h.NonFinite != 3 {
+		t.Fatalf("NonFinite = %d, want 3", h.NonFinite)
+	}
+}
+
+// Regression: Merge only compared bucket counts, so two same-length
+// histograms over different bounds merged into a meaningless sum.
+func TestHistogramMergeRejectsDifferentBounds(t *testing.T) {
+	a := NewHistogram(1, 2, 3)
+	b := NewHistogram(1, 2.5, 3)
+	b.Observe(2.2)
+	if err := a.Merge(b); err == nil {
+		t.Fatal("Merge accepted histograms with different bounds")
+	} else if !strings.Contains(err.Error(), "different bounds") {
+		t.Fatalf("Merge error %q does not mention the bound mismatch", err)
+	}
+	if a.Total() != 0 {
+		t.Fatalf("failed Merge still added counts: Total() = %d", a.Total())
+	}
+
+	c := NewHistogram(1, 2, 3)
+	c.Observe(2.2)
+	c.Observe(math.NaN())
+	if err := a.Merge(c); err != nil {
+		t.Fatalf("Merge of identical bounds failed: %v", err)
+	}
+	if a.Total() != 1 || a.NonFinite != 1 {
+		t.Fatalf("after Merge: Total()=%d NonFinite=%d, want 1 and 1", a.Total(), a.NonFinite)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	// 100 observations spread uniformly over [0,1) in the utilization
+	// histogram: ten per linear bucket, so the quantile function is
+	// the identity (up to bucket interpolation).
+	u := NewUtilizationHistogram()
+	for i := 0; i < 100; i++ {
+		u.Observe((float64(i) + 0.5) / 100)
+	}
+	for _, tc := range []struct{ p, want float64 }{
+		{0.0, 0.0},
+		{0.05, 0.05},
+		{0.5, 0.5},
+		{0.85, 0.85},
+	} {
+		if got := u.Quantile(tc.p); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("uniform Quantile(%g) = %g, want %g", tc.p, got, tc.want)
+		}
+	}
+	// p>=0.9 lands in the unbounded top bucket [0.9, ∞), which
+	// returns its lower bound — a deliberate underestimate.
+	if got := u.Quantile(0.95); got != 0.9 {
+		t.Errorf("uniform Quantile(0.95) = %g, want 0.9 (top-bucket lower bound)", got)
+	}
+	if got := u.Quantile(1); got != 0.9 {
+		t.Errorf("uniform Quantile(1) = %g, want 0.9 (top-bucket lower bound)", got)
+	}
+
+	// A known skewed distribution in the latency histogram: 90 fast
+	// ops in [1e-5, 1e-4) and 10 slow ones in [1e-2, 3e-2).
+	l := NewLatencyHistogram()
+	for i := 0; i < 90; i++ {
+		l.Observe(5e-5)
+	}
+	for i := 0; i < 10; i++ {
+		l.Observe(2e-2)
+	}
+	// p50: rank 50 of 90 in [1e-5,1e-4): 1e-5 + 9e-5*(50/90).
+	if got, want := l.Quantile(0.5), 1e-5+9e-5*(50.0/90.0); math.Abs(got-want) > 1e-12 {
+		t.Errorf("skewed Quantile(0.5) = %g, want %g", got, want)
+	}
+	// p95: rank 95, 5th of the 10 slow ops: 1e-2 + 2e-2*(5/10).
+	if got, want := l.Quantile(0.95), 1e-2+2e-2*0.5; math.Abs(got-want) > 1e-12 {
+		t.Errorf("skewed Quantile(0.95) = %g, want %g", got, want)
+	}
+	// p99: rank 99: 1e-2 + 2e-2*(9/10).
+	if got, want := l.Quantile(0.99), 1e-2+2e-2*0.9; math.Abs(got-want) > 1e-12 {
+		t.Errorf("skewed Quantile(0.99) = %g, want %g", got, want)
+	}
+
+	// Degenerate cases.
+	var empty Histogram
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Errorf("empty Quantile(0.5) = %g, want 0", got)
+	}
+	one := NewHistogram(1, 2)
+	one.Observe(1.5)
+	if got := one.Quantile(-3); got != 1 {
+		t.Errorf("clamped Quantile(-3) = %g, want 1 (bucket lower bound)", got)
+	}
+	if got := one.Quantile(7); got != 2 {
+		t.Errorf("clamped Quantile(7) = %g, want 2 (bucket upper bound)", got)
+	}
+}

@@ -22,12 +22,20 @@ import (
 	"lfs/internal/sim"
 )
 
+// EventID identifies a scheduled event for cancellation. The zero ID
+// is never issued.
+type EventID uint64
+
 // event is one scheduled callback.
 type event struct {
 	at   sim.Time
 	seq  uint64 // scheduling order, the tie-breaker
 	name string
 	fn   func()
+	// cancelled events stay in the heap (removing from a heap's
+	// middle is O(n)) but are discarded when they surface, without
+	// advancing the clock or counting as processed.
+	cancelled bool
 }
 
 // eventHeap orders events by (time, seq).
@@ -60,6 +68,11 @@ type Loop struct {
 	heap  eventHeap
 	seq   uint64
 	ran   int64
+	// pending maps live (uncancelled, unrun) event IDs to their
+	// events so Cancel is O(1); ncancelled counts tombstones still in
+	// the heap so Len stays exact.
+	pending    map[EventID]*event
+	ncancelled int
 	// running guards against re-entrant Step/Run from inside a
 	// handler, which would pop events out from under the loop.
 	running bool
@@ -73,7 +86,11 @@ func NewLoop(clock *sim.Clock, seed int64) *Loop {
 	if clock == nil {
 		panic("sched: nil clock")
 	}
-	return &Loop{clock: clock, rng: rand.New(rand.NewSource(seed))}
+	return &Loop{
+		clock:   clock,
+		rng:     rand.New(rand.NewSource(seed)),
+		pending: make(map[EventID]*event),
+	}
 }
 
 // Clock returns the loop's simulated clock.
@@ -84,8 +101,8 @@ func (l *Loop) Clock() *sim.Clock { return l.clock }
 // anything else breaks same-seed reproducibility.
 func (l *Loop) RNG() *rand.Rand { return l.rng }
 
-// Len returns the number of pending events.
-func (l *Loop) Len() int { return len(l.heap) }
+// Len returns the number of pending (uncancelled) events.
+func (l *Loop) Len() int { return len(l.heap) - l.ncancelled }
 
 // Processed returns the number of events run so far.
 func (l *Loop) Processed() int64 { return l.ran }
@@ -94,27 +111,58 @@ func (l *Loop) Processed() int64 { return l.ran }
 // is allowed — the event fires as soon as the loop reaches it, with
 // the clock unchanged — because a handler may consume more simulated
 // time than the gap to the next event (the server is busy; the event
-// was queued). The name labels the event for debugging.
-func (l *Loop) At(t sim.Time, name string, fn func()) {
+// was queued). The name labels the event for debugging. The returned
+// ID cancels the event via Cancel.
+func (l *Loop) At(t sim.Time, name string, fn func()) EventID {
 	if fn == nil {
 		panic("sched: nil event func")
 	}
 	l.seq++
-	heap.Push(&l.heap, &event{at: t, seq: l.seq, name: name, fn: fn})
+	ev := &event{at: t, seq: l.seq, name: name, fn: fn}
+	heap.Push(&l.heap, ev)
+	l.pending[EventID(l.seq)] = ev
+	return EventID(l.seq)
 }
 
 // After schedules fn d after the current simulated time.
-func (l *Loop) After(d sim.Duration, name string, fn func()) {
+func (l *Loop) After(d sim.Duration, name string, fn func()) EventID {
 	if d < 0 {
 		panic(fmt.Sprintf("sched: negative delay %v", d))
 	}
-	l.At(l.clock.Now().Add(d), name, fn)
+	return l.At(l.clock.Now().Add(d), name, fn)
+}
+
+// Cancel unschedules a pending event: it will not run, not advance
+// the clock to its time, and not count as processed. Reports whether
+// the event was still pending (false once it has run or was already
+// cancelled). Cancelling from inside a handler is allowed, including
+// self-cancellation of a later occurrence.
+func (l *Loop) Cancel(id EventID) bool {
+	ev, ok := l.pending[id]
+	if !ok {
+		return false
+	}
+	delete(l.pending, id)
+	ev.cancelled = true
+	ev.fn = nil
+	l.ncancelled++
+	return true
+}
+
+// purgeCancelled drops cancelled tombstones sitting at the front of
+// the heap so the earliest live event is at the top.
+func (l *Loop) purgeCancelled() {
+	for len(l.heap) > 0 && l.heap[0].cancelled {
+		heap.Pop(&l.heap)
+		l.ncancelled--
+	}
 }
 
 // Step runs the earliest pending event, advancing the clock to its
 // scheduled time first (never backwards). It returns the event's name
 // and true, or "" and false when no events are pending.
 func (l *Loop) Step() (string, bool) {
+	l.purgeCancelled()
 	if len(l.heap) == 0 {
 		return "", false
 	}
@@ -122,6 +170,7 @@ func (l *Loop) Step() (string, bool) {
 		panic("sched: re-entrant Step from inside a handler")
 	}
 	ev := heap.Pop(&l.heap).(*event)
+	delete(l.pending, EventID(ev.seq))
 	l.clock.AdvanceTo(ev.at)
 	l.ran++
 	l.running = true
@@ -148,8 +197,11 @@ func (l *Loop) Run() int64 {
 // queued.
 func (l *Loop) RunUntil(deadline sim.Time) int64 {
 	start := l.ran
-	for len(l.heap) > 0 && l.heap[0].at <= deadline {
+	for {
+		l.purgeCancelled()
+		if len(l.heap) == 0 || l.heap[0].at > deadline {
+			return l.ran - start
+		}
 		l.Step()
 	}
-	return l.ran - start
 }

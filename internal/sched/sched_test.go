@@ -128,3 +128,80 @@ func TestReentrantStepPanics(t *testing.T) {
 	})
 	l.Run()
 }
+
+// TestCancel verifies cancelled events neither run nor advance the
+// clock, and that Len/Processed exclude them.
+func TestCancel(t *testing.T) {
+	clock := sim.NewClock()
+	l := NewLoop(clock, 1)
+	var got []string
+	rec := func(name string) func() { return func() { got = append(got, name) } }
+	idA := l.At(10, "a", rec("a"))
+	idB := l.At(20, "b", rec("b"))
+	idC := l.At(30, "c", rec("c"))
+	if !l.Cancel(idB) {
+		t.Fatal("Cancel(b) = false, want true")
+	}
+	if l.Cancel(idB) {
+		t.Fatal("second Cancel(b) = true, want false")
+	}
+	if l.Len() != 2 {
+		t.Fatalf("Len() = %d after cancel, want 2", l.Len())
+	}
+	if n := l.Run(); n != 2 {
+		t.Fatalf("Run processed %d events, want 2", n)
+	}
+	if len(got) != 2 || got[0] != "a" || got[1] != "c" {
+		t.Fatalf("ran %v, want [a c]", got)
+	}
+	if l.Cancel(idA) || l.Cancel(idC) {
+		t.Fatal("Cancel of an already-run event = true, want false")
+	}
+	_ = idA
+}
+
+// TestCancelLastEventLeavesClock verifies the perturbation property
+// the server's metrics pump relies on: cancelling the only remaining
+// event means the loop drains without the clock reaching its time.
+func TestCancelLastEventLeavesClock(t *testing.T) {
+	clock := sim.NewClock()
+	l := NewLoop(clock, 1)
+	l.At(10, "op", func() {})
+	id := l.At(1000, "pump", func() { t.Fatal("cancelled pump ran") })
+	l.Step()
+	if !l.Cancel(id) {
+		t.Fatal("Cancel(pump) = false")
+	}
+	if n := l.Run(); n != 0 {
+		t.Fatalf("Run processed %d events after cancel, want 0", n)
+	}
+	if clock.Now() != 10 {
+		t.Fatalf("clock at %v, want 10 (cancelled event must not advance it)", clock.Now())
+	}
+	if l.Len() != 0 {
+		t.Fatalf("Len() = %d, want 0", l.Len())
+	}
+}
+
+// TestCancelFromHandler verifies a handler may cancel a later event,
+// including via RunUntil's front-purge path.
+func TestCancelFromHandler(t *testing.T) {
+	clock := sim.NewClock()
+	l := NewLoop(clock, 1)
+	var ran []string
+	var idLater EventID
+	idLater = l.At(30, "later", func() { ran = append(ran, "later") })
+	l.At(10, "canceller", func() {
+		ran = append(ran, "canceller")
+		l.Cancel(idLater)
+	})
+	if n := l.RunUntil(100); n != 1 {
+		t.Fatalf("RunUntil processed %d events, want 1", n)
+	}
+	if len(ran) != 1 || ran[0] != "canceller" {
+		t.Fatalf("ran %v, want [canceller]", ran)
+	}
+	if clock.Now() != 10 {
+		t.Fatalf("clock at %v, want 10", clock.Now())
+	}
+}

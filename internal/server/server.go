@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"lfs/internal/obs"
 	"lfs/internal/sched"
 	"lfs/internal/sim"
 	"lfs/internal/vfs"
@@ -47,6 +48,13 @@ type fileSyncer interface {
 	FsyncFile(path string) error
 }
 
+// metricsTicker is the optional metrics-plane pump (LFS has it when a
+// sampler is attached). The loop schedules periodic ticks so think-time
+// gaps between operations still produce samples.
+type metricsTicker interface {
+	TickMetrics()
+}
+
 // Config shapes a multi-client run.
 type Config struct {
 	// Clients is the number of closed-loop clients.
@@ -66,6 +74,14 @@ type Config struct {
 	// Seed makes the run reproducible; it feeds the event loop and
 	// every per-client RNG.
 	Seed int64
+	// MetricsInterval, when positive, schedules periodic metrics-pump
+	// events calling the target's TickMetrics at this spacing, so
+	// samples land even inside think-time gaps. The pump is cancelled
+	// the moment the last operation completes — it never extends the
+	// run — and its events are excluded from Result.Events, so a
+	// metrics-enabled run reports identical results. Ignored for
+	// targets without a metrics plane.
+	MetricsInterval sim.Duration
 }
 
 // DefaultConfig returns a small-file commit workload: 4 KB writes,
@@ -97,6 +113,9 @@ func (c Config) Validate() error {
 	if c.ThinkTime < 0 {
 		return fmt.Errorf("server: negative think time %v", c.ThinkTime)
 	}
+	if c.MetricsInterval < 0 {
+		return fmt.Errorf("server: negative metrics interval %v", c.MetricsInterval)
+	}
 	return nil
 }
 
@@ -112,6 +131,9 @@ type ClientStats struct {
 	TotalLatency sim.Duration
 	// MaxLatency is the worst single operation.
 	MaxLatency sim.Duration
+	// Latency is the distribution of per-operation latencies in
+	// seconds, for percentile reporting (Quantile).
+	Latency obs.Histogram
 }
 
 // MeanLatency returns the client's average operation latency.
@@ -164,11 +186,27 @@ func Run(fsys FS, cfg Config) (Result, error) {
 		Start:     fsys.Clock().Now(),
 		PerClient: make([]ClientStats, cfg.Clients),
 	}
+	// The metrics pump keeps exactly one pending tick event; it is
+	// cancelled when the run ends (last op or first error), so it
+	// never advances the clock past the real end of the run, and its
+	// firings are subtracted from Result.Events so the event count is
+	// identical with metrics on or off.
+	var pumpID sched.EventID
+	var pumpFired int64
+	stopPump := func() {
+		if pumpID != 0 {
+			loop.Cancel(pumpID)
+			pumpID = 0
+		}
+	}
+
+	opsLeft := cfg.Clients * cfg.OpsPerClient
 	var firstErr error
 	fail := func(err error) {
 		if firstErr == nil {
 			firstErr = err
 		}
+		stopPump()
 	}
 
 	// Per-client working directories, created up front so the run
@@ -190,6 +228,7 @@ func Run(fsys FS, cfg Config) (Result, error) {
 		// stream, so adding a client never perturbs the others'
 		// schedules.
 		rng := rand.New(rand.NewSource(cfg.Seed + int64(client)*0x9e3779b9))
+		st.Latency = obs.NewLatencyHistogram()
 		created := make([]bool, cfg.FilesPerClient)
 		n := 0
 		var issue func()
@@ -231,7 +270,12 @@ func Run(fsys FS, cfg Config) (Result, error) {
 				if lat > st.MaxLatency {
 					st.MaxLatency = lat
 				}
+				st.Latency.Observe(lat.Seconds())
 				n++
+				opsLeft--
+				if opsLeft == 0 {
+					stopPump()
+				}
 				if n < cfg.OpsPerClient {
 					loop.After(think(rng, cfg.ThinkTime), "write", issue)
 				}
@@ -243,7 +287,22 @@ func Run(fsys FS, cfg Config) (Result, error) {
 		loop.At(res.Start.Add(sim.Duration(client)), "write", issue)
 	}
 
-	res.Events = loop.Run()
+	if cfg.MetricsInterval > 0 {
+		if mt, ok := fsys.(metricsTicker); ok {
+			var pump func()
+			pump = func() {
+				pumpFired++
+				pumpID = 0
+				mt.TickMetrics()
+				if firstErr == nil && opsLeft > 0 {
+					pumpID = loop.After(cfg.MetricsInterval, "metrics", pump)
+				}
+			}
+			pumpID = loop.After(cfg.MetricsInterval, "metrics", pump)
+		}
+	}
+
+	res.Events = loop.Run() - pumpFired
 	fsys.SetClient(0)
 	if firstErr != nil {
 		return Result{}, firstErr

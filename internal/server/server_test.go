@@ -205,3 +205,77 @@ func TestConfigValidation(t *testing.T) {
 		t.Error("Run accepted the zero config")
 	}
 }
+
+// TestMetricsPumpIsInvisible runs the identical workload with and
+// without a metrics sampler attached: the Result (times, events, every
+// per-client stat) must be identical, the pump must not extend the
+// run past the last operation, and samples must actually land.
+func TestMetricsPumpIsInvisible(t *testing.T) {
+	cfg := server.DefaultConfig()
+	cfg.Clients = 3
+	cfg.OpsPerClient = 20
+	cfg.ThinkTime = 5 * sim.Millisecond
+
+	base, _ := newLFS(t, true)
+	want, err := server.Run(base, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	lcfg := core.DefaultConfig()
+	lcfg.MaxInodes = 4096
+	lcfg.GroupCommit = true
+	lcfg.Metrics = obs.NewSampler(sim.Millisecond)
+	d := disk.NewMem(128<<20, sim.NewClock())
+	if err := core.Format(d, lcfg); err != nil {
+		t.Fatal(err)
+	}
+	lfs, err := core.Mount(d, lcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mcfg := cfg
+	mcfg.MetricsInterval = sim.Millisecond
+	got, err := server.Run(lfs, mcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("metrics-enabled Result differs:\n got %+v\nwant %+v", got, want)
+	}
+	samples := lcfg.Metrics.Samples()
+	if len(samples) < 3 {
+		t.Fatalf("%d samples, want several (pump every %v over %v)",
+			len(samples), sim.Millisecond, got.Elapsed())
+	}
+	if last := samples[len(samples)-1]; sim.Time(last.Time) > got.End {
+		t.Errorf("last sample at %v is past run end %v: pump extended the run",
+			sim.Time(last.Time), got.End)
+	}
+}
+
+// TestClientLatencyHistogram checks the per-client latency histograms
+// are populated and consistent with the op counts.
+func TestClientLatencyHistogram(t *testing.T) {
+	cfg := server.DefaultConfig()
+	cfg.Clients = 2
+	cfg.OpsPerClient = 8
+
+	lfs, _ := newLFS(t, true)
+	res, err := server.Run(lfs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range res.PerClient {
+		if st.Latency.Total() != st.Ops {
+			t.Errorf("client %d: histogram holds %d observations, want %d",
+				st.Client, st.Latency.Total(), st.Ops)
+		}
+		p50, p95, p99 := st.Latency.Quantile(0.5), st.Latency.Quantile(0.95), st.Latency.Quantile(0.99)
+		if p50 <= 0 || p50 > p95 || p95 > p99 {
+			t.Errorf("client %d: percentiles not monotone: p50 %v p95 %v p99 %v",
+				st.Client, p50, p95, p99)
+		}
+	}
+}

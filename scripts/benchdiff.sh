@@ -1,0 +1,90 @@
+#!/bin/sh
+# benchdiff.sh — compare a fresh benchjson summary against a committed
+# baseline, key by key. The simulation is deterministic, so the
+# numbers should be identical run to run; the tolerance only absorbs
+# intentional model changes small enough not to matter. Anything
+# larger fails the gate so a perf or timing regression cannot land
+# silently.
+#
+# Usage: benchdiff.sh baseline.json fresh.json [tolerance]
+#
+# Both files must contain the same numeric keys in the same order
+# (encoding/json emits map keys sorted and struct fields in order, so
+# the sequence is stable). Each fresh value must lie within tolerance
+# (relative, default 0.10) of its baseline; a zero baseline requires a
+# zero fresh value. Exits non-zero with one line per violation.
+set -eu
+
+if [ $# -lt 2 ] || [ $# -gt 3 ]; then
+	echo "usage: benchdiff.sh baseline.json fresh.json [tolerance]" >&2
+	exit 2
+fi
+base=$1
+fresh=$2
+tol=${3:-0.10}
+
+if [ ! -f "$base" ]; then
+	echo "benchdiff: baseline $base missing (commit one from a trusted run)" >&2
+	exit 1
+fi
+if [ ! -f "$fresh" ]; then
+	echo "benchdiff: fresh summary $fresh missing" >&2
+	exit 1
+fi
+
+awk -v tol="$tol" -v base="$base" '
+# Collect `"key": <number>` lines from each file in order. String
+# values ("experiment": "trace") never match and are ignored.
+{
+	line = $0
+	sub(/^[ \t]+/, "", line)
+	sub(/[, \t]+$/, "", line)
+	if (line !~ /^"[A-Za-z0-9_.]+": *-?[0-9]/)
+		next
+	key = line
+	sub(/^"/, "", key)
+	sub(/".*$/, "", key)
+	val = line
+	sub(/^"[^"]*": */, "", val)
+	if (FILENAME == base) {
+		bkey[++nb] = key
+		bval[nb] = val + 0
+	} else {
+		fkey[++nf] = key
+		fval[nf] = val + 0
+	}
+}
+function fail(msg) {
+	print "benchdiff: " msg > "/dev/stderr"
+	bad = 1
+}
+END {
+	if (nb == 0)
+		fail("no numeric keys in baseline " base)
+	if (nb != nf)
+		fail(sprintf("key count differs: baseline has %d, fresh has %d", nb, nf))
+	n = nb < nf ? nb : nf
+	for (i = 1; i <= n; i++) {
+		if (bkey[i] != fkey[i]) {
+			fail(sprintf("key sequence diverges at #%d: baseline %s, fresh %s",
+				i, bkey[i], fkey[i]))
+			break
+		}
+		b = bval[i]
+		f = fval[i]
+		d = f - b
+		if (d < 0) d = -d
+		ab = b < 0 ? -b : b
+		if (ab == 0) {
+			if (d != 0)
+				fail(sprintf("%s: baseline 0, fresh %g", bkey[i], f))
+		} else if (d > tol * ab) {
+			fail(sprintf("%s: baseline %g, fresh %g (%.1f%% off, tolerance %.0f%%)",
+				bkey[i], b, f, 100 * d / ab, 100 * tol))
+		}
+	}
+	if (bad)
+		exit 1
+	printf "benchdiff: %d keys within %.0f%% of %s\n", n, 100 * tol, base
+}
+' "$base" "$fresh"

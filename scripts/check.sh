@@ -33,4 +33,7 @@ go run ./cmd/lfsck -image "$img" -size 32M
 go run ./cmd/lfsdump -image "$img" -size 32M > /dev/null
 echo "== quick experiments =="
 go run ./cmd/lfsbench -experiment fig1 > /dev/null
+mjsonl="$(mktemp -d)/metrics.jsonl"
+go run ./cmd/lfsbench -experiment metrics -quick -metrics "$mjsonl" > /dev/null
+go run ./cmd/lfstop "$mjsonl" > /dev/null
 echo "all checks passed"

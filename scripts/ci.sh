@@ -28,16 +28,34 @@ go test -race ./...
 echo "== tracing smoke =="
 # Instrumented small-file + cleaning run: exports the JSONL trace,
 # summarises it with lfstrace, and writes the headline numbers
-# (write cost, ops/s, attribution share) to BENCH_trace.json.
+# (write cost, ops/s, attribution share) to a fresh summary that is
+# diffed against the committed BENCH_trace.json baseline (±10%)
+# before replacing it — a silent perf regression fails here.
 tracedir="$(mktemp -d)"
+trap 'rm -rf "$tracedir"' EXIT
 go run ./cmd/lfsbench -experiment trace -quick \
-	-trace "$tracedir/trace.jsonl" -benchjson BENCH_trace.json
+	-trace "$tracedir/trace.jsonl" -benchjson "$tracedir/BENCH_trace.json"
 go run ./cmd/lfstrace "$tracedir/trace.jsonl" > /dev/null
-rm -rf "$tracedir"
+scripts/benchdiff.sh BENCH_trace.json "$tracedir/BENCH_trace.json"
+mv "$tracedir/BENCH_trace.json" BENCH_trace.json
 echo "== concurrency smoke =="
-# Multi-client throughput curve (LFS group commit vs ablation vs FFS):
-# the scaling claim of the concurrency subsystem, recorded alongside
-# the tracing numbers.
+# Multi-client throughput curve (LFS group commit vs ablation vs FFS)
+# with the metrics plane sampling every instance; the time series is
+# replayed through lfstop and the curve diffed against its baseline.
 go run ./cmd/lfsbench -experiment concurrency -quick \
-	-benchjson BENCH_concurrency.json
+	-metrics "$tracedir/concurrency.metrics.jsonl" \
+	-benchjson "$tracedir/BENCH_concurrency.json"
+go run ./cmd/lfstop "$tracedir/concurrency.metrics.jsonl" > /dev/null
+scripts/benchdiff.sh BENCH_concurrency.json "$tracedir/BENCH_concurrency.json"
+mv "$tracedir/BENCH_concurrency.json" BENCH_concurrency.json
+echo "== metrics smoke =="
+# Metrics-plane smoke: small-file + cleaning run under the sampler,
+# final sample pinned to the end-of-run aggregates; the series feeds
+# lfstop and the headline numbers are diffed against the baseline.
+go run ./cmd/lfsbench -experiment metrics -quick \
+	-metrics "$tracedir/metrics.jsonl" \
+	-benchjson "$tracedir/BENCH_metrics.json"
+go run ./cmd/lfstop "$tracedir/metrics.jsonl" > /dev/null
+scripts/benchdiff.sh BENCH_metrics.json "$tracedir/BENCH_metrics.json"
+mv "$tracedir/BENCH_metrics.json" BENCH_metrics.json
 echo "ci passed"
