@@ -87,11 +87,12 @@ func main() {
 		"utilization":        runUtilization,
 		"ablation-ckpt":      runAblationCkpt,
 		"ablation-blocksize": runAblationBlockSize,
+		"cleaning-curve":     runCleaningCurve,
 		"trace":              runTrace,
 		"concurrency":        runConcurrency,
 		"metrics":            runMetrics,
 	}
-	order := []string{"fig1", "fig3", "fig4", "fig5", "scaling", "recovery", "ablation-segsize", "ablation-policy", "ablation-ckpt", "ablation-blocksize", "utilization", "trace", "concurrency", "metrics"}
+	order := []string{"fig1", "fig3", "fig4", "fig5", "scaling", "recovery", "ablation-segsize", "ablation-policy", "ablation-ckpt", "ablation-blocksize", "utilization", "cleaning-curve", "trace", "concurrency", "metrics"}
 
 	if *exp == "all" {
 		for _, name := range order {
@@ -361,6 +362,46 @@ func runAblationCkpt(quick bool) error {
 	}
 	fmt.Print(experiments.FormatCkpt(rows))
 	return emitCSV("ablation-ckpt", func(f *os.File) error { return experiments.CSVCkpt(f, rows) })
+}
+
+func runCleaningCurve(quick bool) error {
+	opts := experiments.DefaultCleaningOpts()
+	if quick {
+		// Keep the top setpoints — the 0.80 headline must survive the
+		// smoke run — and shrink the volume and churn instead.
+		opts.Capacity = 24 << 20
+		opts.OverwritesPerFile = 2
+		opts.Utilizations = []float64{0.55, 0.75, 0.80}
+	}
+	rows, err := experiments.CleaningCurve(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.FormatCleaning(rows))
+	if benchJSON != "" {
+		summary := map[string]any{"experiment": "cleaning-curve"}
+		for _, arm := range []struct{ name, key string }{
+			{"greedy", "greedy"},
+			{"cost-benefit", "costbenefit"},
+			{"cost-benefit+seg", "costbenefit_seg"},
+		} {
+			r, ok := experiments.CleaningAt(rows, arm.name, 0.80)
+			if !ok {
+				return fmt.Errorf("cleaning-curve: no %s row at utilization 0.80", arm.name)
+			}
+			summary[arm.key+"_write_cost_u80"] = r.WriteCost
+			summary[arm.key+"_write_amp_u80"] = r.WriteAmp
+			summary[arm.key+"_segments_cleaned_u80"] = r.SegmentsCleaned
+		}
+		buf, err := json.MarshalIndent(summary, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(benchJSON, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	return emitCSV("cleaning-curve", func(f *os.File) error { return experiments.CSVCleaning(f, rows) })
 }
 
 // traceOut and benchJSON, when non-empty, are the output paths of the

@@ -9,16 +9,27 @@ import (
 	"lfs/internal/sim"
 )
 
-// ckptMagic identifies a checkpoint region.
-const ckptMagic = 0x4C434B50 // "LCKP"
+// ckptMagicV1 identifies a pre-age checkpoint region (24-byte usage
+// entries, single log head); ckptMagic2 the current format (32-byte
+// entries carrying data age, plus the cold head position). New
+// checkpoints are always written in the current format; decode
+// accepts both so volumes formatted before the change still mount.
+const (
+	ckptMagicV1 = 0x4C434B50 // "LCKP"
+	ckptMagic2  = 0x4C434B32 // "LCK2"
+)
 
 // ckptHeaderSize is the fixed header of a checkpoint region.
 const ckptHeaderSize = 96
 
+// ckptNoColdHead is the on-disk sentinel for "cold head closed".
+const ckptNoColdHead = 0xFFFFFFFF
+
 // checkpointState is the dynamic file system state snapshotted into a
-// checkpoint region (§4.4.1): the log head, the unit serial counter,
-// the locations of every inode map block, and the segment usage
-// array.
+// checkpoint region (§4.4.1): both log heads, the unit serial
+// counter, the locations of every inode map block, and the segment
+// usage array. ColdOpen records whether the cold (cleaner-relocation)
+// head had an open segment; HeadSeg/HeadBlk are the hot head.
 type checkpointState struct {
 	Serial      uint64
 	Timestamp   sim.Time
@@ -26,6 +37,9 @@ type checkpointState struct {
 	HeadBlk     int
 	WriteSerial uint64
 	LiveBytes   int64
+	ColdOpen    bool
+	ColdSeg     int
+	ColdBlk     int
 	ImapAddrs   []layout.DiskAddr
 	Usage       []segUsage
 }
@@ -37,7 +51,7 @@ func encodeCheckpoint(st checkpointState, p []byte) {
 		p[i] = 0
 	}
 	le := binary.LittleEndian
-	le.PutUint32(p[0:], ckptMagic)
+	le.PutUint32(p[0:], ckptMagic2)
 	le.PutUint64(p[4:], st.Serial)
 	le.PutUint64(p[12:], uint64(st.Timestamp))
 	le.PutUint32(p[20:], uint32(st.HeadSeg))
@@ -46,6 +60,12 @@ func encodeCheckpoint(st checkpointState, p []byte) {
 	le.PutUint64(p[36:], uint64(st.LiveBytes))
 	le.PutUint32(p[44:], uint32(len(st.ImapAddrs)))
 	le.PutUint32(p[48:], uint32(len(st.Usage)))
+	coldSeg, coldBlk := uint32(ckptNoColdHead), uint32(ckptNoColdHead)
+	if st.ColdOpen {
+		coldSeg, coldBlk = uint32(st.ColdSeg), uint32(st.ColdBlk)
+	}
+	le.PutUint32(p[52:], coldSeg)
+	le.PutUint32(p[56:], coldBlk)
 	off := ckptHeaderSize
 	for _, a := range st.ImapAddrs {
 		le.PutUint32(p[off:], uint32(a))
@@ -66,8 +86,13 @@ func decodeCheckpoint(p []byte) (checkpointState, error) {
 		return checkpointState{}, fmt.Errorf("lfs: checkpoint region truncated: %d bytes", len(p))
 	}
 	le := binary.LittleEndian
-	if le.Uint32(p[0:]) != ckptMagic {
+	magic := le.Uint32(p[0:])
+	if magic != ckptMagicV1 && magic != ckptMagic2 {
 		return checkpointState{}, fmt.Errorf("lfs: bad checkpoint magic")
+	}
+	entrySize, decodeEntry := segUsageEntrySize, decodeSegUsage
+	if magic == ckptMagicV1 {
+		entrySize, decodeEntry = segUsageEntrySizeV1, decodeSegUsageV1
 	}
 	st := checkpointState{
 		Serial:      le.Uint64(p[4:]),
@@ -77,9 +102,19 @@ func decodeCheckpoint(p []byte) (checkpointState, error) {
 		WriteSerial: le.Uint64(p[28:]),
 		LiveBytes:   int64(le.Uint64(p[36:])),
 	}
+	if magic == ckptMagic2 {
+		// A v1 region has no cold head (written before segregation
+		// existed), which the zero-value ColdOpen already encodes.
+		coldSeg, coldBlk := le.Uint32(p[52:]), le.Uint32(p[56:])
+		if coldSeg != ckptNoColdHead {
+			st.ColdOpen = true
+			st.ColdSeg = int(coldSeg)
+			st.ColdBlk = int(coldBlk)
+		}
+	}
 	nImap := int(le.Uint32(p[44:]))
 	nSegs := int(le.Uint32(p[48:]))
-	need := ckptHeaderSize + nImap*layout.AddrSize + nSegs*segUsageEntrySize + 4
+	need := ckptHeaderSize + nImap*layout.AddrSize + nSegs*entrySize + 4
 	if need > len(p) {
 		return checkpointState{}, fmt.Errorf("lfs: checkpoint region truncated")
 	}
@@ -95,8 +130,8 @@ func decodeCheckpoint(p []byte) (checkpointState, error) {
 	}
 	st.Usage = make([]segUsage, nSegs)
 	for i := range st.Usage {
-		st.Usage[i] = decodeSegUsage(p[off:])
-		off += segUsageEntrySize
+		st.Usage[i] = decodeEntry(p[off:])
+		off += entrySize
 	}
 	return st, nil
 }
@@ -153,10 +188,13 @@ func (fs *FS) writeCheckpoint() error {
 	st := checkpointState{
 		Serial:      fs.ckptSerial + 1,
 		Timestamp:   fs.clock.Now(),
-		HeadSeg:     fs.curSeg,
-		HeadBlk:     fs.curBlk,
+		HeadSeg:     fs.heads[classHot].seg,
+		HeadBlk:     fs.heads[classHot].blk,
 		WriteSerial: fs.writeSerial,
 		LiveBytes:   fs.liveBytes,
+		ColdOpen:    fs.heads[classCold].open,
+		ColdSeg:     fs.heads[classCold].seg,
+		ColdBlk:     fs.heads[classCold].blk,
 		ImapAddrs:   fs.imap.blockAddrs,
 		Usage:       fs.usage,
 	}
@@ -230,6 +268,10 @@ func Mount(d *disk.Disk, cfg Config) (*FS, error) {
 	if len(best.Usage) != int(sb.Segments) || len(best.ImapAddrs) != fs.imap.blockCount() {
 		return nil, fmt.Errorf("lfs: checkpoint geometry mismatch")
 	}
+	if best.HeadSeg < 0 || best.HeadSeg >= int(sb.Segments) ||
+		(best.ColdOpen && (best.ColdSeg < 0 || best.ColdSeg >= int(sb.Segments))) {
+		return nil, fmt.Errorf("lfs: checkpoint head outside the segment area")
+	}
 	// The simulated clock restarts at zero with every process, but the
 	// volume's history does not: advance to the checkpoint's capture
 	// time so everything stamped from here on — log units, checkpoint
@@ -238,9 +280,13 @@ func Mount(d *disk.Disk, cfg Config) (*FS, error) {
 	fs.clock.AdvanceTo(best.Timestamp)
 	fs.ckptSerial = best.Serial
 	fs.writeSerial = best.WriteSerial
-	fs.curSeg = best.HeadSeg
-	fs.curBlk = best.HeadBlk
-	fs.pendingBlk = best.HeadBlk
+	hot := &fs.heads[classHot]
+	hot.seg, hot.blk, hot.pending, hot.open = best.HeadSeg, best.HeadBlk, best.HeadBlk, true
+	cold := &fs.heads[classCold]
+	cold.open = best.ColdOpen
+	if best.ColdOpen {
+		cold.seg, cold.blk, cold.pending = best.ColdSeg, best.ColdBlk, best.ColdBlk
+	}
 	fs.liveBytes = best.LiveBytes
 	copy(fs.usage, best.Usage)
 	copy(fs.imap.blockAddrs, best.ImapAddrs)
@@ -252,7 +298,10 @@ func Mount(d *disk.Disk, cfg Config) (*FS, error) {
 			fs.usage[i].State = segDirty
 		}
 	}
-	fs.usage[fs.curSeg].State = segActive
+	fs.usage[hot.seg].State = segActive
+	if cold.open {
+		fs.usage[cold.seg].State = segActive
+	}
 
 	// Load the inode map blocks named by the checkpoint.
 	for idx, addr := range fs.imap.blockAddrs {
@@ -314,96 +363,27 @@ func (fs *FS) recountClean() {
 // sit over leftovers of an earlier epoch whose serials coincide with
 // the expected ones (the clock advance in Mount keeps the comparison
 // sound across process restarts).
+// With two append streams the units of one serial sequence interleave
+// across two disk positions, so each expected serial is probed at
+// every place the writer could have put it: the current position of
+// each open head, then — when a head is full or the cold head was
+// closed at the checkpoint — block 0 of the clean segment that head
+// would have advanced to (the writer's segment choice is a
+// deterministic function of state recovery mirrors). The summary's
+// class byte pins each unit to its stream, so a probe never misreads
+// a unit of the other head. Head movements commit only after the
+// expected unit validates at the new position.
 func (fs *FS) rollForward(ckptTime sim.Time) error {
-	bs := fs.cfg.BlockSize
 	recovered := 0
 	for {
-		avail := fs.cfg.blocksPerSegment() - fs.curBlk
-		if maxUnitBlocks(avail, bs) == 0 {
-			// The writer would have advanced to the next clean
-			// segment; follow it.
-			fs.usage[fs.curSeg].State = segDirty
-			next, ok := fs.findCleanSegment()
-			if !ok {
-				break
-			}
-			fs.curSeg = next
-			fs.curBlk = 0
-			fs.pendingBlk = 0
-			fs.usage[next].State = segActive
-			fs.cleanCount--
-			continue
-		}
-		// Read a candidate summary header (one block is enough to
-		// hold the header; entries may spill into further blocks).
-		head := make([]byte, bs)
-		if err := fs.d.ReadSectors(fs.blockSector(fs.curSeg, fs.curBlk), head, disk.CauseRecovery, "recovery: summary probe"); err != nil {
+		applied, err := fs.replayNextUnit(ckptTime)
+		if err != nil {
 			return err
 		}
-		probe, _, errProbe := decodeSummaryHeaderOnly(head)
-		if errProbe != nil || probe.Serial != fs.writeSerial {
-			break // end of log (or torn header)
-		}
-		if probe.Timestamp < ckptTime {
-			break // stale unit from an earlier log epoch
-		}
-		if probe.SumBlocks < 1 || fs.curBlk+probe.SumBlocks+probe.NBlocks > fs.cfg.blocksPerSegment() {
+		if !applied {
 			break
 		}
-		// Read the full unit and re-validate with all entries.
-		unit := make([]byte, (probe.SumBlocks+probe.NBlocks)*bs)
-		if err := fs.d.ReadSectors(fs.blockSector(fs.curSeg, fs.curBlk), unit, disk.CauseRecovery, "recovery: unit"); err != nil {
-			return err
-		}
-		h, refs, err := decodeSummary(unit)
-		if err != nil || h.Serial != fs.writeSerial || h.Timestamp < ckptTime {
-			break
-		}
-		data := unit[h.SumBlocks*bs:]
-		if layout.Checksum(data) != h.DataCRC {
-			break // torn data: the unit never fully reached disk
-		}
-		// Apply the unit: inode blocks rebuild the inode map; data
-		// and indirect blocks need no action because the inodes
-		// written in the same flush carry the pointers.
-		for j, ref := range refs {
-			addr := layout.DiskAddr(fs.blockSector(fs.curSeg, fs.curBlk+h.SumBlocks+j))
-			if ref.Kind == kindInodes {
-				blkData := data[j*bs : (j+1)*bs]
-				for slot := 0; slot < fs.inodesPerBlock(); slot++ {
-					raw := blkData[slot*layout.InodeSize : (slot+1)*layout.InodeSize]
-					if allZero(raw) {
-						continue
-					}
-					rec, err := layout.DecodeInode(raw)
-					if err != nil || !rec.Allocated() {
-						continue
-					}
-					e := fs.imap.get(rec.Ino)
-					e.Allocated = true
-					e.Addr = addr + layout.DiskAddr(slot/inodesPerSector)
-					e.Slot = uint8(slot % inodesPerSector)
-					e.Version = rec.Gen
-					fs.imap.markDirty(rec.Ino)
-				}
-			}
-			if ref.Kind == kindImap {
-				idx := int(ref.ID)
-				if idx >= 0 && idx < fs.imap.blockCount() {
-					fs.imap.decodeBlock(idx, data[j*bs:(j+1)*bs])
-					fs.imap.blockAddrs[idx] = addr
-					// decodeBlock overwrote entries that later
-					// units may refine; that is fine because
-					// units replay in write order.
-				}
-			}
-		}
-		fs.creditSegment(fs.curSeg, int64(h.NBlocks*bs))
-		fs.curBlk += h.SumBlocks + h.NBlocks
-		fs.pendingBlk = fs.curBlk
-		fs.writeSerial++
 		recovered++
-		fs.stats.RollForwardUnits++
 	}
 	if recovered > 0 {
 		fs.imap.rebuildFreeState()
@@ -411,6 +391,144 @@ func (fs *FS) rollForward(ckptTime sim.Time) error {
 		return fs.checkpoint()
 	}
 	return nil
+}
+
+// replayNextUnit locates, validates, and applies the unit carrying
+// the next expected write serial. Returns false (with no state
+// change) when no candidate position holds it: the end of the
+// recoverable log.
+func (fs *FS) replayNextUnit(ckptTime sim.Time) (bool, error) {
+	bs := fs.cfg.BlockSize
+	// In-place candidates: each open head with room for a unit.
+	for class := writeClass(0); class < numClasses; class++ {
+		h := &fs.heads[class]
+		if !h.open || maxUnitBlocks(fs.cfg.blocksPerSegment()-h.blk, bs) == 0 {
+			continue
+		}
+		ok, err := fs.replayUnitAt(class, h.seg, h.blk, ckptTime, false)
+		if ok || err != nil {
+			return ok, err
+		}
+	}
+	// Advance candidates: a full head moved on to the clean segment
+	// the writer's scan would pick; a closed cold head would have
+	// opened scanning from the hot position.
+	for class := writeClass(0); class < numClasses; class++ {
+		h := &fs.heads[class]
+		from := h.seg
+		if h.open {
+			if maxUnitBlocks(fs.cfg.blocksPerSegment()-h.blk, bs) != 0 {
+				continue // had room: the in-place probe already said no
+			}
+		} else {
+			if class != classCold {
+				continue
+			}
+			from = fs.heads[classHot].seg
+		}
+		cand, found := fs.findCleanSegmentFrom(from)
+		if !found {
+			continue
+		}
+		ok, err := fs.replayUnitAt(class, cand, 0, ckptTime, true)
+		if ok || err != nil {
+			return ok, err
+		}
+	}
+	return false, nil
+}
+
+// replayUnitAt probes (seg, blk) for a valid unit of the given class
+// carrying the expected serial and applies it. With activate set the
+// head is moved to seg first — sealing its previous segment — but
+// only once the unit has fully validated, so a failed probe leaves
+// recovery state untouched.
+func (fs *FS) replayUnitAt(class writeClass, seg, blk int, ckptTime sim.Time, activate bool) (bool, error) {
+	bs := fs.cfg.BlockSize
+	// Read a candidate summary header (one block is enough to hold
+	// the header; entries may spill into further blocks).
+	head := make([]byte, bs)
+	if err := fs.d.ReadSectors(fs.blockSector(seg, blk), head, disk.CauseRecovery, "recovery: summary probe"); err != nil {
+		return false, err
+	}
+	probe, _, errProbe := decodeSummaryHeaderOnly(head)
+	if errProbe != nil || probe.Serial != fs.writeSerial || probe.Class != class {
+		return false, nil // end of this stream (or torn header)
+	}
+	if probe.Timestamp < ckptTime {
+		return false, nil // stale unit from an earlier log epoch
+	}
+	if probe.SumBlocks < 1 || blk+probe.SumBlocks+probe.NBlocks > fs.cfg.blocksPerSegment() {
+		return false, nil
+	}
+	// Read the full unit and re-validate with all entries.
+	unit := make([]byte, (probe.SumBlocks+probe.NBlocks)*bs)
+	if err := fs.d.ReadSectors(fs.blockSector(seg, blk), unit, disk.CauseRecovery, "recovery: unit"); err != nil {
+		return false, err
+	}
+	h, refs, err := decodeSummary(unit)
+	if err != nil || h.Serial != fs.writeSerial || h.Timestamp < ckptTime || h.Class != class {
+		return false, nil
+	}
+	data := unit[h.SumBlocks*bs:]
+	if layout.DataChecksum(data) != h.DataCRC {
+		return false, nil // torn data: the unit never fully reached disk
+	}
+	if activate {
+		if fs.heads[class].open {
+			fs.usage[fs.heads[class].seg].State = segDirty
+		}
+		fs.activateHead(class, seg)
+	}
+	// Apply the unit: inode blocks rebuild the inode map; data and
+	// indirect blocks need no action because the inodes written in
+	// the same flush carry the pointers.
+	for j, ref := range refs {
+		addr := layout.DiskAddr(fs.blockSector(seg, blk+h.SumBlocks+j))
+		if ref.Kind == kindInodes {
+			blkData := data[j*bs : (j+1)*bs]
+			for slot := 0; slot < fs.inodesPerBlock(); slot++ {
+				raw := blkData[slot*layout.InodeSize : (slot+1)*layout.InodeSize]
+				if allZero(raw) {
+					continue
+				}
+				rec, err := layout.DecodeInode(raw)
+				if err != nil || !rec.Allocated() {
+					continue
+				}
+				e := fs.imap.get(rec.Ino)
+				e.Allocated = true
+				e.Addr = addr + layout.DiskAddr(slot/inodesPerSector)
+				e.Slot = uint8(slot % inodesPerSector)
+				e.Version = rec.Gen
+				fs.imap.markDirty(rec.Ino)
+			}
+		}
+		if ref.Kind == kindImap {
+			idx := int(ref.ID)
+			if idx >= 0 && idx < fs.imap.blockCount() {
+				fs.imap.decodeBlock(idx, data[j*bs:(j+1)*bs])
+				fs.imap.blockAddrs[idx] = addr
+				// decodeBlock overwrote entries that later
+				// units may refine; that is fine because
+				// units replay in write order.
+			}
+		}
+	}
+	// Credit with the age the summary recorded (the victim's age for
+	// relocations), so recovered usage entries stay age-correct; old
+	// images without the field fall back to the write time.
+	age := h.Age
+	if age == 0 {
+		age = h.Timestamp
+	}
+	fs.creditSegmentAged(seg, int64(h.NBlocks*bs), age)
+	hd := &fs.heads[class]
+	hd.blk = blk + h.SumBlocks + h.NBlocks
+	hd.pending = hd.blk
+	fs.writeSerial++
+	fs.stats.RollForwardUnits++
+	return true, nil
 }
 
 // decodeSummaryHeaderOnly parses just the summary header (entry
@@ -429,6 +547,8 @@ func decodeSummaryHeaderOnly(p []byte) (summaryHeader, []blockRef, error) {
 		SumBlocks: int(le.Uint16(p[14:])),
 		Timestamp: sim.Time(le.Uint64(p[16:])),
 		DataCRC:   le.Uint32(p[24:]),
+		Class:     writeClass(p[32]),
+		Age:       sim.Time(le.Uint64(p[40:])),
 	}
 	return h, nil, nil
 }

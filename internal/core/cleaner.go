@@ -3,9 +3,11 @@ package core
 import (
 	"fmt"
 
+	"lfs/internal/cache"
 	"lfs/internal/disk"
 	"lfs/internal/layout"
 	"lfs/internal/obs"
+	"lfs/internal/sim"
 )
 
 // CleanResult summarises one cleaner activation.
@@ -22,6 +24,9 @@ type CleanResult struct {
 	// consumes at the log head. This is the y-axis of Figure 5 —
 	// cleaning a 90%-utilised segment frees a whole segment but
 	// immediately fills 90% of another, so it nets almost nothing.
+	// It is signed: a run over victims whose live estimates drifted
+	// high can net negative, and presentation layers (not the
+	// accounting) decide whether to floor it at zero.
 	BytesReclaimed int64
 }
 
@@ -62,29 +67,34 @@ func (fs *FS) cleanUntil(target int) (CleanResult, error) {
 	// bounded number of passes suffices; anything beyond means the
 	// target is unreachable (the disk is simply full of live data).
 	maxIters := 2*int(fs.sb.Segments) + 16
-	for iter := 0; fs.cleanCount+fs.pendingClean < target && iter < maxIters; iter++ {
-		victim, ok := fs.selectVictim()
-		if !ok {
+	for iter := 0; fs.cleanCount+fs.pendingClean < target && iter < maxIters; {
+		batch := fs.selectBatch(target - fs.cleanCount - fs.pendingClean)
+		if len(batch) == 0 {
 			break
 		}
-		r, err := fs.cleanSegment(victim)
-		if err != nil {
-			return res, err
-		}
-		res.SegmentsCleaned++
+		iter += len(batch)
+		r, err := fs.cleanBatch(batch)
+		res.SegmentsCleaned += r.SegmentsCleaned
 		res.BlocksExamined += r.BlocksExamined
 		res.LiveCopied += r.LiveCopied
 		// Net clean space is signed per victim: cleaning a segment
 		// more than one-segment's-worth full of live data (possible
 		// when the estimate drifted) costs more space than it frees,
 		// and dropping those negatives would overstate the total.
-		res.BytesReclaimed += int64(fs.sb.SegmentSize) - int64(r.LiveCopied)*int64(fs.cfg.BlockSize)
+		res.BytesReclaimed += r.BytesReclaimed
+		if err != nil {
+			return res, err
+		}
 		cleaned = true
 		// Reclaimed segments stay segPending — unusable — until a
 		// checkpoint records the relocations. Checkpoint mid-run
-		// before truly clean segments run out, so the next victim's
-		// relocation flush always has somewhere to go.
-		if fs.cleanCount < 2 {
+		// before truly clean segments run out, so the next batch's
+		// relocation flush always has somewhere to go. With
+		// segregation one relocation flush can claim several
+		// segments — opening the cold head, advancing both streams
+		// mid-fill, and spilling the pointer-update inode blocks —
+		// hence the larger reserve.
+		if fs.cleanCount < fs.cleanReserve() && fs.pendingClean > 0 {
 			if err := fs.checkpoint(); err != nil {
 				return res, err
 			}
@@ -99,9 +109,9 @@ func (fs *FS) cleanUntil(target int) (CleanResult, error) {
 			return res, err
 		}
 	}
-	if res.BytesReclaimed < 0 {
-		res.BytesReclaimed = 0
-	}
+	// Accumulate the signed value: flooring a net-negative run here
+	// would overstate cumulative reclaim. Consumers that want a
+	// nonnegative rate clamp at presentation.
 	fs.stats.CleanerBytesReclaimed += res.BytesReclaimed
 	return res, nil
 }
@@ -113,17 +123,83 @@ func (fs *FS) CleanOnce() (CleanResult, error) {
 	return fs.cleanUntil(fs.cleanCount + 1)
 }
 
+// selectBatch gathers up to needed victims for one relocation pass,
+// stopping when their combined live data would overflow the pass's
+// relocation budget. Cleaning several segments per flush is the
+// paper's own prescription (§4.3.4 cleans "a few tens of segments at
+// a time"): the pointer updates for a victim's relocated blocks dirty
+// inode and inode-map blocks, and cleaning one segment per pass pays
+// that metadata rewrite per segment — at high utilization the
+// metadata alone can exceed what a dense victim frees, so the cleaner
+// consumes clean segments faster than it makes them. Batching pays it
+// once per batch.
+func (fs *FS) selectBatch(needed int) []int {
+	// The budget is expressed in live bytes to relocate: about two
+	// destination segments' worth, capped by half the cache (revived
+	// blocks sit dirty in the cache until the flush) and by the clean
+	// segments actually available to absorb the copies.
+	budget := 2 * int64(fs.sb.SegmentSize)
+	if half := int64(fs.cfg.CacheBlocks) * int64(fs.cfg.BlockSize) / 2; budget > half {
+		budget = half
+	}
+	if avail := int64(fs.cleanCount-2) * int64(fs.sb.SegmentSize); budget > avail {
+		budget = avail
+	}
+	var batch []int
+	var live int64
+	excl := make(map[int]bool)
+	for len(batch) < needed {
+		victim, ok := fs.selectVictim(excl)
+		if !ok {
+			break
+		}
+		vl := fs.usage[victim].Live
+		// The first victim is always admitted — otherwise a cleaner
+		// under space pressure could never start.
+		if len(batch) > 0 && live+vl > budget {
+			break
+		}
+		batch = append(batch, victim)
+		excl[victim] = true
+		live += vl
+	}
+	return batch
+}
+
+// cleanReserve is the emergency clean-segment floor: below it the
+// cleaner checkpoints mid-run to release pending segments, and victim
+// selection switches to space-first. With segregation one relocation
+// flush can claim more segments (the cold head opens and both streams
+// can advance mid-fill), hence the larger reserve.
+func (fs *FS) cleanReserve() int {
+	if fs.cfg.Segregation {
+		return 5
+	}
+	return 3
+}
+
 // selectVictim picks the next segment to clean according to the
-// configured policy. Segments at or above MinLiveFraction utilisation
-// are never picked (§4.3.4).
-func (fs *FS) selectVictim() (int, bool) {
+// configured policy, skipping the exclusion set (victims already in
+// the current batch). Segments at or above MinLiveFraction
+// utilisation are never picked (§4.3.4).
+func (fs *FS) selectVictim(excl map[int]bool) (int, bool) {
+	policy := fs.cfg.Policy
+	// Space guard: cost-benefit favors old, dense victims, which
+	// consume nearly a full clean segment of copies to net a sliver
+	// of free space. With the clean reserve nearly exhausted that is
+	// a death spiral — each pass consumes segments faster than it
+	// frees them — so survival overrides age: fall back to greedy
+	// (most-empty victim), which maximizes net space per pass.
+	if fs.cleanCount <= fs.cleanReserve() {
+		policy = CleanGreedy
+	}
 	segSize := float64(fs.sb.SegmentSize)
 	bestScore := 0.0
 	best := -1
 	now := fs.clock.Now()
 	for seg := range fs.usage {
 		u := &fs.usage[seg]
-		if u.State != segDirty {
+		if u.State != segDirty || excl[seg] {
 			continue
 		}
 		util := float64(u.Live) / segSize
@@ -131,11 +207,19 @@ func (fs *FS) selectVictim() (int, bool) {
 			continue
 		}
 		var score float64
-		switch fs.cfg.Policy {
+		switch policy {
 		case CleanCostBenefit:
 			// benefit/cost = free space generated × age of data
 			// / cost of reading and rewriting: (1-u)·age/(1+u).
-			age := now.Sub(u.LastWrite).Seconds() + 1
+			// Age is the youngest-block modified time (§3.6),
+			// preserved across cleaner copies; LastWrite is the
+			// fallback for segments written before age tracking,
+			// whose append time is the only estimate on record.
+			ageAt := u.Age
+			if ageAt == 0 {
+				ageAt = u.LastWrite
+			}
+			age := now.Sub(ageAt).Seconds() + 1
 			score = (1 - util) * age / (1 + util)
 		default: // CleanGreedy
 			score = 1 - util
@@ -147,24 +231,96 @@ func (fs *FS) selectVictim() (int, bool) {
 	return best, best >= 0
 }
 
-// cleanSegment performs the two-phase clean of one segment (§4.3.2):
-// phase one reads the segment and identifies its live blocks through
-// the summary, the inode map version check, and the inode walk
-// (§4.3.3); phase two re-dirties the live blocks in the cache and
-// lets the segment writer copy them to the head of the log.
+// cleanSegment cleans a single segment; tests and CleanOnce use it.
 func (fs *FS) cleanSegment(seg int) (CleanResult, error) {
+	return fs.cleanBatch([]int{seg})
+}
+
+// cleanBatch performs the two-phase clean of a batch of segments
+// (§4.3.2): phase one reads each victim and identifies its live blocks
+// through the summary, the inode map version check, and the inode walk
+// (§4.3.3); phase two re-dirties the live blocks in the cache and lets
+// one segment write copy them all to the head of the log, so the
+// pointer-update metadata (inode and inode-map blocks) is rewritten
+// once per batch rather than once per victim.
+func (fs *FS) cleanBatch(victims []int) (CleanResult, error) {
 	var res CleanResult
-	if fs.usage[seg].State != segDirty {
-		return res, fmt.Errorf("lfs: cleaning segment %d in state %d", seg, fs.usage[seg].State)
+	type victimStat struct {
+		seg    int
+		copied int
+		util   float64
 	}
-	// Victim utilisation as the selection policy saw it, for the
-	// activation record (Figure 5's x-axis).
-	victimUtil := float64(fs.usage[seg].Live) / float64(fs.sb.SegmentSize)
+	stats := make([]victimStat, 0, len(victims))
+	fs.coldAges = make(map[cache.Key]sim.Time)
+	defer func() { fs.coldAges = nil }()
+	for _, seg := range victims {
+		if fs.usage[seg].State != segDirty {
+			return res, fmt.Errorf("lfs: cleaning segment %d in state %d", seg, fs.usage[seg].State)
+		}
+		// Victim utilisation as the selection policy saw it, for the
+		// activation record (Figure 5's x-axis).
+		util := float64(fs.usage[seg].Live) / float64(fs.sb.SegmentSize)
+		copied, examined, err := fs.reviveSegment(seg)
+		res.BlocksExamined += examined
+		res.LiveCopied += copied
+		if err != nil {
+			return res, err
+		}
+		stats = append(stats, victimStat{seg: seg, copied: copied, util: util})
+	}
+
+	// Phase 2: write the re-dirtied live blocks to the log head.
+	if err := fs.flush(flushAll); err != nil {
+		return res, err
+	}
+	for _, vs := range stats {
+		// Every live block has been relocated (the pointer updates in
+		// the flush decremented this segment's live estimate), but the
+		// segment is only pending: until a checkpoint records the
+		// relocations, a crash recovers from a checkpoint whose
+		// pointers still reach into it, so it must not be rewritten.
+		fs.killRemaining(vs.seg)
+		fs.usage[vs.seg].State = segPending
+		fs.usage[vs.seg].Live = 0
+		fs.pendingClean++
+		fs.stats.SegmentsCleaned++
+		res.SegmentsCleaned++
+		read := int64(fs.sb.SegmentSize)
+		copied := int64(vs.copied) * int64(fs.cfg.BlockSize)
+		res.BytesReclaimed += read - copied
+		if fs.rec.Enabled() {
+			// Measured byte counts, so the recorder's aggregate write
+			// cost is exactly the Stats-derived value.
+			fs.rec.Clean(obs.CleanRecord{
+				Time:           fs.clock.Now(),
+				Seg:            vs.seg,
+				Utilization:    vs.util,
+				BytesRead:      read,
+				BytesCopied:    copied,
+				BytesReclaimed: read - copied,
+			})
+		}
+	}
+	return res, nil
+}
+
+// reviveSegment reads one victim segment and re-dirties its live
+// blocks in the cache, tagging each with the victim's data age: the
+// segment writer credits the relocated copy at its destination with
+// that age — not the copy time — and routes it to the cold head when
+// segregation is on. Without the carry, relocated cold data is
+// stamped "just written" and cost-benefit stops ever re-selecting the
+// segments it lands in. Returns the live and examined block counts.
+func (fs *FS) reviveSegment(seg int) (copied, examined int, err error) {
+	srcAge := fs.usage[seg].Age
+	if srcAge == 0 {
+		srcAge = fs.usage[seg].LastWrite
+	}
 	// Phase 1: one large sequential read of the whole segment.
 	raw := make([]byte, fs.sb.SegmentSize)
 	fs.cpu.Charge(fs.cfg.Costs.DiskOpSetup)
 	if err := fs.d.ReadSectors(fs.segFirstSector(seg), raw, disk.CauseCleanerRead, "cleaner: segment read"); err != nil {
-		return res, err
+		return copied, examined, err
 	}
 
 	bs := fs.cfg.BlockSize
@@ -176,52 +332,23 @@ func (fs *FS) cleanSegment(seg int) (CleanResult, error) {
 		}
 		dataStart := blk + h.SumBlocks
 		for j, ref := range refs {
-			res.BlocksExamined++
+			examined++
 			fs.stats.CleanerBlocksExamined++
 			fs.cpu.Charge(fs.cfg.Costs.CleanPerBlock)
 			addr := layout.DiskAddr(fs.blockSector(seg, dataStart+j))
 			data := raw[(dataStart+j)*bs : (dataStart+j+1)*bs]
-			live, err := fs.reviveBlock(ref, addr, data)
+			live, err := fs.reviveBlock(ref, addr, data, srcAge)
 			if err != nil {
-				return res, err
+				return copied, examined, err
 			}
 			if live {
-				res.LiveCopied++
+				copied++
 				fs.stats.CleanerLiveCopied++
 			}
 		}
 		blk = dataStart + h.NBlocks
 	}
-
-	// Phase 2: write the re-dirtied live blocks to the log head.
-	if err := fs.flush(flushAll); err != nil {
-		return res, err
-	}
-	// Every live block has been relocated (the pointer updates in
-	// the flush decremented this segment's live estimate), but the
-	// segment is only pending: until a checkpoint records the
-	// relocations, a crash recovers from a checkpoint whose
-	// pointers still reach into it, so it must not be rewritten.
-	fs.killRemaining(seg)
-	fs.usage[seg].State = segPending
-	fs.usage[seg].Live = 0
-	fs.pendingClean++
-	fs.stats.SegmentsCleaned++
-	if fs.rec.Enabled() {
-		// Measured byte counts, so the recorder's aggregate write
-		// cost is exactly the Stats-derived value.
-		read := int64(fs.sb.SegmentSize)
-		copied := int64(res.LiveCopied) * int64(fs.cfg.BlockSize)
-		fs.rec.Clean(obs.CleanRecord{
-			Time:           fs.clock.Now(),
-			Seg:            seg,
-			Utilization:    victimUtil,
-			BytesRead:      read,
-			BytesCopied:    copied,
-			BytesReclaimed: read - copied,
-		})
-	}
-	return res, nil
+	return copied, examined, nil
 }
 
 // killRemaining clears any residual live estimate for a segment being
@@ -238,7 +365,7 @@ func (fs *FS) killRemaining(seg int) {
 // reviveBlock decides whether a logged block is live (§4.3.3) and, if
 // so, reinstates it in the cache as dirty so the next segment write
 // relocates it. Returns whether the block was live.
-func (fs *FS) reviveBlock(ref blockRef, addr layout.DiskAddr, data []byte) (bool, error) {
+func (fs *FS) reviveBlock(ref blockRef, addr layout.DiskAddr, data []byte, srcAge sim.Time) (bool, error) {
 	switch ref.Kind {
 	case kindData:
 		e := fs.imap.get(ref.Ino)
@@ -264,13 +391,19 @@ func (fs *FS) reviveBlock(ref blockRef, addr layout.DiskAddr, data []byte) (bool
 		if b := fs.bc.Peek(key); b != nil {
 			// The cache already holds this block; re-dirty it so
 			// the flush relocates it (a dirty copy would be
-			// relocated anyway).
+			// relocated anyway). Tag it cold only if it was clean:
+			// an already-dirty copy holds fresh application data
+			// that belongs in the hot stream.
+			if !b.Dirty() {
+				fs.markCold(key, srcAge)
+			}
 			fs.bc.MarkDirty(b, fs.clock.Now())
 			return true, nil
 		}
 		b := fs.bc.Add(key)
 		copy(b.Data, data)
 		fs.bc.MarkDirty(b, fs.clock.Now())
+		fs.markCold(key, srcAge)
 		return true, nil
 
 	case kindIndirect:
@@ -291,12 +424,16 @@ func (fs *FS) reviveBlock(ref blockRef, addr layout.DiskAddr, data []byte) (bool
 		}
 		key := indKey(ref.Ino, ref.ID)
 		if b := fs.bc.Peek(key); b != nil {
+			if !b.Dirty() {
+				fs.markCold(key, srcAge)
+			}
 			fs.bc.MarkDirty(b, fs.clock.Now())
 			return true, nil
 		}
 		b := fs.bc.Add(key)
 		copy(b.Data, data)
 		fs.bc.MarkDirty(b, fs.clock.Now())
+		fs.markCold(key, srcAge)
 		return true, nil
 
 	case kindInodes:
@@ -340,6 +477,15 @@ func (fs *FS) reviveBlock(ref blockRef, addr layout.DiskAddr, data []byte) (bool
 		return true, nil
 	}
 	return false, fmt.Errorf("lfs: unknown block kind %d in summary", ref.Kind)
+}
+
+// markCold tags a revived cache block as a cleaner relocation
+// carrying its victim segment's data age, for the segment writer's
+// hot/cold split and age credit. A no-op outside a cleaner pass.
+func (fs *FS) markCold(key cache.Key, srcAge sim.Time) {
+	if fs.coldAges != nil {
+		fs.coldAges[key] = srcAge
+	}
 }
 
 // allZero reports whether p contains only zero bytes.

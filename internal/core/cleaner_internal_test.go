@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"testing"
 
 	"lfs/internal/disk"
@@ -43,7 +44,7 @@ func TestSelectVictimGreedyPicksEmptiest(t *testing.T) {
 		fs.usage[i].State = segClean
 		fs.usage[i].Live = 0
 	}
-	fs.usage[fs.curSeg].State = segActive
+	fs.usage[fs.heads[classHot].seg].State = segActive
 	seg := func(i int, live int64) {
 		fs.usage[i].State = segDirty
 		fs.usage[i].Live = live
@@ -52,7 +53,7 @@ func TestSelectVictimGreedyPicksEmptiest(t *testing.T) {
 	seg(3, segSize/2)
 	seg(5, segSize/10) // emptiest
 	seg(7, segSize*9/10)
-	victim, ok := fs.selectVictim()
+	victim, ok := fs.selectVictim(nil)
 	if !ok || victim != 5 {
 		t.Fatalf("greedy picked %d (ok=%v), want 5", victim, ok)
 	}
@@ -65,15 +66,15 @@ func TestSelectVictimSkipsHighUtilization(t *testing.T) {
 	for i := range fs.usage {
 		fs.usage[i].State = segClean
 	}
-	fs.usage[fs.curSeg].State = segActive
+	fs.usage[fs.heads[classHot].seg].State = segActive
 	segSize := int64(fs.sb.SegmentSize)
 	fs.usage[2].State = segDirty
 	fs.usage[2].Live = segSize * 85 / 100 // above MinLiveFraction
-	if victim, ok := fs.selectVictim(); ok {
+	if victim, ok := fs.selectVictim(nil); ok {
 		t.Fatalf("picked %d despite utilization above the cutoff", victim)
 	}
 	fs.usage[2].Live = segSize * 70 / 100
-	if _, ok := fs.selectVictim(); !ok {
+	if _, ok := fs.selectVictim(nil); !ok {
 		t.Fatal("did not pick a below-cutoff segment")
 	}
 }
@@ -83,9 +84,9 @@ func TestSelectVictimNeverPicksActiveOrClean(t *testing.T) {
 	for i := range fs.usage {
 		fs.usage[i].State = segClean
 	}
-	fs.usage[fs.curSeg].State = segActive
-	fs.usage[fs.curSeg].Live = 0 // tempting but active
-	if victim, ok := fs.selectVictim(); ok {
+	fs.usage[fs.heads[classHot].seg].State = segActive
+	fs.usage[fs.heads[classHot].seg].Live = 0 // tempting but active
+	if victim, ok := fs.selectVictim(nil); ok {
 		t.Fatalf("picked %d from clean/active-only disk", victim)
 	}
 }
@@ -98,7 +99,7 @@ func TestSelectVictimCostBenefitPrefersOldCold(t *testing.T) {
 	for i := range fs.usage {
 		fs.usage[i].State = segClean
 	}
-	fs.usage[fs.curSeg].State = segActive
+	fs.usage[fs.heads[classHot].seg].State = segActive
 	segSize := int64(fs.sb.SegmentSize)
 	// Segment 2: fairly empty but hot (just written). Segment 4:
 	// more utilised but very old/cold. Cost-benefit should prefer
@@ -109,15 +110,161 @@ func TestSelectVictimCostBenefitPrefersOldCold(t *testing.T) {
 	fs.usage[4].State = segDirty
 	fs.usage[4].Live = segSize * 50 / 100
 	fs.usage[4].LastWrite = 0 // 1000 seconds old
-	victim, ok := fs.selectVictim()
+	victim, ok := fs.selectVictim(nil)
 	if !ok || victim != 4 {
 		t.Fatalf("cost-benefit picked %d, want old cold segment 4", victim)
 	}
 	// Same state under greedy picks the emptier one.
 	fs.cfg.Policy = CleanGreedy
-	victim, ok = fs.selectVictim()
+	victim, ok = fs.selectVictim(nil)
 	if !ok || victim != 2 {
 		t.Fatalf("greedy picked %d, want emptier segment 2", victim)
+	}
+}
+
+// TestSelectVictimExactUtilizationBoundary: the MinLiveFraction
+// cutoff is exclusive — a segment at exactly the threshold is never
+// picked, one byte below it is. (0.75 of a power-of-two segment is
+// exactly representable, so the comparison is exact.)
+func TestSelectVictimExactUtilizationBoundary(t *testing.T) {
+	cfg := smallConfig()
+	cfg.MinLiveFraction = 0.75
+	fs := newTestFS(t, 16<<20, cfg)
+	for i := range fs.usage {
+		fs.usage[i].State = segClean
+	}
+	fs.usage[fs.heads[classHot].seg].State = segActive
+	segSize := int64(fs.sb.SegmentSize)
+	fs.usage[2].State = segDirty
+	fs.usage[2].Live = segSize * 3 / 4 // exactly the cutoff
+	if victim, ok := fs.selectVictim(nil); ok {
+		t.Fatalf("picked %d at exactly MinLiveFraction; the cutoff is exclusive", victim)
+	}
+	fs.usage[2].Live--
+	if victim, ok := fs.selectVictim(nil); !ok || victim != 2 {
+		t.Fatalf("one byte below the cutoff: got %d, %v; want 2", victim, ok)
+	}
+}
+
+// TestSelectVictimTieBreaksLowestIndex: equal scores must resolve to
+// the lowest segment index (strict > keeps the first candidate), so
+// victim selection — and everything downstream of it — is
+// deterministic across runs.
+func TestSelectVictimTieBreaksLowestIndex(t *testing.T) {
+	fs := newTestFS(t, 16<<20, smallConfig())
+	for i := range fs.usage {
+		fs.usage[i].State = segClean
+	}
+	fs.usage[fs.heads[classHot].seg].State = segActive
+	segSize := int64(fs.sb.SegmentSize)
+	for _, i := range []int{9, 3, 6} {
+		fs.usage[i].State = segDirty
+		fs.usage[i].Live = segSize / 4
+	}
+	if victim, ok := fs.selectVictim(nil); !ok || victim != 3 {
+		t.Fatalf("tie broke to %d (ok=%v), want lowest index 3", victim, ok)
+	}
+	if victim, ok := fs.selectVictim(map[int]bool{3: true}); !ok || victim != 6 {
+		t.Fatalf("tie with 3 excluded broke to %d (ok=%v), want 6", victim, ok)
+	}
+}
+
+// TestSelectVictimSpaceGuardOverridesCostBenefit: with the clean
+// reserve exhausted, cost-benefit must fall back to greedy — the old
+// dense victim it prefers nets almost no space, and picking it under
+// pressure is the death spiral the guard exists to break.
+func TestSelectVictimSpaceGuardOverridesCostBenefit(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Policy = CleanCostBenefit
+	fs := newTestFS(t, 16<<20, cfg)
+	fs.clock.Advance(1000 * sim.Second)
+	for i := range fs.usage {
+		fs.usage[i].State = segClean
+	}
+	fs.usage[fs.heads[classHot].seg].State = segActive
+	segSize := int64(fs.sb.SegmentSize)
+	fs.usage[2].State = segDirty
+	fs.usage[2].Live = segSize * 30 / 100
+	fs.usage[2].LastWrite = fs.clock.Now() // sparse but hot
+	fs.usage[4].State = segDirty
+	fs.usage[4].Live = segSize * 50 / 100
+	fs.usage[4].LastWrite = 0 // dense but old
+	fs.recountClean()
+	if victim, ok := fs.selectVictim(nil); !ok || victim != 4 {
+		t.Fatalf("precondition: cost-benefit with headroom picked %d (ok=%v), want 4", victim, ok)
+	}
+	fs.cleanCount = fs.cleanReserve()
+	if victim, ok := fs.selectVictim(nil); !ok || victim != 2 {
+		t.Fatalf("space guard picked %d (ok=%v), want emptiest segment 2", victim, ok)
+	}
+}
+
+// TestSelectBatchGathersSparseVictims: sparse victims whose combined
+// live data fits the relocation budget are batched together in greedy
+// order without duplicates, and the needed cap is honored.
+func TestSelectBatchGathersSparseVictims(t *testing.T) {
+	fs := newTestFS(t, 16<<20, smallConfig())
+	for i := range fs.usage {
+		fs.usage[i].State = segClean
+	}
+	fs.usage[fs.heads[classHot].seg].State = segActive
+	segSize := int64(fs.sb.SegmentSize)
+	dirty := func(i int, live int64) {
+		fs.usage[i].State = segDirty
+		fs.usage[i].Live = live
+	}
+	dirty(3, segSize/4)
+	dirty(5, segSize/8)
+	dirty(7, segSize/2)
+	fs.recountClean()
+	batch := fs.selectBatch(8)
+	// Combined live data (7/8 of a segment) fits the two-segment
+	// budget, so all three come back, emptiest first.
+	want := []int{5, 3, 7}
+	if len(batch) != len(want) {
+		t.Fatalf("batch = %v, want %v", batch, want)
+	}
+	for i := range want {
+		if batch[i] != want[i] {
+			t.Fatalf("batch = %v, want %v", batch, want)
+		}
+	}
+	if batch = fs.selectBatch(2); len(batch) != 2 {
+		t.Fatalf("needed=2 returned %v", batch)
+	}
+}
+
+// TestSelectBatchStopsAtBudget: victims stop accumulating when their
+// combined live data would overflow the relocation budget — but the
+// first victim is always admitted, even over budget, so a cleaner
+// under space pressure can still start.
+func TestSelectBatchStopsAtBudget(t *testing.T) {
+	fs := newTestFS(t, 16<<20, smallConfig())
+	for i := range fs.usage {
+		fs.usage[i].State = segClean
+	}
+	fs.usage[fs.heads[classHot].seg].State = segActive
+	segSize := int64(fs.sb.SegmentSize)
+	dirty := func(i int) {
+		fs.usage[i].State = segDirty
+		fs.usage[i].Live = segSize * 9 / 10
+	}
+	dirty(3)
+	dirty(6)
+	dirty(9)
+	// Headroom for a two-segment budget: 0.9 + 0.9 fits, the third
+	// victim would overflow.
+	fs.cleanCount = 4
+	batch := fs.selectBatch(8)
+	if len(batch) != 2 || batch[0] != 3 || batch[1] != 6 {
+		t.Fatalf("batch = %v, want [3 6] (third victim overflows the budget)", batch)
+	}
+	// No headroom at all: the budget is zero, yet the first victim
+	// must still be admitted.
+	fs.cleanCount = 2
+	batch = fs.selectBatch(8)
+	if len(batch) != 1 || batch[0] != 3 {
+		t.Fatalf("batch under zero budget = %v, want [3]", batch)
 	}
 }
 
@@ -134,15 +281,15 @@ func TestPlaceBlocksSpansSegments(t *testing.T) {
 		payload[i][0] = byte(i)
 		refs[i] = blockRef{Kind: kindData, Ino: 99, ID: int64(i)}
 	}
-	startSeg := fs.curSeg
-	addrs, err := fs.placeBlocks(refs, payload)
+	startSeg := fs.heads[classHot].seg
+	addrs, err := fs.placeBlocks(classHot, refs, payload, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(addrs) != n {
 		t.Fatalf("placed %d, want %d", len(addrs), n)
 	}
-	if fs.curSeg == startSeg {
+	if fs.heads[classHot].seg == startSeg {
 		t.Fatal("placement did not span segments")
 	}
 	// All addresses distinct and within the segment area.
@@ -181,7 +328,7 @@ func TestAdvanceSegmentExhaustion(t *testing.T) {
 		}
 	}
 	fs.cleanCount = 0
-	if err := fs.advanceSegment(); err == nil {
+	if err := fs.advanceSegment(classHot); err == nil {
 		t.Fatal("advanceSegment succeeded with no clean segments")
 	}
 }
@@ -193,11 +340,87 @@ func TestFindCleanSegmentWraps(t *testing.T) {
 	}
 	// Only a segment behind the head is clean.
 	fs.usage[1].State = segClean
-	fs.curSeg = len(fs.usage) - 2
-	fs.usage[fs.curSeg].State = segActive
-	next, ok := fs.findCleanSegment()
+	fs.heads[classHot].seg = len(fs.usage) - 2
+	fs.usage[fs.heads[classHot].seg].State = segActive
+	next, ok := fs.findCleanSegmentFrom(fs.heads[classHot].seg)
 	if !ok || next != 1 {
-		t.Fatalf("findCleanSegment = %d, %v; want wrap to 1", next, ok)
+		t.Fatalf("findCleanSegmentFrom = %d, %v; want wrap to 1", next, ok)
+	}
+}
+
+// TestCleanerPreservesDestinationAge: relocated blocks must carry
+// their victim segment's data age to the destination segment, not the
+// copy time. The old code stamped relocations "just written", so one
+// cleaner pass made cold data look hot and cost-benefit stopped ever
+// re-selecting the segments it landed in — age segregation silently
+// degraded to random placement.
+func TestCleanerPreservesDestinationAge(t *testing.T) {
+	cfg := smallConfig()
+	cfg.SegmentSize = 64 << 10
+	cfg.CacheBlocks = 64
+	cfg.MaxInodes = 512
+	fs := newTestFS(t, 8<<20, cfg)
+	// Write the population strictly after t=0 so a real data age is
+	// never confused with the zero value.
+	fs.clock.Advance(10 * sim.Second)
+	for i := 0; i < 40; i++ {
+		p := pathOf(i)
+		if err := fs.Create(p); err != nil {
+			t.Fatal(err)
+		}
+		if err := fs.Write(p, 0, bytes.Repeat([]byte{byte(i)}, 8192)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fs.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	t0 := fs.clock.Now()
+	fs.clock.Advance(500 * sim.Second)
+	// Kill every other file so the old segments are worth cleaning;
+	// the deletions' metadata lands in fresh segments and leaves the
+	// victims' recorded age untouched.
+	for i := 0; i < 40; i += 2 {
+		if err := fs.Remove(pathOf(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fs.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	victim := -1
+	for i := range fs.usage {
+		u := fs.usage[i]
+		if u.State == segDirty && u.Live > 0 && u.Age > 0 && u.Age <= t0 {
+			victim = i
+			break
+		}
+	}
+	if victim < 0 {
+		t.Fatal("no old partially-live segment; test setup is wrong")
+	}
+	srcAge := fs.usage[victim].Age
+	fs.cleaning = true
+	res, err := fs.cleanSegment(victim)
+	fs.cleaning = false
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LiveCopied == 0 {
+		t.Fatal("victim had no live blocks; test setup is wrong")
+	}
+	if !fs.heads[classCold].open {
+		t.Fatal("segregated cleaning did not route relocations to the cold head")
+	}
+	dest := fs.heads[classCold].seg
+	destAge := fs.usage[dest].Age
+	now := fs.clock.Now()
+	if destAge != srcAge {
+		t.Fatalf("destination age = %d, want the victim's data age %d (now = %d): "+
+			"relocation must carry age, not restamp it", destAge, srcAge, now)
+	}
+	if destAge >= now {
+		t.Fatalf("destination age %d not older than the copy time %d", destAge, now)
 	}
 }
 

@@ -89,6 +89,13 @@ type Config struct {
 	MaxLiveFraction float64
 	// Policy selects the cleaning policy.
 	Policy CleanPolicy
+	// Segregation routes cleaner-relocated blocks to a separate open
+	// segment (the cold head) instead of remixing them with fresh
+	// writes, so cold data compacts into stable high-utilization
+	// segments — the age-sorting §3.6 pairs with cost-benefit
+	// selection. Off reproduces the single-head writer, as the
+	// ablation arm of the cleaning-curve experiment.
+	Segregation bool
 	// RollForward enables roll-forward recovery through segment
 	// summaries at mount (on by default; off reproduces the
 	// paper's "current implementation" that loses everything since
@@ -143,6 +150,7 @@ func DefaultConfig() Config {
 		MinLiveFraction:    0.95,
 		MaxLiveFraction:    0.85,
 		Policy:             CleanGreedy,
+		Segregation:        true,
 		RollForward:        true,
 		MIPS:               sim.Sun4MIPS,
 		Costs:              sim.DefaultCosts(),

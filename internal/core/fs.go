@@ -104,13 +104,20 @@ type FS struct {
 	// read-ahead detection. Guarded by mu.
 	lastRead map[layout.Ino]int64
 
-	// Active log position: segment curSeg, next free block curBlk.
-	// pendingBlk marks the start of the assembled-but-unissued
-	// region of segBuf. All guarded by mu.
-	curSeg     int
-	curBlk     int
-	pendingBlk int
-	segBuf     []byte
+	// heads are the active log positions, one per write class: the
+	// hot head takes fresh application writes and metadata, the cold
+	// head cleaner-relocated blocks (when Config.Segregation is on).
+	// The hot head is always open; the cold head opens lazily on the
+	// first relocation and closes if the log runs out of segments for
+	// it. Guarded by mu.
+	heads [numClasses]logHead
+
+	// coldAges marks cache blocks revived by the current cleaner pass
+	// as relocations (nil outside a pass), each mapped to its victim
+	// segment's data age: the segment writer routes them to the cold
+	// head and credits them with that age rather than the current
+	// time. Guarded by mu.
+	coldAges map[cache.Key]sim.Time
 
 	// writeSerial numbers log units; ckptSerial numbers
 	// checkpoints. Guarded by mu.
@@ -171,14 +178,15 @@ func newSkeleton(d *disk.Disk, cfg Config, sb superblock) *FS {
 		names:       make(map[layout.Ino]map[string]nameEntry),
 		insertHint:  make(map[layout.Ino]int64),
 		lastRead:    make(map[layout.Ino]int64),
-		curSeg:      0,
-		curBlk:      0,
-		segBuf:      make([]byte, cfg.SegmentSize),
 		writeSerial: 1,
 		rec:         cfg.Trace,
 		samp:        cfg.Metrics,
 		opLat:       obs.NewLatencyHistogram(),
 	}
+	for c := range fs.heads {
+		fs.heads[c].buf = make([]byte, cfg.SegmentSize)
+	}
+	fs.heads[classHot].open = true
 	fs.usage[0].State = segActive
 	fs.cleanCount = int(sb.Segments) - 1
 	return fs
@@ -378,20 +386,34 @@ func (fs *FS) killBlock(addr layout.DiskAddr, nbytes int64) {
 	if seg < 0 {
 		return
 	}
+	// Decrement the global estimate by exactly what the segment
+	// estimate loses. Clamping the two independently lets them drift
+	// apart under heavy cleaning — the segment floors at zero while
+	// the global keeps falling — and the global estimate feeds both
+	// the admission limit and the utilization headline.
+	if fs.usage[seg].Live < nbytes {
+		nbytes = fs.usage[seg].Live
+	}
 	fs.usage[seg].Live -= nbytes
-	if fs.usage[seg].Live < 0 {
-		fs.usage[seg].Live = 0
-	}
 	fs.liveBytes -= nbytes
-	if fs.liveBytes < 0 {
-		fs.liveBytes = 0
-	}
 }
 
-// creditBlock marks nbytes at the active position live.
+// creditSegment marks nbytes at the active position live, with the
+// data's modified time equal to the write time (fresh data).
 func (fs *FS) creditSegment(seg int, nbytes int64) {
+	fs.creditSegmentAged(seg, nbytes, fs.clock.Now())
+}
+
+// creditSegmentAged marks nbytes live in seg carrying an explicit
+// data age: cleaner relocations pass the victim's age so cold data
+// stays old (§3.6), fresh writes pass now. The segment's Age is the
+// modified time of its *youngest* data, hence the max.
+func (fs *FS) creditSegmentAged(seg int, nbytes int64, age sim.Time) {
 	fs.usage[seg].Live += nbytes
 	fs.usage[seg].LastWrite = fs.clock.Now()
+	if age > fs.usage[seg].Age {
+		fs.usage[seg].Age = age
+	}
 	fs.liveBytes += nbytes
 }
 

@@ -86,9 +86,6 @@ func TestCleanerBytesReclaimedNet(t *testing.T) {
 	}
 	want := int64(res.SegmentsCleaned)*int64(fs.sb.SegmentSize) -
 		int64(res.LiveCopied)*int64(fs.cfg.BlockSize)
-	if want < 0 {
-		want = 0
-	}
 	if res.BytesReclaimed != want {
 		t.Errorf("BytesReclaimed = %d, want signed net %d", res.BytesReclaimed, want)
 	}
@@ -106,16 +103,24 @@ func TestCleanerBytesReclaimedNet(t *testing.T) {
 // root inodes from one crash point onward).
 func TestReclaimedSegmentPendingUntilCheckpoint(t *testing.T) {
 	fs := fragmentedFS(t)
-	victim, ok := fs.selectVictim()
+	victim, ok := fs.selectVictim(nil)
 	if !ok {
 		t.Fatal("no victim on a fragmented volume")
 	}
 	cleanBefore := fs.cleanCount
+	coldOpenBefore := fs.heads[classCold].open
 	fs.cleaning = true
 	_, err := fs.cleanSegment(victim)
 	fs.cleaning = false
 	if err != nil {
 		t.Fatal(err)
+	}
+	// Relocating the victim's live blocks may lazily open the cold
+	// head, which legitimately activates (consumes) one clean segment;
+	// the victim itself must still not count as clean yet.
+	opened := 0
+	if !coldOpenBefore && fs.heads[classCold].open {
+		opened = 1
 	}
 	if st := fs.usage[victim].State; st != segPending {
 		t.Fatalf("victim state = %d after cleaning, want segPending (%d)", st, segPending)
@@ -123,8 +128,9 @@ func TestReclaimedSegmentPendingUntilCheckpoint(t *testing.T) {
 	if fs.pendingClean != 1 {
 		t.Fatalf("pendingClean = %d, want 1", fs.pendingClean)
 	}
-	if fs.cleanCount != cleanBefore {
-		t.Fatalf("cleanCount moved from %d to %d before the checkpoint", cleanBefore, fs.cleanCount)
+	if fs.cleanCount != cleanBefore-opened {
+		t.Fatalf("cleanCount moved from %d to %d before the checkpoint (cold head opened: %d)",
+			cleanBefore, fs.cleanCount, opened)
 	}
 	if err := fs.checkpoint(); err != nil {
 		t.Fatal(err)
@@ -135,8 +141,8 @@ func TestReclaimedSegmentPendingUntilCheckpoint(t *testing.T) {
 	if fs.pendingClean != 0 {
 		t.Fatalf("pendingClean = %d after checkpoint, want 0", fs.pendingClean)
 	}
-	if fs.cleanCount != cleanBefore+1 {
-		t.Fatalf("cleanCount = %d after checkpoint, want %d", fs.cleanCount, cleanBefore+1)
+	if fs.cleanCount != cleanBefore-opened+1 {
+		t.Fatalf("cleanCount = %d after checkpoint, want %d", fs.cleanCount, cleanBefore-opened+1)
 	}
 }
 
@@ -196,7 +202,7 @@ func TestReviveBlockInodeErrorKeepsLiveness(t *testing.T) {
 	delete(fs.inodes, fiA.Ino)
 	delete(fs.inodes, fiB.Ino)
 
-	live, err := fs.reviveBlock(blockRef{Kind: kindInodes}, layout.DiskAddr(blockStart), blk)
+	live, err := fs.reviveBlock(blockRef{Kind: kindInodes}, layout.DiskAddr(blockStart), blk, fs.clock.Now())
 	if err == nil {
 		t.Fatal("reviveBlock succeeded despite the corrupted slot")
 	}
@@ -227,7 +233,7 @@ func TestRollForwardRejectsStaleEpochUnit(t *testing.T) {
 		t.Fatal(err)
 	}
 	bs := fs.cfg.BlockSize
-	headSector := fs.blockSector(fs.curSeg, fs.curBlk)
+	headSector := fs.blockSector(fs.heads[classHot].seg, fs.heads[classHot].blk)
 	serial := fs.writeSerial
 	d := fs.d
 	fs.Crash()
@@ -244,7 +250,7 @@ func TestRollForwardRejectsStaleEpochUnit(t *testing.T) {
 		NBlocks:   1,
 		SumBlocks: 1,
 		Timestamp: 0,
-		DataCRC:   layout.Checksum(inodeBlk),
+		DataCRC:   layout.DataChecksum(inodeBlk),
 	}
 	unit := make([]byte, 2*bs)
 	encodeSummary(h, []blockRef{{Kind: kindInodes}}, unit[:bs])

@@ -27,25 +27,37 @@ const (
 )
 
 // segUsage is one segment usage array entry (§4.3.4): an estimate of
-// the live bytes in the segment plus the time of its last write (used
-// by the cost-benefit cleaning policy). The paper notes the estimate
-// is only a cleaning hint, so it needs no exact crash recovery; it is
-// snapshotted in checkpoints.
+// the live bytes in the segment, the time of its last write, and the
+// age of its data — §3.6's "modified time of the youngest block",
+// which the cost-benefit policy scores on. LastWrite records when the
+// segment was last appended to; Age records when the youngest data in
+// it was modified. The two differ exactly when the cleaner relocates
+// cold blocks: the copy is written now, but the data is as old as it
+// was in the victim. The paper notes the estimate is only a cleaning
+// hint, so it needs no exact crash recovery; it is snapshotted in
+// checkpoints.
 type segUsage struct {
 	Live      int64
 	LastWrite sim.Time
+	Age       sim.Time
 	State     uint8
 }
 
-// segUsageEntrySize is the encoded size of one usage entry.
-const segUsageEntrySize = 24
+// segUsageEntrySize is the encoded size of one usage entry in the
+// current (v2) checkpoint format; segUsageEntrySizeV1 is the size in
+// pre-age checkpoints, which decodeCheckpoint still accepts.
+const (
+	segUsageEntrySize   = 32
+	segUsageEntrySizeV1 = 24
+)
 
 func (u *segUsage) encode(p []byte) {
 	le := binary.LittleEndian
 	le.PutUint64(p[0:], uint64(u.Live))
 	le.PutUint64(p[8:], uint64(u.LastWrite))
-	p[16] = u.State
-	for i := 17; i < segUsageEntrySize; i++ {
+	le.PutUint64(p[16:], uint64(u.Age))
+	p[24] = u.State
+	for i := 25; i < segUsageEntrySize; i++ {
 		p[i] = 0
 	}
 }
@@ -55,8 +67,46 @@ func decodeSegUsage(p []byte) segUsage {
 	return segUsage{
 		Live:      int64(le.Uint64(p[0:])),
 		LastWrite: sim.Time(le.Uint64(p[8:])),
+		Age:       sim.Time(le.Uint64(p[16:])),
+		State:     p[24],
+	}
+}
+
+// decodeSegUsageV1 parses a pre-age usage entry. The age of the data
+// is unrecorded; the last write time is the closest available
+// estimate (exact for segments the cleaner never touched).
+func decodeSegUsageV1(p []byte) segUsage {
+	le := binary.LittleEndian
+	u := segUsage{
+		Live:      int64(le.Uint64(p[0:])),
+		LastWrite: sim.Time(le.Uint64(p[8:])),
 		State:     p[16],
 	}
+	u.Age = u.LastWrite
+	return u
+}
+
+// --- write classes -----------------------------------------------------
+
+// writeClass separates the log's two append streams: fresh
+// application writes (hot) and cleaner-relocated live blocks (cold).
+// Each class appends to its own open segment, so cold data compacts
+// into stable high-utilization segments instead of being remixed with
+// hot data that will soon die (§3.6's age-sorted write-out).
+type writeClass uint8
+
+const (
+	classHot writeClass = iota
+	classCold
+	numClasses
+)
+
+// String names the class.
+func (c writeClass) String() string {
+	if c == classCold {
+		return "cold"
+	}
+	return "hot"
 }
 
 // --- segment summaries (§4.3.1) ----------------------------------------
@@ -113,13 +163,19 @@ const (
 // summary block(s) followed by nBlocks data blocks. Units are written
 // with monotonically increasing serials; roll-forward recovery walks
 // units in serial order and stops at the first gap or checksum
-// mismatch (a torn write).
+// mismatch (a torn write). Class records which append stream wrote
+// the unit (hot encodes as zero, so pre-segregation images parse as
+// all-hot); Age is the modified time of the unit's youngest data —
+// equal to Timestamp for fresh writes, older for cleaner relocations
+// — so recovery can rebuild age-correct usage entries.
 type summaryHeader struct {
 	Serial    uint64
 	NBlocks   int
 	SumBlocks int
 	Timestamp sim.Time
 	DataCRC   uint32
+	Class     writeClass
+	Age       sim.Time
 }
 
 // summaryBytes returns the byte size of a summary for n blocks.
@@ -157,6 +213,8 @@ func encodeSummary(h summaryHeader, refs []blockRef, p []byte) {
 	le.PutUint16(p[14:], uint16(h.SumBlocks))
 	le.PutUint64(p[16:], uint64(h.Timestamp))
 	le.PutUint32(p[24:], h.DataCRC)
+	p[32] = uint8(h.Class)
+	le.PutUint64(p[40:], uint64(h.Age))
 	off := summaryHeaderSize
 	for _, r := range refs {
 		p[off] = uint8(r.Kind)
@@ -189,6 +247,8 @@ func decodeSummary(p []byte) (summaryHeader, []blockRef, error) {
 		SumBlocks: int(le.Uint16(p[14:])),
 		Timestamp: sim.Time(le.Uint64(p[16:])),
 		DataCRC:   le.Uint32(p[24:]),
+		Class:     writeClass(p[32]),
+		Age:       sim.Time(le.Uint64(p[40:])),
 	}
 	total := summaryBytes(h.NBlocks)
 	if total > len(p) {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"encoding/binary"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -11,11 +12,38 @@ import (
 )
 
 func TestSegUsageRoundTrip(t *testing.T) {
-	u := segUsage{Live: 123456, LastWrite: sim.Time(9 * sim.Second), State: segDirty}
+	u := segUsage{
+		Live:      123456,
+		LastWrite: sim.Time(9 * sim.Second),
+		Age:       sim.Time(4 * sim.Second), // older than LastWrite: relocated cold data
+		State:     segDirty,
+	}
 	buf := make([]byte, segUsageEntrySize)
 	u.encode(buf)
 	if got := decodeSegUsage(buf); got != u {
 		t.Fatalf("round trip: %+v vs %+v", got, u)
+	}
+}
+
+// TestSegUsageDecodeV1 pins the pre-age entry layout (Live at 0,
+// LastWrite at 8, State at 16, 24 bytes total) and the decode
+// fallback: with no recorded age, the last write time is the best
+// available estimate.
+func TestSegUsageDecodeV1(t *testing.T) {
+	buf := make([]byte, segUsageEntrySizeV1)
+	le := binary.LittleEndian
+	le.PutUint64(buf[0:], 777)
+	le.PutUint64(buf[8:], uint64(6*sim.Second))
+	buf[16] = segDirty
+	got := decodeSegUsageV1(buf)
+	want := segUsage{
+		Live:      777,
+		LastWrite: sim.Time(6 * sim.Second),
+		Age:       sim.Time(6 * sim.Second),
+		State:     segDirty,
+	}
+	if got != want {
+		t.Fatalf("v1 decode: %+v, want %+v", got, want)
 	}
 }
 
@@ -29,6 +57,7 @@ func TestSummaryRoundTrip(t *testing.T) {
 	h := summaryHeader{
 		Serial: 42, NBlocks: len(refs), SumBlocks: 1,
 		Timestamp: sim.Time(7), DataCRC: 0xDEADBEEF,
+		Class: classCold, Age: sim.Time(3), // a relocation unit: data older than its write
 	}
 	buf := make([]byte, 4096)
 	encodeSummary(h, refs, buf)
@@ -128,11 +157,12 @@ func TestCheckpointRoundTrip(t *testing.T) {
 	st := checkpointState{
 		Serial: 7, Timestamp: sim.Time(3 * sim.Second),
 		HeadSeg: 5, HeadBlk: 100, WriteSerial: 99, LiveBytes: 1 << 20,
+		ColdOpen: true, ColdSeg: 9, ColdBlk: 42,
 		ImapAddrs: []layout.DiskAddr{1, layout.NilAddr, 3},
 		Usage: []segUsage{
-			{Live: 10, LastWrite: 1, State: segClean},
-			{Live: 20, LastWrite: 2, State: segDirty},
-			{Live: 0, LastWrite: 3, State: segActive},
+			{Live: 10, LastWrite: 1, Age: 1, State: segClean},
+			{Live: 20, LastWrite: 2, Age: 1, State: segDirty},
+			{Live: 0, LastWrite: 3, Age: 3, State: segActive},
 		},
 	}
 	size := ckptHeaderSize + len(st.ImapAddrs)*layout.AddrSize + len(st.Usage)*segUsageEntrySize + 4
@@ -144,6 +174,91 @@ func TestCheckpointRoundTrip(t *testing.T) {
 	}
 	if !reflect.DeepEqual(got, st) {
 		t.Fatalf("round trip:\n got %+v\nwant %+v", got, st)
+	}
+}
+
+// TestCheckpointColdHeadClosed: a closed cold head encodes as the
+// sentinel, and the decoder must normalise the position to zero — a
+// stale ColdSeg/ColdBlk must not leak through a closed head.
+func TestCheckpointColdHeadClosed(t *testing.T) {
+	st := checkpointState{
+		Serial: 1, HeadSeg: 2, HeadBlk: 3,
+		ColdOpen: false, ColdSeg: 14, ColdBlk: 77, // stale in-core values
+		ImapAddrs: []layout.DiskAddr{1},
+		Usage:     []segUsage{{Live: 5, LastWrite: 1, Age: 1, State: segDirty}},
+	}
+	buf := make([]byte, 1024)
+	encodeCheckpoint(st, buf)
+	got, err := decodeCheckpoint(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ColdOpen || got.ColdSeg != 0 || got.ColdBlk != 0 {
+		t.Fatalf("closed cold head decoded as open=%v seg=%d blk=%d",
+			got.ColdOpen, got.ColdSeg, got.ColdBlk)
+	}
+}
+
+// TestDecodeCheckpointV1Image hand-builds a pre-age ("LCKP")
+// checkpoint region byte by byte and decodes it with the current
+// code: the 24-byte usage entries must parse at the v1 offsets, Age
+// must fall back to LastWrite, and the cold head must stay closed.
+// This is the compatibility guard for volumes checkpointed before the
+// format change.
+func TestDecodeCheckpointV1Image(t *testing.T) {
+	imap := []layout.DiskAddr{100, layout.NilAddr}
+	usage := []segUsage{
+		{Live: 4096, LastWrite: sim.Time(2 * sim.Second), State: segDirty},
+		{Live: 0, LastWrite: sim.Time(5 * sim.Second), State: segActive},
+	}
+	size := ckptHeaderSize + len(imap)*layout.AddrSize + len(usage)*segUsageEntrySizeV1 + 4
+	buf := make([]byte, (size+511)&^511)
+	le := binary.LittleEndian
+	le.PutUint32(buf[0:], ckptMagicV1)
+	le.PutUint64(buf[4:], 9)                     // Serial
+	le.PutUint64(buf[12:], uint64(7*sim.Second)) // Timestamp
+	le.PutUint32(buf[20:], 1)                    // HeadSeg
+	le.PutUint32(buf[24:], 30)                   // HeadBlk
+	le.PutUint64(buf[28:], 55)                   // WriteSerial
+	le.PutUint64(buf[36:], 4096)                 // LiveBytes
+	le.PutUint32(buf[44:], uint32(len(imap)))
+	le.PutUint32(buf[48:], uint32(len(usage)))
+	// A v1 writer left bytes 52..59 zero; leave them zero here — the
+	// decoder must not read a cold head out of them.
+	off := ckptHeaderSize
+	for _, a := range imap {
+		le.PutUint32(buf[off:], uint32(a))
+		off += layout.AddrSize
+	}
+	for _, u := range usage {
+		le.PutUint64(buf[off+0:], uint64(u.Live))
+		le.PutUint64(buf[off+8:], uint64(u.LastWrite))
+		buf[off+16] = u.State
+		off += segUsageEntrySizeV1
+	}
+	le.PutUint32(buf[off:], layout.Checksum(buf[:off]))
+
+	got, err := decodeCheckpoint(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Serial != 9 || got.Timestamp != sim.Time(7*sim.Second) ||
+		got.HeadSeg != 1 || got.HeadBlk != 30 ||
+		got.WriteSerial != 55 || got.LiveBytes != 4096 {
+		t.Fatalf("v1 header decoded wrong: %+v", got)
+	}
+	if got.ColdOpen || got.ColdSeg != 0 || got.ColdBlk != 0 {
+		t.Fatalf("v1 image decoded with an open cold head: %+v", got)
+	}
+	if !reflect.DeepEqual(got.ImapAddrs, imap) {
+		t.Fatalf("imap addrs: %v, want %v", got.ImapAddrs, imap)
+	}
+	for i, u := range usage {
+		want := u
+		want.Age = want.LastWrite // the v1 fallback
+		if got.Usage[i] != want {
+			t.Fatalf("usage[%d]: %+v, want %+v", i, got.Usage[i], want)
+		}
 	}
 }
 

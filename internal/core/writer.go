@@ -7,8 +7,22 @@ import (
 	"lfs/internal/cache"
 	"lfs/internal/disk"
 	"lfs/internal/layout"
+	"lfs/internal/sim"
 	"lfs/internal/vfs"
 )
+
+// logHead is one append position in the log: the active segment, the
+// next free block, the start of the assembled-but-unissued region of
+// buf, and whether the head currently owns a segment at all. The hot
+// head is always open; the cold head opens on the first cleaner
+// relocation and closes if the log cannot spare it a segment.
+type logHead struct {
+	seg     int
+	blk     int
+	pending int
+	buf     []byte
+	open    bool
+}
 
 // flushScope controls what a segment write includes.
 type flushScope int
@@ -86,9 +100,55 @@ func (fs *FS) flush(scope flushScope) error {
 	return fs.flushPendingIO()
 }
 
+// splitColdBlocks partitions a dirty batch into fresh blocks and
+// cleaner-revived relocations. Outside a cleaner pass (or when the
+// pass revived nothing) the batch passes through untouched.
+func (fs *FS) splitColdBlocks(blocks []*cache.Block) (hot, cold []*cache.Block) {
+	if len(fs.coldAges) == 0 {
+		return blocks, nil
+	}
+	for _, b := range blocks {
+		if _, ok := fs.coldAges[b.Key]; ok {
+			cold = append(cold, b)
+		} else {
+			hot = append(hot, b)
+		}
+	}
+	return hot, cold
+}
+
+// blockAges returns the data age credited for each block of a batch:
+// relocations carry their victim segment's age so cold data stays old
+// across copies (§3.6), fresh writes are as young as now. One batch
+// can mix ages — the cleaner relocates several victims per pass.
+func (fs *FS) blockAges(blocks []*cache.Block, class writeClass) []sim.Time {
+	now := fs.clock.Now()
+	ages := make([]sim.Time, len(blocks))
+	for i, b := range blocks {
+		ages[i] = now
+		if class == classCold {
+			if a, ok := fs.coldAges[b.Key]; ok && a > 0 {
+				ages[i] = a
+			}
+		}
+	}
+	return ages
+}
+
 // writeDataBatch logs the given dirty data blocks and redirects their
-// block pointers.
+// block pointers. During a cleaner pass the batch splits: blocks
+// revived from the victim go to the cold stream carrying the victim's
+// data age, everything else to the hot stream.
 func (fs *FS) writeDataBatch(blocks []*cache.Block) error {
+	hot, cold := fs.splitColdBlocks(blocks)
+	if err := fs.writeDataClass(cold, classCold); err != nil {
+		return err
+	}
+	return fs.writeDataClass(hot, classHot)
+}
+
+// writeDataClass logs one class's data blocks.
+func (fs *FS) writeDataClass(blocks []*cache.Block, class writeClass) error {
 	if len(blocks) == 0 {
 		return nil
 	}
@@ -103,7 +163,8 @@ func (fs *FS) writeDataBatch(blocks []*cache.Block) error {
 		}
 		payload[i] = b.Data
 	}
-	addrs, err := fs.placeBlocks(refs, payload)
+	ages := fs.blockAges(blocks, class)
+	addrs, err := fs.placeBlocks(class, refs, payload, ages)
 	if err != nil {
 		return err
 	}
@@ -118,15 +179,24 @@ func (fs *FS) writeDataBatch(blocks []*cache.Block) error {
 			return err
 		}
 		fs.killBlock(old, bs)
-		fs.creditSegment(fs.segOf(addrs[i]), bs)
+		fs.creditSegmentAged(fs.segOf(addrs[i]), bs, ages[i])
 		fs.bc.MarkClean(b)
 	}
 	return nil
 }
 
 // writeIndirectBatch logs dirty indirect blocks and redirects their
-// parent pointers.
+// parent pointers, with the same hot/cold split as data blocks.
 func (fs *FS) writeIndirectBatch(blocks []*cache.Block) error {
+	hot, cold := fs.splitColdBlocks(blocks)
+	if err := fs.writeIndirectClass(cold, classCold); err != nil {
+		return err
+	}
+	return fs.writeIndirectClass(hot, classHot)
+}
+
+// writeIndirectClass logs one class's indirect blocks.
+func (fs *FS) writeIndirectClass(blocks []*cache.Block, class writeClass) error {
 	if len(blocks) == 0 {
 		return nil
 	}
@@ -141,7 +211,8 @@ func (fs *FS) writeIndirectBatch(blocks []*cache.Block) error {
 		}
 		payload[i] = b.Data
 	}
-	addrs, err := fs.placeBlocks(refs, payload)
+	ages := fs.blockAges(blocks, class)
+	addrs, err := fs.placeBlocks(class, refs, payload, ages)
 	if err != nil {
 		return err
 	}
@@ -156,7 +227,7 @@ func (fs *FS) writeIndirectBatch(blocks []*cache.Block) error {
 			return err
 		}
 		fs.killBlock(old, bs)
-		fs.creditSegment(fs.segOf(addrs[i]), bs)
+		fs.creditSegmentAged(fs.segOf(addrs[i]), bs, ages[i])
 		fs.bc.MarkClean(b)
 	}
 	return nil
@@ -201,7 +272,9 @@ func (fs *FS) writeInodeBatchFor(inos []layout.Ino) error {
 		payload = append(payload, buf)
 		blockInos = append(blockInos, group)
 	}
-	addrs, err := fs.placeBlocks(refs, payload)
+	// Inode blocks always go hot: they aggregate records of many
+	// files and are rewritten whenever any of them changes.
+	addrs, err := fs.placeBlocks(classHot, refs, payload, nil)
 	if err != nil {
 		return err
 	}
@@ -239,7 +312,7 @@ func (fs *FS) writeImapBatch() error {
 	if len(refs) == 0 {
 		return nil
 	}
-	addrs, err := fs.placeBlocks(refs, payload)
+	addrs, err := fs.placeBlocks(classHot, refs, payload, nil)
 	if err != nil {
 		return err
 	}
@@ -254,18 +327,41 @@ func (fs *FS) writeImapBatch() error {
 }
 
 // placeBlocks appends the given blocks to the log as one or more
-// units, assembling them in the segment buffer, and returns the disk
-// address assigned to each block. Consecutive units in one segment
-// are contiguous, so the eventual disk transfers are sequential.
-func (fs *FS) placeBlocks(refs []blockRef, payload [][]byte) ([]layout.DiskAddr, error) {
+// units, assembling them in the class's segment buffer, and returns
+// the disk address assigned to each block. Consecutive units in one
+// segment are contiguous, so the eventual disk transfers are
+// sequential. Cold placements fall back to the hot head when
+// segregation is off or the log cannot spare the cold stream a
+// segment; the unit's summary then records the head it actually
+// landed in, while its Age still carries the relocated data's age.
+// ages carries the per-block data age (nil means everything is as
+// young as now); each unit's summary records the youngest age it
+// contains, matching the segment-age semantics of §3.6.
+func (fs *FS) placeBlocks(class writeClass, refs []blockRef, payload [][]byte, ages []sim.Time) ([]layout.DiskAddr, error) {
+	now := fs.clock.Now()
+	if class == classCold && !fs.cfg.Segregation {
+		class = classHot
+	}
+	if class == classCold && !fs.heads[classCold].open && !fs.openColdHead() {
+		class = classHot
+	}
 	bs := fs.cfg.BlockSize
 	addrs := make([]layout.DiskAddr, 0, len(payload))
 	i := 0
 	for i < len(payload) {
-		avail := fs.cfg.blocksPerSegment() - fs.curBlk
+		h := &fs.heads[class]
+		avail := fs.cfg.blocksPerSegment() - h.blk
 		fit := maxUnitBlocks(avail, bs)
 		if fit == 0 {
-			if err := fs.advanceSegment(); err != nil {
+			if err := fs.advanceSegment(class); err != nil {
+				if class == classCold {
+					// No segment to spare for the cold stream (its
+					// full segment is already sealed): close it and
+					// share the hot head until space frees up.
+					fs.heads[classCold].open = false
+					class = classHot
+					continue
+				}
 				return nil, err
 			}
 			continue
@@ -275,26 +371,37 @@ func (fs *FS) placeBlocks(refs []blockRef, payload [][]byte) ([]layout.DiskAddr,
 			n = rest
 		}
 		sumBlks := summaryBlocks(n, bs)
-		dataStart := fs.curBlk + sumBlks
+		dataStart := h.blk + sumBlks
 		for j := 0; j < n; j++ {
 			blk := payload[i+j]
 			if len(blk) != bs {
 				return nil, fmt.Errorf("lfs: placing block of %d bytes, want %d", len(blk), bs)
 			}
-			copy(fs.segBuf[(dataStart+j)*bs:], blk)
-			addrs = append(addrs, layout.DiskAddr(fs.blockSector(fs.curSeg, dataStart+j)))
+			copy(h.buf[(dataStart+j)*bs:], blk)
+			addrs = append(addrs, layout.DiskAddr(fs.blockSector(h.seg, dataStart+j)))
 		}
-		h := summaryHeader{
+		unitAge := now
+		if ages != nil {
+			unitAge = ages[i]
+			for j := i + 1; j < i+n; j++ {
+				if ages[j] > unitAge {
+					unitAge = ages[j]
+				}
+			}
+		}
+		hdr := summaryHeader{
 			Serial:    fs.writeSerial,
 			NBlocks:   n,
 			SumBlocks: sumBlks,
 			Timestamp: fs.clock.Now(),
-			DataCRC:   layout.Checksum(fs.segBuf[dataStart*bs : (dataStart+n)*bs]),
+			DataCRC:   layout.DataChecksum(h.buf[dataStart*bs : (dataStart+n)*bs]),
+			Class:     class,
+			Age:       unitAge,
 		}
-		encodeSummary(h, refs[i:i+n], fs.segBuf[fs.curBlk*bs:dataStart*bs])
+		encodeSummary(hdr, refs[i:i+n], h.buf[h.blk*bs:dataStart*bs])
 		fs.writeSerial++
-		fs.curBlk = dataStart + n
-		fs.usage[fs.curSeg].LastWrite = fs.clock.Now()
+		h.blk = dataStart + n
+		fs.usage[h.seg].LastWrite = fs.clock.Now()
 		fs.stats.UnitsWritten++
 		fs.stats.BlocksWritten += int64(sumBlks + n)
 		fs.cpu.Charge(fs.cfg.Costs.SegWriteSetup + int64(n)*fs.cfg.Costs.SegBlockLayout)
@@ -303,57 +410,89 @@ func (fs *FS) placeBlocks(refs []blockRef, payload [][]byte) ([]layout.DiskAddr,
 	return addrs, nil
 }
 
-// flushPendingIO issues the assembled-but-unwritten region of the
-// active segment as one asynchronous sequential write.
+// flushPendingIO issues the assembled-but-unwritten region of each
+// open head as one asynchronous sequential write, hot before cold.
+// The issue order is what crash recovery sees: replay stops at the
+// first missing serial, so a unit that persisted ahead of a lost
+// earlier-serial unit is simply discarded with everything after it —
+// none of it was acknowledged before a sync drained the queue.
 func (fs *FS) flushPendingIO() error {
-	if fs.curBlk == fs.pendingBlk {
-		return nil
-	}
 	bs := fs.cfg.BlockSize
-	start := fs.pendingBlk
-	fs.cpu.Charge(fs.cfg.Costs.DiskOpSetup)
-	// Attribution: the same code path writes new data (log append) and
-	// relocates live blocks for the cleaner; fs.cleaning tells the two
-	// apart so the busy-time decomposition matches the paper's
-	// write-cost accounting.
-	cause := disk.CauseLogAppend
-	if fs.cleaning {
-		cause = disk.CauseCleanerWrite
+	for class := writeClass(0); class < numClasses; class++ {
+		h := &fs.heads[class]
+		if !h.open || h.blk == h.pending {
+			continue
+		}
+		fs.cpu.Charge(fs.cfg.Costs.DiskOpSetup)
+		// Attribution: the cold head only ever carries cleaner
+		// relocations; the hot head carries log appends except when
+		// the cleaner's flush rides it (fs.cleaning), matching the
+		// paper's write-cost accounting.
+		cause := disk.CauseLogAppend
+		if fs.cleaning || class == classCold {
+			cause = disk.CauseCleanerWrite
+		}
+		if err := fs.d.WriteSectors(fs.blockSector(h.seg, h.pending),
+			h.buf[h.pending*bs:h.blk*bs], false, cause, "segment write"); err != nil {
+			return err
+		}
+		h.pending = h.blk
 	}
-	if err := fs.d.WriteSectors(fs.blockSector(fs.curSeg, start),
-		fs.segBuf[start*bs:fs.curBlk*bs], false, cause, "segment write"); err != nil {
-		return err
-	}
-	fs.pendingBlk = fs.curBlk
 	return nil
 }
 
-// advanceSegment seals the active segment and activates the next
-// clean one.
-func (fs *FS) advanceSegment() error {
+// advanceSegment seals the class's active segment and activates the
+// next clean one.
+func (fs *FS) advanceSegment(class writeClass) error {
 	if err := fs.flushPendingIO(); err != nil {
 		return err
 	}
-	fs.usage[fs.curSeg].State = segDirty
+	h := &fs.heads[class]
+	fs.usage[h.seg].State = segDirty
 	fs.stats.SegmentsSealed++
-	next, ok := fs.findCleanSegment()
+	next, ok := fs.findCleanSegmentFrom(h.seg)
 	if !ok {
 		return fmt.Errorf("%w: no clean segments", vfs.ErrNoSpace)
 	}
-	fs.curSeg = next
-	fs.curBlk = 0
-	fs.pendingBlk = 0
-	fs.usage[next].State = segActive
-	fs.cleanCount--
+	fs.activateHead(class, next)
 	return nil
 }
 
-// findCleanSegment scans forward (wrapping) from the active segment
-// for a clean one, keeping the log roughly sequential on disk.
-func (fs *FS) findCleanSegment() (int, bool) {
+// openColdHead claims a clean segment for the cold stream, scanning
+// from the hot head so the two streams stay near each other on disk.
+// Returns false when the log cannot spare one — taking the last clean
+// segment would starve the hot head — and the relocation shares the
+// hot head instead.
+func (fs *FS) openColdHead() bool {
+	if fs.cleanCount <= 1 {
+		return false
+	}
+	next, ok := fs.findCleanSegmentFrom(fs.heads[classHot].seg)
+	if !ok {
+		return false
+	}
+	fs.activateHead(classCold, next)
+	return true
+}
+
+// activateHead points the class's head at seg and readies it for
+// appends. The segment's age resets: it holds no data yet, so its
+// first credit establishes the true age.
+func (fs *FS) activateHead(class writeClass, seg int) {
+	h := &fs.heads[class]
+	h.seg, h.blk, h.pending, h.open = seg, 0, 0, true
+	fs.usage[seg].State = segActive
+	fs.usage[seg].Age = 0
+	fs.cleanCount--
+}
+
+// findCleanSegmentFrom scans forward (wrapping) from the given
+// segment for a clean one, keeping each stream roughly sequential on
+// disk.
+func (fs *FS) findCleanSegmentFrom(start int) (int, bool) {
 	n := int(fs.sb.Segments)
 	for i := 1; i <= n; i++ {
-		seg := (fs.curSeg + i) % n
+		seg := (start + i) % n
 		if fs.usage[seg].State == segClean {
 			return seg, true
 		}

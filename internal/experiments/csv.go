@@ -4,6 +4,7 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"math"
 )
 
 // Every experiment can emit machine-readable CSV alongside its text
@@ -25,8 +26,16 @@ func writeCSV(w io.Writer, header []string, rows [][]string) error {
 	return cw.Error()
 }
 
-func f(v float64) string { return fmt.Sprintf("%.3f", v) }
-func i(v int64) string   { return fmt.Sprintf("%d", v) }
+// f formats a float for CSV. Degenerate ratios (0/0 from a run too
+// small to activate some phase) become 0 so downstream plotting and
+// the benchdiff gate never see NaN or Inf.
+func f(v float64) string {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		v = 0
+	}
+	return fmt.Sprintf("%.3f", v)
+}
+func i(v int64) string { return fmt.Sprintf("%d", v) }
 
 // CSVFig3 writes Figure 3 rows.
 func CSVFig3(w io.Writer, rows []Fig3Row) error {
@@ -121,6 +130,17 @@ func CSVUtilization(w io.Writer, r *UtilizationResult, policy string) error {
 		recs = append(recs, []string{policy, fmt.Sprintf("%d", bin*10), fmt.Sprintf("%d", (bin+1)*10), i(int64(n))})
 	}
 	return writeCSV(w, []string{"policy", "bin_low_pct", "bin_high_pct", "segments"}, recs)
+}
+
+// CSVCleaning writes the write-cost-vs-utilization curve.
+func CSVCleaning(w io.Writer, rows []CleaningRow) error {
+	var recs [][]string
+	for _, r := range rows {
+		recs = append(recs, []string{r.Arm, f(r.TargetUtil), f(r.DiskUtil),
+			f(r.WriteCost), f(r.WriteAmp), i(r.SegmentsCleaned), i(r.LiveCopied)})
+	}
+	return writeCSV(w, []string{"arm", "target_util", "disk_util", "write_cost",
+		"write_amplification", "segments_cleaned", "live_copied"}, recs)
 }
 
 // CSVConcurrency writes the multi-client throughput sweep.

@@ -196,5 +196,20 @@ func DecodeAddrBlock(p []byte, n int) []DiskAddr {
 }
 
 // Checksum returns the CRC32 (IEEE) of p; every multi-sector on-disk
-// structure in this repository is checksummed with it.
+// structure in this repository is checksummed with it — except log-unit
+// payloads, which need DataChecksum (below).
 func Checksum(p []byte) uint32 { return crc32.ChecksumIEEE(p) }
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// DataChecksum checksums a log unit's payload blocks. It deliberately
+// uses a different polynomial (Castagnoli) from Checksum: inode blocks
+// embed a per-record IEEE CRC, and a CRC is affine, so an IEEE checksum
+// over records that end in their own IEEE CRC collapses to a value that
+// depends only on which slots are occupied, never on their contents
+// (the residue property: crc(m ‖ crc(m)) is constant in m). An IEEE
+// DataCRC therefore cannot tell a torn segment write — fresh summary,
+// stale inode block underneath — from an intact one. Under Castagnoli
+// the embedded IEEE CRCs are ordinary content bytes and the collapse
+// disappears.
+func DataChecksum(p []byte) uint32 { return crc32.Checksum(p, castagnoli) }

@@ -136,9 +136,9 @@ func TestMatch(t *testing.T) {
 		patterns []string
 		want     int
 	}{
-		{nil, 5},
-		{[]string{"./..."}, 5},
-		{[]string{"./internal/..."}, 4},
+		{nil, 6},
+		{[]string{"./..."}, 6},
+		{[]string{"./internal/..."}, 5},
 		{[]string{"./internal/core"}, 1},
 		{[]string{"./cmd/tool"}, 1},
 		{[]string{"./nosuchdir"}, 0},

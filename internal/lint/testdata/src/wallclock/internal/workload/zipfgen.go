@@ -1,0 +1,26 @@
+// Package workload is a miniature of the synthetic-workload package:
+// generators draw from explicitly seeded RNGs (the sanctioned
+// rand.NewZipf pattern) and are timed on the simulated clock, so the
+// global source and the wall clock must both be flagged here.
+package workload
+
+import (
+	"math/rand"
+	"time"
+)
+
+// skewed is the sanctioned generator pattern: a seeded source feeding
+// rand.NewZipf. None of these selectors may be flagged.
+func skewed(seed int64, n uint64) uint64 {
+	rng := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(rng, 1.1, 1, n-1)
+	return z.Uint64()
+}
+
+// jitter draws from the implicitly seeded global source and must be
+// flagged.
+func jitter() float64 { return rand.Float64() }
+
+// stamp reads the wall clock for a workload timestamp and must be
+// flagged.
+func stamp() int64 { return time.Now().Unix() }

@@ -1,0 +1,57 @@
+package workload_test
+
+import (
+	"testing"
+
+	"lfs/internal/workload"
+)
+
+// TestZipfOverwriteSkewAndDeterminism: the Zipf load must actually
+// skew (the top 1% of files receives far more than 1% of the
+// overwrites) and same-seed runs must land on the identical simulated
+// timeline — the cleaning curve's reproducibility rests on both.
+func TestZipfOverwriteSkewAndDeterminism(t *testing.T) {
+	opts := workload.ZipfOpts{
+		Files: 400, FileSize: 4096, Overwrites: 1200,
+		S: 1.1, V: 8, SyncEvery: 64, Dir: "/z", Seed: 23,
+	}
+	run := func() workload.ZipfResult {
+		res, err := workload.ZipfOverwrite(newLFS(t, 32<<20), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a := run()
+	if a.Creates != opts.Files || a.Overwrites != opts.Overwrites {
+		t.Fatalf("ops: %d creates, %d overwrites; want %d and %d",
+			a.Creates, a.Overwrites, opts.Files, opts.Overwrites)
+	}
+	if a.HottestShare < 0.10 {
+		t.Errorf("top 1%% of files got only %.1f%% of overwrites; the law is not skewed",
+			100*a.HottestShare)
+	}
+	if a.Elapsed <= 0 {
+		t.Error("overwrite phase took no simulated time")
+	}
+	b := run()
+	if a != b {
+		t.Errorf("same-seed runs diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestZipfOverwriteRejectsBadLaw: the Zipf law's domain is S > 1,
+// V ≥ 1; out-of-domain parameters must fail, not panic inside
+// math/rand.
+func TestZipfOverwriteRejectsBadLaw(t *testing.T) {
+	sys := newLFS(t, 16<<20)
+	for _, o := range []workload.ZipfOpts{
+		{Files: 10, FileSize: 1024, Overwrites: 1, S: 1.0, V: 8, Dir: "/a", Seed: 1},
+		{Files: 10, FileSize: 1024, Overwrites: 1, S: 1.1, V: 0.5, Dir: "/b", Seed: 1},
+		{Files: 0, FileSize: 1024, Overwrites: 1, S: 1.1, V: 8, Dir: "/c", Seed: 1},
+	} {
+		if _, err := workload.ZipfOverwrite(sys, o); err == nil {
+			t.Errorf("opts %+v accepted", o)
+		}
+	}
+}

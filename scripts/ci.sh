@@ -48,6 +48,16 @@ go run ./cmd/lfsbench -experiment concurrency -quick \
 go run ./cmd/lfstop "$tracedir/concurrency.metrics.jsonl" > /dev/null
 scripts/benchdiff.sh BENCH_concurrency.json "$tracedir/BENCH_concurrency.json"
 mv "$tracedir/BENCH_concurrency.json" BENCH_concurrency.json
+echo "== cleaning-curve smoke =="
+# Write-cost-vs-utilization curve (greedy vs cost-benefit vs
+# cost-benefit+segregation) under the seeded Zipf overwrite load at
+# the quick scale; the u=0.80 headline numbers are diffed against the
+# committed baseline so a cleaning-policy or write-cost regression
+# cannot land silently.
+go run ./cmd/lfsbench -experiment cleaning-curve -quick \
+	-benchjson "$tracedir/BENCH_cleaning.json"
+scripts/benchdiff.sh BENCH_cleaning.json "$tracedir/BENCH_cleaning.json"
+mv "$tracedir/BENCH_cleaning.json" BENCH_cleaning.json
 echo "== metrics smoke =="
 # Metrics-plane smoke: small-file + cleaning run under the sampler,
 # final sample pinned to the end-of-run aggregates; the series feeds
