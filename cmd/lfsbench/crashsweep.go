@@ -1,0 +1,168 @@
+package main
+
+// The crashsweep experiment benchmarks the crash-point harness's two
+// strategies against each other: the snapshot path restores a
+// copy-on-write image per point (O(points)), the replay path re-runs
+// the workload per point (O(points × writes)). Both are swept over the
+// same mixed workload, wall-clock timed, and normalised to
+// points-per-second; the run fails unless the snapshot path is at
+// least minCrashSweepSpeedup times faster per point.
+//
+// This file lives in cmd/ (not internal/experiments) deliberately:
+// measuring the harness itself needs wall-clock time, which the
+// wallclock lint rule bans inside the simulation packages.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"lfs"
+	"lfs/internal/fstest"
+)
+
+// minCrashSweepSpeedup is the acceptance floor: restoring snapshots
+// must beat replaying workloads by at least this factor per point.
+const minCrashSweepSpeedup = 5.0
+
+// crashSweepWorkload is MixedWorkload followed by churn rounds of
+// overwrites on files the mixed phase never deletes, with periodic
+// syncs and checkpoints. Overwrites lengthen the disk-write stream —
+// what replay pays for per point — while the live tree stays small.
+func crashSweepWorkload(files, churn, blockSize int) []fstest.CrashOp {
+	ops := fstest.MixedWorkload(files, blockSize)
+	name := func(i int) string {
+		dir := "/a"
+		if i%2 == 1 {
+			dir = "/b"
+		}
+		return fmt.Sprintf("%s/f%02d", dir, i)
+	}
+	for r := 0; r < churn; r++ {
+		n := 0
+		for i := 0; i < files; i++ {
+			// MixedWorkload removes indices ≡ 2 (mod 6); churn only
+			// the survivors ≡ 0 or 1.
+			if i%6 > 1 {
+				continue
+			}
+			data := make([]byte, 3*blockSize+blockSize/2)
+			for j := range data {
+				data[j] = byte(i*31 + (r+2)*7 + j)
+			}
+			// Sync after every overwrite so each one reaches the log
+			// as its own partial-segment flush instead of batching in
+			// the cache.
+			ops = append(ops,
+				fstest.CrashOp{Kind: fstest.OpWrite, Path: name(i), Off: 0, Data: data},
+				fstest.CrashOp{Kind: fstest.OpSync},
+			)
+			if n++; n%4 == 3 {
+				ops = append(ops, fstest.CrashOp{Kind: fstest.OpCheckpoint})
+			}
+		}
+		if r%2 == 1 {
+			ops = append(ops, fstest.CrashOp{Kind: fstest.OpClean})
+		}
+	}
+	ops = append(ops, fstest.CrashOp{Kind: fstest.OpCheckpoint})
+	return ops
+}
+
+func runCrashSweep(quick bool) error {
+	cfg := lfs.DefaultConfig()
+	cfg.SegmentSize = 64 << 10
+	cfg.CacheBlocks = 64
+	cfg.MaxInodes = 512
+	// The workload must be long enough that replaying it dwarfs the
+	// per-point verification cost both strategies share — too short
+	// and the measured ratio flattens toward 1. Churn rounds extend
+	// the write stream without growing the live set (and hence the
+	// verification walk).
+	files, churn, snapStride, replayStride := 32, 40, 3, 24
+	if quick {
+		files, churn, snapStride, replayStride = 24, 60, 4, 32
+	}
+	base := fstest.CrashConfig{
+		FSConfig:     cfg,
+		DiskCapacity: 8 << 20,
+		Workload:     crashSweepWorkload(files, churn, cfg.BlockSize),
+		Torn:         true,
+	}
+
+	snapCfg := base
+	snapCfg.Stride = snapStride
+	start := time.Now()
+	snap, err := fstest.RunCrashPoints(snapCfg)
+	if err != nil {
+		return fmt.Errorf("snapshot sweep: %w", err)
+	}
+	snapElapsed := time.Since(start)
+
+	replayCfg := base
+	replayCfg.Replay = true
+	replayCfg.Stride = replayStride
+	start = time.Now()
+	replay, err := fstest.RunCrashPoints(replayCfg)
+	if err != nil {
+		return fmt.Errorf("replay sweep: %w", err)
+	}
+	replayElapsed := time.Since(start)
+
+	// The strategies must agree on the workload and both recover
+	// cleanly; a failure here is a harness bug, not a perf result.
+	if snap.TotalWrites != replay.TotalWrites {
+		return fmt.Errorf("strategies disagree on write count: snapshot %d, replay %d",
+			snap.TotalWrites, replay.TotalWrites)
+	}
+	for _, f := range append(snap.Failures, replay.Failures...) {
+		fmt.Printf("  FAIL %s\n", f)
+	}
+	if !snap.Ok() || !replay.Ok() {
+		return fmt.Errorf("crash sweep found %d recovery failures",
+			len(snap.Failures)+len(replay.Failures))
+	}
+
+	snapPerSec := float64(snap.Points) / snapElapsed.Seconds()
+	replayPerSec := float64(replay.Points) / replayElapsed.Seconds()
+	speedup := snapPerSec / replayPerSec
+	fmt.Printf("workload: %d ops, %d disk writes\n", len(base.Workload), snap.TotalWrites)
+	fmt.Printf("snapshot: %4d points in %8.2fms  (%8.1f points/s, %d rolled forward)\n",
+		snap.Points, snapElapsed.Seconds()*1000, snapPerSec, snap.RollForwardPoints)
+	fmt.Printf("replay:   %4d points in %8.2fms  (%8.1f points/s, stride %d)\n",
+		replay.Points, replayElapsed.Seconds()*1000, replayPerSec, replayStride)
+	fmt.Printf("speedup:  %.1fx per point (floor %.0fx)\n", speedup, minCrashSweepSpeedup)
+	if speedup < minCrashSweepSpeedup {
+		return fmt.Errorf("snapshot sweep only %.1fx faster than replay (floor %.0fx)",
+			speedup, minCrashSweepSpeedup)
+	}
+
+	if benchJSON != "" {
+		// Deterministic counters are JSON numbers (diffed by
+		// benchdiff); wall-clock figures are strings, recorded for
+		// humans but exempt from the ±10% gate — the speedup floor is
+		// enforced above instead.
+		summary := map[string]any{
+			"experiment":            "crashsweep",
+			"total_writes":          snap.TotalWrites,
+			"points":                snap.Points,
+			"rollforward_points":    snap.RollForwardPoints,
+			"snapshot_points":       snap.SnapshotPoints,
+			"replay_points":         replay.Points,
+			"crash_failures":        len(snap.Failures) + len(replay.Failures),
+			"speedup_floor_met":     1,
+			"snapshot_points_per_s": fmt.Sprintf("%.1f", snapPerSec),
+			"replay_points_per_s":   fmt.Sprintf("%.1f", replayPerSec),
+			"speedup_x":             fmt.Sprintf("%.1f", speedup),
+		}
+		buf, err := json.MarshalIndent(summary, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(benchJSON, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}

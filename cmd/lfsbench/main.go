@@ -13,6 +13,7 @@
 //	lfsbench -experiment ablation-segsize   # segment size sweep
 //	lfsbench -experiment ablation-policy    # greedy vs cost-benefit cleaning
 //	lfsbench -experiment concurrency # multi-client throughput scaling
+//	lfsbench -experiment crashsweep # crash-point sweep: snapshot vs replay
 //	lfsbench -experiment all        # everything
 //
 // -quick shrinks the workloads by roughly 10x for a fast smoke run.
@@ -91,8 +92,9 @@ func main() {
 		"trace":              runTrace,
 		"concurrency":        runConcurrency,
 		"metrics":            runMetrics,
+		"crashsweep":         runCrashSweep,
 	}
-	order := []string{"fig1", "fig3", "fig4", "fig5", "scaling", "recovery", "ablation-segsize", "ablation-policy", "ablation-ckpt", "ablation-blocksize", "utilization", "cleaning-curve", "trace", "concurrency", "metrics"}
+	order := []string{"fig1", "fig3", "fig4", "fig5", "scaling", "recovery", "ablation-segsize", "ablation-policy", "ablation-ckpt", "ablation-blocksize", "utilization", "cleaning-curve", "trace", "concurrency", "metrics", "crashsweep"}
 
 	if *exp == "all" {
 		for _, name := range order {

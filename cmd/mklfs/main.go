@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	mklfs -image fs.img -size 300M [-block 4096] [-segment 1M] [-inodes 65536]
+//	mklfs -image fs.img -size 300M [-block 4096] [-segment 1M] [-inodes 65536] [-backend file|mmap]
 package main
 
 import (
@@ -21,10 +21,16 @@ func main() {
 	block := flag.Int("block", 4096, "block size in bytes")
 	segment := flag.String("segment", "1M", "segment size (e.g. 512K, 1M)")
 	inodes := flag.Int("inodes", 65536, "maximum number of inodes")
+	backend := flag.String("backend", "file", "image store backend: file or mmap")
 	flag.Parse()
 
 	if *image == "" {
 		fmt.Fprintln(os.Stderr, "mklfs: -image is required")
+		os.Exit(2)
+	}
+	be, ok := lfs.ParseStoreBackend(*backend)
+	if !ok || (be != lfs.BackendFile && be != lfs.BackendMmap) {
+		fmt.Fprintf(os.Stderr, "mklfs: unknown image backend %q (want file or mmap)\n", *backend)
 		os.Exit(2)
 	}
 	capacity, err := cli.ParseSize(*size)
@@ -38,7 +44,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	d, err := lfs.OpenImage(*image, capacity)
+	d, err := lfs.NewDisk(lfs.StoreOptions{Backend: be, Path: *image, Capacity: capacity})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mklfs: %v\n", err)
 		os.Exit(1)
@@ -51,6 +57,10 @@ func main() {
 	cfg.MaxInodes = *inodes
 	if err := lfs.Format(d, cfg); err != nil {
 		fmt.Fprintf(os.Stderr, "mklfs: %v\n", err)
+		os.Exit(1)
+	}
+	if err := d.Sync(); err != nil {
+		fmt.Fprintf(os.Stderr, "mklfs: sync: %v\n", err)
 		os.Exit(1)
 	}
 	fmt.Printf("mklfs: formatted %s: %d MB, %d-byte blocks, %d KB segments, %d inodes\n",

@@ -1,0 +1,9 @@
+//go:build !unix
+
+package disk
+
+import "os"
+
+// fileAllocatedBytes reports that hole-aware block accounting is
+// unavailable on this platform; callers fall back to the nominal size.
+func fileAllocatedBytes(*os.File) (int64, bool) { return 0, false }

@@ -1,0 +1,24 @@
+//go:build unix
+
+package disk
+
+import (
+	"os"
+	"syscall"
+)
+
+// fileAllocatedBytes returns the bytes of file-system blocks the file
+// actually occupies — holes punched or never written are excluded —
+// and whether the platform reported them. st_blocks is counted in
+// 512-byte units regardless of the file system's block size.
+func fileAllocatedBytes(f *os.File) (int64, bool) {
+	info, err := f.Stat()
+	if err != nil {
+		return 0, false
+	}
+	st, ok := info.Sys().(*syscall.Stat_t)
+	if !ok {
+		return 0, false
+	}
+	return st.Blocks * 512, true
+}

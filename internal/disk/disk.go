@@ -565,5 +565,18 @@ func (d *Disk) ClearFaults() { d.faults = faultState{} }
 // lfsck) parse the raw image without going through the time model.
 func (d *Disk) Store() Store { return d.store }
 
+// Sync dispatches any queued asynchronous writes and flushes the
+// backing store to stable storage. The simulation's durability model
+// is unchanged — writes persist at issue time — but file-backed
+// images survive a host crash only after a Sync (tools call it before
+// Close).
+func (d *Disk) Sync() error {
+	if d.faults.frozen {
+		return fmt.Errorf("disk: device is frozen (crashed): %w", ErrPowerLoss)
+	}
+	d.dispatchQueued()
+	return d.store.Sync()
+}
+
 // Close releases the backing store.
 func (d *Disk) Close() error { return d.store.Close() }

@@ -1,0 +1,109 @@
+package disk
+
+import "fmt"
+
+// memChunkSize is the lazy-allocation granule of MemStore. One
+// megabyte matches the default LFS segment size, so a freshly
+// formatted file system allocates memory only for segments it touches.
+const memChunkSize = 1 << 20
+
+// MemStore is a lazily allocated in-memory Store. Chunks are allocated
+// on first write, so a mostly empty multi-hundred-megabyte disk costs
+// almost nothing.
+type MemStore struct {
+	size   int64
+	chunks map[int64][]byte // chunk index -> chunk bytes; nil after Close
+}
+
+// NewMemStore returns an empty in-memory store of the given capacity.
+//
+// Deprecated: prefer OpenStore(StoreOptions{Backend: BackendMem,
+// Capacity: size}), which covers every backend behind one options API.
+func NewMemStore(size int64) *MemStore {
+	if size <= 0 {
+		panic(fmt.Sprintf("disk: non-positive MemStore size %d", size))
+	}
+	return &MemStore{size: size, chunks: make(map[int64][]byte)}
+}
+
+// Size returns the store capacity in bytes.
+func (m *MemStore) Size() int64 { return m.size }
+
+// Sync implements Store; memory is always "stable" here.
+func (m *MemStore) Sync() error {
+	if m.chunks == nil {
+		return fmt.Errorf("disk: sync: %w", ErrClosed)
+	}
+	return nil
+}
+
+// Close releases the chunk map. Close is idempotent.
+func (m *MemStore) Close() error {
+	m.chunks = nil
+	return nil
+}
+
+func (m *MemStore) checkRange(p []byte, off int64) error {
+	if err := checkStoreRange(p, off, m.size); err != nil {
+		return err
+	}
+	if m.chunks == nil {
+		return fmt.Errorf("disk: %w", ErrClosed)
+	}
+	return nil
+}
+
+// ReadAt fills p from the store; unallocated chunks read as zeros.
+func (m *MemStore) ReadAt(p []byte, off int64) error {
+	if err := m.checkRange(p, off); err != nil {
+		return err
+	}
+	for len(p) > 0 {
+		ci := off / memChunkSize
+		co := off % memChunkSize
+		n := memChunkSize - co
+		if n > int64(len(p)) {
+			n = int64(len(p))
+		}
+		if chunk, ok := m.chunks[ci]; ok {
+			copy(p[:n], chunk[co:co+n])
+		} else {
+			for i := range p[:n] {
+				p[i] = 0
+			}
+		}
+		p = p[n:]
+		off += n
+	}
+	return nil
+}
+
+// WriteAt stores p at off, allocating chunks as needed.
+func (m *MemStore) WriteAt(p []byte, off int64) error {
+	if err := m.checkRange(p, off); err != nil {
+		return err
+	}
+	for len(p) > 0 {
+		ci := off / memChunkSize
+		co := off % memChunkSize
+		n := memChunkSize - co
+		if n > int64(len(p)) {
+			n = int64(len(p))
+		}
+		chunk, ok := m.chunks[ci]
+		if !ok {
+			chunk = make([]byte, memChunkSize)
+			m.chunks[ci] = chunk
+		}
+		copy(chunk[co:co+n], p[:n])
+		p = p[n:]
+		off += n
+	}
+	return nil
+}
+
+// AllocatedBytes implements Allocator: how much backing memory the
+// store has actually allocated.
+func (m *MemStore) AllocatedBytes() int64 {
+	return int64(len(m.chunks)) * memChunkSize
+}

@@ -1,0 +1,26 @@
+//go:build !unix
+
+package disk
+
+import "fmt"
+
+// MmapStore is unavailable on platforms without syscall.Mmap; the
+// stub keeps OpenStore's backend space identical everywhere.
+type MmapStore struct{ unsupported }
+
+// unsupported fills the Store interface with failing methods for
+// platform stubs.
+type unsupported struct{}
+
+func (unsupported) ReadAt([]byte, int64) error  { return errMmapUnsupported }
+func (unsupported) WriteAt([]byte, int64) error { return errMmapUnsupported }
+func (unsupported) Sync() error                 { return errMmapUnsupported }
+func (unsupported) Size() int64                 { return 0 }
+func (unsupported) Close() error                { return nil }
+
+var errMmapUnsupported = fmt.Errorf("disk: mmap store is not supported on this platform")
+
+// OpenMmapStore always fails on platforms without syscall.Mmap.
+func OpenMmapStore(path string, size int64) (*MmapStore, error) {
+	return nil, errMmapUnsupported
+}

@@ -15,199 +15,175 @@
 // the simulated clock to the request's completion. Asynchronous writes
 // only extend the disk's busy horizon, modelling background I/O that
 // overlaps computation; Drain waits for the horizon.
+//
+// Persistence is pluggable: the Store interface has four backends
+// (in-memory, copy-on-write memory, sparse file, memory-mapped file),
+// selected through OpenStore. Optional capabilities — O(1) snapshots,
+// allocated-bytes reporting — are discovered by interface assertion on
+// the concrete store. Every backend produces byte-identical images for
+// the same request stream; fstest.RunStoreConformance is the proof.
 package disk
 
 import (
+	"errors"
 	"fmt"
-	"io"
-	"os"
-	"sync"
 )
 
 // SectorSize is the unit of disk addressing, in bytes.
 const SectorSize = 512
 
+// Sentinel errors for store access, tested with errors.Is.
+var (
+	// ErrClosed reports an operation on a closed store.
+	ErrClosed = errors.New("store is closed")
+	// ErrOutOfRange reports an access outside the store capacity.
+	ErrOutOfRange = errors.New("store access out of range")
+)
+
 // Store is the persistence backend of a simulated disk. Offsets and
 // lengths are in bytes and always sector-aligned when called through
 // Disk. Implementations must be safe for use by a single goroutine;
 // Disk adds no locking of its own.
+//
+// Optional capabilities are discovered by interface assertion:
+// Snapshotter for O(1) copy-on-write snapshot/restore, Allocator for
+// allocated-bytes reporting on sparse stores.
 type Store interface {
 	// ReadAt fills p from the store at off. Unwritten regions read
 	// as zero bytes.
 	ReadAt(p []byte, off int64) error
 	// WriteAt stores p at off.
 	WriteAt(p []byte, off int64) error
+	// Sync flushes buffered writes to stable storage. Memory-backed
+	// stores treat it as a no-op.
+	Sync() error
 	// Size returns the store capacity in bytes.
 	Size() int64
-	// Close releases resources held by the store.
+	// Close releases resources held by the store. Close is
+	// idempotent: a second call is a no-op returning nil.
 	Close() error
 }
 
-// memChunkSize is the lazy-allocation granule of MemStore. One
-// megabyte matches the default LFS segment size, so a freshly
-// formatted file system allocates memory only for segments it touches.
-const memChunkSize = 1 << 20
-
-// MemStore is a lazily allocated in-memory Store. Chunks are allocated
-// on first write, so a mostly empty multi-hundred-megabyte disk costs
-// almost nothing.
-type MemStore struct {
-	size   int64
-	chunks map[int64][]byte // chunk index -> chunk bytes
+// Snapshotter is an optional Store capability: cheap point-in-time
+// snapshots of the full image that can later be restored. The
+// crash-point sweep uses it to rewind a volume to the state before
+// write k instead of replaying the whole workload per crash point.
+type Snapshotter interface {
+	// Snapshot captures the current image. The snapshot remains
+	// valid across later writes and restores until Release.
+	Snapshot() (Snapshot, error)
 }
 
-// NewMemStore returns an empty in-memory store of the given capacity.
-func NewMemStore(size int64) *MemStore {
-	if size <= 0 {
-		panic(fmt.Sprintf("disk: non-positive MemStore size %d", size))
+// Snapshot is a point-in-time image captured from a Snapshotter.
+type Snapshot interface {
+	// Restore resets the originating store to the snapshot state.
+	// A snapshot can be restored any number of times.
+	Restore() error
+	// Release frees the snapshot; restoring afterwards is an error.
+	Release() error
+}
+
+// Allocator is an optional Store capability: reporting how many bytes
+// of backing storage the image has actually allocated. Sparse backends
+// (lazily allocated memory, punched files) report far less than Size
+// for mostly empty volumes.
+type Allocator interface {
+	// AllocatedBytes returns the bytes of backing storage currently
+	// allocated for the image.
+	AllocatedBytes() int64
+}
+
+// StoreBackend selects a Store implementation in StoreOptions.
+type StoreBackend int
+
+const (
+	// BackendMem is the lazily allocated in-memory store (MemStore):
+	// fast, sparse, no snapshots.
+	BackendMem StoreBackend = iota
+	// BackendCow is the copy-on-write in-memory store (CowMemStore):
+	// sparse, with O(1) snapshot/restore.
+	BackendCow
+	// BackendFile is the sparse file-backed store (FileStore): images
+	// persist between runs; unwritten regions occupy no disk blocks.
+	BackendFile
+	// BackendMmap is the memory-mapped file store (MmapStore): the
+	// image is mapped shared, so multi-GB volumes are accessed at
+	// memory speed without per-request system calls.
+	BackendMmap
+
+	numBackends // bounds the backend space
+)
+
+// backendNames indexes StoreBackend.String.
+var backendNames = [numBackends]string{"mem", "cow", "file", "mmap"}
+
+// String returns the backend's stable name ("mem", "cow", "file",
+// "mmap"), as accepted by ParseStoreBackend and tool -backend flags.
+func (b StoreBackend) String() string {
+	if b < 0 || b >= numBackends {
+		return fmt.Sprintf("backend(%d)", int(b))
 	}
-	return &MemStore{size: size, chunks: make(map[int64][]byte)}
+	return backendNames[b]
 }
 
-// Size returns the store capacity in bytes.
-func (m *MemStore) Size() int64 { return m.size }
+// ParseStoreBackend maps a backend name to its value.
+func ParseStoreBackend(s string) (StoreBackend, bool) {
+	for i, n := range backendNames {
+		if n == s {
+			return StoreBackend(i), true
+		}
+	}
+	return 0, false
+}
 
-// Close releases the chunk map.
-func (m *MemStore) Close() error {
-	m.chunks = nil
+// StoreOptions configures OpenStore, the single constructor for every
+// store backend.
+type StoreOptions struct {
+	// Backend selects the implementation; the zero value is
+	// BackendMem.
+	Backend StoreBackend
+	// Path locates the image file for the file-backed backends
+	// (BackendFile, BackendMmap); ignored by the memory backends.
+	Path string
+	// Capacity is the store size in bytes; must be positive.
+	Capacity int64
+}
+
+// OpenStore opens a store described by opts. It replaces the
+// positional NewMemStore/OpenFileStore constructors: one options
+// struct covers every backend, so call sites select backends by
+// configuration rather than by constructor name.
+func OpenStore(opts StoreOptions) (Store, error) {
+	if opts.Capacity <= 0 {
+		return nil, fmt.Errorf("disk: non-positive store capacity %d: %w", opts.Capacity, ErrOutOfRange)
+	}
+	switch opts.Backend {
+	case BackendMem:
+		return &MemStore{size: opts.Capacity, chunks: make(map[int64][]byte)}, nil
+	case BackendCow:
+		return NewCowMemStore(opts.Capacity), nil
+	case BackendFile:
+		if opts.Path == "" {
+			return nil, fmt.Errorf("disk: %s backend needs a path", opts.Backend)
+		}
+		return OpenFileStore(opts.Path, opts.Capacity)
+	case BackendMmap:
+		if opts.Path == "" {
+			return nil, fmt.Errorf("disk: %s backend needs a path", opts.Backend)
+		}
+		return OpenMmapStore(opts.Path, opts.Capacity)
+	}
+	return nil, fmt.Errorf("disk: unknown store backend %d", int(opts.Backend))
+}
+
+// checkStoreRange validates an access of len(p) bytes at off against a
+// store of the given size, returning an ErrOutOfRange-wrapping error
+// for violations. Zero-length accesses are valid anywhere in
+// [0, size].
+func checkStoreRange(p []byte, off, size int64) error {
+	if off < 0 || off+int64(len(p)) > size {
+		return fmt.Errorf("disk: store access [%d,%d) outside capacity %d: %w",
+			off, off+int64(len(p)), size, ErrOutOfRange)
+	}
 	return nil
-}
-
-func (m *MemStore) checkRange(p []byte, off int64) error {
-	if off < 0 || off+int64(len(p)) > m.size {
-		return fmt.Errorf("disk: store access [%d,%d) outside capacity %d", off, off+int64(len(p)), m.size)
-	}
-	if m.chunks == nil {
-		return fmt.Errorf("disk: store is closed")
-	}
-	return nil
-}
-
-// ReadAt fills p from the store; unallocated chunks read as zeros.
-func (m *MemStore) ReadAt(p []byte, off int64) error {
-	if err := m.checkRange(p, off); err != nil {
-		return err
-	}
-	for len(p) > 0 {
-		ci := off / memChunkSize
-		co := off % memChunkSize
-		n := memChunkSize - co
-		if n > int64(len(p)) {
-			n = int64(len(p))
-		}
-		if chunk, ok := m.chunks[ci]; ok {
-			copy(p[:n], chunk[co:co+n])
-		} else {
-			for i := range p[:n] {
-				p[i] = 0
-			}
-		}
-		p = p[n:]
-		off += n
-	}
-	return nil
-}
-
-// WriteAt stores p at off, allocating chunks as needed.
-func (m *MemStore) WriteAt(p []byte, off int64) error {
-	if err := m.checkRange(p, off); err != nil {
-		return err
-	}
-	for len(p) > 0 {
-		ci := off / memChunkSize
-		co := off % memChunkSize
-		n := memChunkSize - co
-		if n > int64(len(p)) {
-			n = int64(len(p))
-		}
-		chunk, ok := m.chunks[ci]
-		if !ok {
-			chunk = make([]byte, memChunkSize)
-			m.chunks[ci] = chunk
-		}
-		copy(chunk[co:co+n], p[:n])
-		p = p[n:]
-		off += n
-	}
-	return nil
-}
-
-// AllocatedBytes reports how much backing memory the store has
-// actually allocated; useful in tests of laziness.
-func (m *MemStore) AllocatedBytes() int64 {
-	return int64(len(m.chunks)) * memChunkSize
-}
-
-// FileStore is a Store backed by a file on the host file system, used
-// by the command-line tools (mklfs, lfsck, lfsdump) to operate on disk
-// images that persist between runs.
-type FileStore struct {
-	mu sync.Mutex
-	// f is the image file handle; guarded by mu (tools may scan an
-	// image while a mounted FS flushes to it).
-	f *os.File
-	// size is fixed at open and immutable thereafter.
-	size int64
-}
-
-// OpenFileStore opens (or creates) path as a disk image of the given
-// capacity. If the file already exists and is at least size bytes, its
-// contents are preserved; otherwise it is extended with zeros.
-func OpenFileStore(path string, size int64) (*FileStore, error) {
-	if size <= 0 {
-		return nil, fmt.Errorf("disk: non-positive FileStore size %d", size)
-	}
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
-	if err != nil {
-		return nil, err
-	}
-	info, err := f.Stat()
-	if err != nil {
-		f.Close()
-		return nil, err
-	}
-	if info.Size() < size {
-		if err := f.Truncate(size); err != nil {
-			f.Close()
-			return nil, err
-		}
-	}
-	return &FileStore{f: f, size: size}, nil
-}
-
-// Size returns the store capacity in bytes.
-func (s *FileStore) Size() int64 { return s.size }
-
-// ReadAt fills p from the image file.
-func (s *FileStore) ReadAt(p []byte, off int64) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if off < 0 || off+int64(len(p)) > s.size {
-		return fmt.Errorf("disk: store access [%d,%d) outside capacity %d", off, off+int64(len(p)), s.size)
-	}
-	_, err := s.f.ReadAt(p, off)
-	if err == io.EOF {
-		err = nil // sparse tail reads as zeros via Truncate
-	}
-	return err
-}
-
-// WriteAt stores p in the image file.
-func (s *FileStore) WriteAt(p []byte, off int64) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if off < 0 || off+int64(len(p)) > s.size {
-		return fmt.Errorf("disk: store access [%d,%d) outside capacity %d", off, off+int64(len(p)), s.size)
-	}
-	_, err := s.f.WriteAt(p, off)
-	return err
-}
-
-// Close closes the image file. It takes the lock so a close cannot
-// race a ReadAt/WriteAt in flight from another goroutine (lfslint's
-// lockcheck pass caught the unlocked access).
-func (s *FileStore) Close() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.f.Close()
 }

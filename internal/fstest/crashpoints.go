@@ -12,6 +12,16 @@ package fstest
 // model, and the segment writer are: an identical operation stream
 // produces an identical disk-write stream, so "cut power during write
 // k" lands at the same point in the file system's life every time.
+//
+// Two execution strategies produce the same report. The snapshot path
+// (default) records the workload once on a copy-on-write store, taking
+// an O(1) snapshot before every disk write; each crash point then
+// restores the pre-write image — plus the fatal write's torn prefix,
+// when tearing — and runs recovery directly, making the sweep
+// O(points) instead of O(points × writes). The replay path
+// (CrashConfig.Replay, the original behaviour) re-runs the workload
+// for every point; it needs no snapshot capability and cross-checks
+// the snapshot path in tests.
 
 import (
 	"bytes"
@@ -79,6 +89,10 @@ type CrashConfig struct {
 	Stride int
 	// MaxPoints caps the number of crash points tested (0: no cap).
 	MaxPoints int
+	// Replay forces the O(points × writes) replay strategy instead of
+	// snapshot-restore — the pre-snapshot behaviour, kept for
+	// cross-checking and benchmarking the two paths.
+	Replay bool
 }
 
 // CrashFailure is one recovery invariant violation at one crash point.
@@ -111,6 +125,9 @@ type CrashReport struct {
 	// RollForwardPoints counts crash points where recovery replayed
 	// at least one log unit beyond the checkpoint.
 	RollForwardPoints int
+	// SnapshotPoints counts crash points reconstructed by restoring a
+	// copy-on-write snapshot rather than replaying the workload.
+	SnapshotPoints int
 	// Failures lists every invariant violation found.
 	Failures []CrashFailure
 }
@@ -208,12 +225,20 @@ func RunCrashPoints(cfg CrashConfig) (*CrashReport, error) {
 			break
 		}
 		rep.Points++
-		rolled, fails := r.point(k)
+		var rolled bool
+		var fails []CrashFailure
+		if r.rec != nil {
+			rep.SnapshotPoints++
+			rolled, fails = r.snapshotPoint(k)
+		} else {
+			rolled, fails = r.replayPoint(k)
+		}
 		if rolled {
 			rep.RollForwardPoints++
 		}
 		rep.Failures = append(rep.Failures, fails...)
 	}
+	r.release()
 	return rep, nil
 }
 
@@ -229,6 +254,63 @@ type crashRunner struct {
 	stepWrites []int64
 	stepCkpts  []int64
 	baseCkpts  int64
+
+	// geom is the recording volume's geometry, shared by every
+	// snapshot-path recovery disk.
+	geom disk.Geometry
+	// base is the copy-on-write store the recording pass ran on;
+	// rec is the wrapper that captured one snapshot per disk write.
+	// Both are nil on the replay path.
+	base *disk.CowMemStore
+	rec  *snapRecorder
+}
+
+// snapRecorder wraps the recording store: once armed, it captures a
+// copy-on-write snapshot immediately before every write — the image a
+// crash during that write starts from — plus, when tearing, the prefix
+// of the write that would survive (CrashPlan keeps the leading half,
+// rounded down to a sector boundary).
+type snapRecorder struct {
+	disk.Store                 // the underlying CowMemStore
+	snaps      []disk.Snapshot // snaps[k-1] = image before write k
+	prefixes   [][]byte        // torn prefix of write k (nil entries when not tearing)
+	prefixOffs []int64
+	armed      bool
+	torn       bool
+	err        error // first snapshot failure, checked after recording
+}
+
+// WriteAt snapshots the pre-write image, then applies the write.
+func (s *snapRecorder) WriteAt(p []byte, off int64) error {
+	if s.armed && s.err == nil {
+		sn, err := s.Store.(disk.Snapshotter).Snapshot()
+		if err != nil {
+			s.err = err
+		} else {
+			s.snaps = append(s.snaps, sn)
+			var prefix []byte
+			if s.torn {
+				if keep := len(p) / disk.SectorSize / 2 * disk.SectorSize; keep > 0 {
+					prefix = append([]byte(nil), p[:keep]...)
+				}
+			}
+			s.prefixes = append(s.prefixes, prefix)
+			s.prefixOffs = append(s.prefixOffs, off)
+		}
+	}
+	return s.Store.WriteAt(p, off)
+}
+
+// release frees the recorded snapshots.
+func (r *crashRunner) release() {
+	if r.rec == nil {
+		return
+	}
+	for _, sn := range r.rec.snaps {
+		sn.Release()
+	}
+	r.base.Close()
+	r.rec = nil
 }
 
 // freshImage formats a new volume and mounts it, returning the disk
@@ -248,10 +330,34 @@ func (r *crashRunner) freshImage() (*disk.Disk, *core.FS, error) {
 
 // recordPass runs the workload fault-free, counting writes and
 // checkpoints per step and building the shadow history of every path.
+// On the snapshot path the volume lives on a copy-on-write store and
+// every disk write leaves behind the image a crash during it would
+// start from.
 func (r *crashRunner) recordPass() error {
-	d, fs, err := r.freshImage()
-	if err != nil {
-		return err
+	var d *disk.Disk
+	var fs *core.FS
+	var err error
+	if r.cfg.Replay {
+		d, fs, err = r.freshImage()
+		if err != nil {
+			return err
+		}
+	} else {
+		r.geom = disk.GeometryForCapacity(r.cfg.DiskCapacity)
+		r.base = disk.NewCowMemStore(r.geom.TotalBytes())
+		r.rec = &snapRecorder{Store: r.base, torn: r.cfg.Torn}
+		d, err = disk.New(r.rec, r.geom, disk.WrenIVModel(), sim.NewClock())
+		if err != nil {
+			return fmt.Errorf("fstest: recording disk: %w", err)
+		}
+		if err := core.Format(d, r.cfg.FSConfig); err != nil {
+			return fmt.Errorf("fstest: format: %w", err)
+		}
+		fs, err = core.Mount(d, r.cfg.FSConfig)
+		if err != nil {
+			return fmt.Errorf("fstest: mount: %w", err)
+		}
+		r.rec.armed = true // snapshot numbering matches policy write numbering from here
 	}
 	d.SetFaultPolicy(&disk.CrashPlan{}) // pure sequence counter
 	r.baseCkpts = fs.Stats().Checkpoints
@@ -269,6 +375,15 @@ func (r *crashRunner) recordPass() error {
 		r.stepCkpts[i] = fs.Stats().Checkpoints
 	}
 	r.totalWrites = d.PolicyWrites()
+	if r.rec != nil {
+		r.rec.armed = false
+		if r.rec.err != nil {
+			return fmt.Errorf("fstest: snapshotting the recording pass: %w", r.rec.err)
+		}
+		if int64(len(r.rec.snaps)) != r.totalWrites {
+			return fmt.Errorf("fstest: recorded %d snapshots for %d writes", len(r.rec.snaps), r.totalWrites)
+		}
+	}
 	return nil
 }
 
@@ -362,10 +477,10 @@ func (r *crashRunner) floorFor(k int64) int {
 	return floor
 }
 
-// point replays the workload with power cut during write k and
+// replayPoint replays the workload with power cut during write k and
 // verifies recovery. It reports whether recovery rolled forward past
 // the checkpoint, plus any invariant violations.
-func (r *crashRunner) point(k int64) (rolledForward bool, fails []CrashFailure) {
+func (r *crashRunner) replayPoint(k int64) (rolledForward bool, fails []CrashFailure) {
 	fail := func(stage, format string, args ...any) {
 		fails = append(fails, CrashFailure{
 			CutWrite: k, Torn: r.cfg.Torn, Stage: stage,
@@ -398,6 +513,52 @@ func (r *crashRunner) point(k int64) (rolledForward bool, fails []CrashFailure) 
 	// FS instance is dead memory.
 	d.Thaw()
 	d.SetFaultPolicy(nil)
+	return r.verifyRecovery(d, k)
+}
+
+// snapshotPoint reconstructs the post-crash image for write k by
+// restoring the pre-write snapshot — plus the fatal write's surviving
+// prefix, when tearing — and verifies recovery on it directly, without
+// re-running the workload.
+func (r *crashRunner) snapshotPoint(k int64) (rolledForward bool, fails []CrashFailure) {
+	fail := func(stage, format string, args ...any) {
+		fails = append(fails, CrashFailure{
+			CutWrite: k, Torn: r.cfg.Torn, Stage: stage,
+			Detail: fmt.Sprintf(format, args...),
+		})
+	}
+	if err := r.rec.snaps[k-1].Restore(); err != nil {
+		fail("restore", "restoring the pre-write image: %v", err)
+		return false, fails
+	}
+	if prefix := r.rec.prefixes[k-1]; len(prefix) > 0 {
+		if err := r.base.WriteAt(prefix, r.rec.prefixOffs[k-1]); err != nil {
+			fail("restore", "applying the torn prefix: %v", err)
+			return false, fails
+		}
+	}
+	// Reboot onto the reconstructed image: a fresh device and clock,
+	// exactly as a replayed crash leaves behind.
+	d, err := disk.New(r.base, r.geom, disk.WrenIVModel(), sim.NewClock())
+	if err != nil {
+		fail("restore", "reopening the device: %v", err)
+		return false, fails
+	}
+	return r.verifyRecovery(d, k)
+}
+
+// verifyRecovery runs the recovery invariants against a device holding
+// the post-crash image: checkpoint-only mount must be consistent, full
+// recovery must mount and check clean, recovered contents must be
+// explainable by the shadow history, and the unmounted image must pass
+// fsck. Both crash-point strategies share it.
+func (r *crashRunner) verifyRecovery(d *disk.Disk, k int64) (rolledForward bool, fails []CrashFailure) {
+	fail := func(stage, format string, args ...any) {
+		fails = append(fails, CrashFailure{
+			CutWrite: k, Torn: r.cfg.Torn, Stage: stage,
+			Detail: fmt.Sprintf(format, args...),
+		})
+	}
 
 	// (1) Checkpoint-only recovery. Mounting without roll-forward
 	// reads only the checkpoint regions and the structures they name,

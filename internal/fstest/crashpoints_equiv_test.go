@@ -1,0 +1,57 @@
+package fstest_test
+
+import (
+	"reflect"
+	"testing"
+
+	"lfs/internal/core"
+	"lfs/internal/fstest"
+)
+
+// TestCrashPointStrategiesAgree cross-checks the two sweep strategies:
+// restoring a pre-write snapshot must reconstruct exactly the image a
+// full workload replay leaves behind, so the reports — every counter
+// and every failure — must match field for field.
+func TestCrashPointStrategiesAgree(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.SegmentSize = 64 << 10
+	cfg.CacheBlocks = 64
+	cfg.MaxInodes = 512
+	for _, torn := range []bool{false, true} {
+		name := "lost"
+		if torn {
+			name = "torn"
+		}
+		t.Run(name, func(t *testing.T) {
+			base := fstest.CrashConfig{
+				FSConfig:     cfg,
+				DiskCapacity: 8 << 20,
+				Workload:     fstest.MixedWorkload(10, cfg.BlockSize),
+				Torn:         torn,
+				Stride:       7,
+			}
+			snapCfg, replayCfg := base, base
+			replayCfg.Replay = true
+			snap, err := fstest.RunCrashPoints(snapCfg)
+			if err != nil {
+				t.Fatalf("snapshot sweep: %v", err)
+			}
+			replay, err := fstest.RunCrashPoints(replayCfg)
+			if err != nil {
+				t.Fatalf("replay sweep: %v", err)
+			}
+			if snap.SnapshotPoints != snap.Points {
+				t.Errorf("snapshot sweep used snapshots for %d of %d points", snap.SnapshotPoints, snap.Points)
+			}
+			if replay.SnapshotPoints != 0 {
+				t.Errorf("replay sweep reported %d snapshot points", replay.SnapshotPoints)
+			}
+			// SnapshotPoints is the only field allowed to differ.
+			snapCopy := *snap
+			snapCopy.SnapshotPoints = 0
+			if !reflect.DeepEqual(&snapCopy, replay) {
+				t.Errorf("strategies diverged:\nsnapshot: %+v\nreplay:   %+v", snapCopy, *replay)
+			}
+		})
+	}
+}

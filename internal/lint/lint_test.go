@@ -136,9 +136,9 @@ func TestMatch(t *testing.T) {
 		patterns []string
 		want     int
 	}{
-		{nil, 6},
-		{[]string{"./..."}, 6},
-		{[]string{"./internal/..."}, 5},
+		{nil, 7},
+		{[]string{"./..."}, 7},
+		{[]string{"./internal/..."}, 6},
 		{[]string{"./internal/core"}, 1},
 		{[]string{"./cmd/tool"}, 1},
 		{[]string{"./nosuchdir"}, 0},

@@ -1,0 +1,25 @@
+// Package cowstore is a miniature of a store backend under
+// internal/disk: persistence code is inside the simulation boundary,
+// so wall-clock reads and the global rand source must be flagged even
+// two directories below internal/disk itself (the rule matches by
+// prefix).
+package cowstore
+
+import (
+	"math/rand"
+	"time"
+)
+
+// chunkSalt draws from a seeded source — the sanctioned pattern, not
+// flagged.
+func chunkSalt(seed int64) uint32 {
+	return rand.New(rand.NewSource(seed)).Uint32()
+}
+
+// snapshotID stamps a snapshot with wall-clock time and must be
+// flagged.
+func snapshotID() int64 { return time.Now().UnixNano() }
+
+// scatter picks an eviction victim from the global source and must be
+// flagged.
+func scatter(n int) int { return rand.Intn(n) }

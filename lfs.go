@@ -101,6 +101,22 @@ type (
 	Clock = sim.Clock
 	// Time is a point in simulated time.
 	Time = sim.Time
+	// Store is the persistence layer beneath a Disk: a flat
+	// fixed-size byte array with whole-image durability on Sync.
+	Store = disk.Store
+	// StoreOptions selects and configures a store backend for
+	// OpenStore and NewDisk.
+	StoreOptions = disk.StoreOptions
+	// StoreBackend names a block-store backend.
+	StoreBackend = disk.StoreBackend
+	// Snapshotter is the optional store capability for O(1)
+	// copy-on-write snapshots, detected by interface assertion.
+	Snapshotter = disk.Snapshotter
+	// Snapshot is a point-in-time image from a Snapshotter.
+	Snapshot = disk.Snapshot
+	// Allocator is the optional store capability reporting physical
+	// bytes allocated (sparse backends allocate less than Size).
+	Allocator = disk.Allocator
 )
 
 // Cleaning policies.
@@ -142,6 +158,20 @@ const (
 	CauseTool = disk.CauseTool
 )
 
+// Store backends, for StoreOptions.Backend.
+const (
+	// BackendMem is a plain in-memory byte array (the default).
+	BackendMem = disk.BackendMem
+	// BackendCow is an in-memory chunked store with O(1)
+	// copy-on-write snapshots (implements Snapshotter).
+	BackendCow = disk.BackendCow
+	// BackendFile is a sparse file-backed image (implements
+	// Allocator).
+	BackendFile = disk.BackendFile
+	// BackendMmap is a memory-mapped file image (unix only).
+	BackendMmap = disk.BackendMmap
+)
+
 // NewTraceRecorder returns an empty trace recorder, ready to be
 // attached through Config.Trace.
 func NewTraceRecorder() *TraceRecorder { return obs.NewRecorder() }
@@ -157,6 +187,14 @@ var (
 	ErrTooLarge  = vfs.ErrTooLarge
 	ErrInvalid   = vfs.ErrInvalid
 	ErrUnmounted = vfs.ErrUnmounted
+)
+
+// Store sentinel errors, tested with errors.Is.
+var (
+	// ErrStoreClosed reports an operation on a closed store.
+	ErrStoreClosed = disk.ErrClosed
+	// ErrStoreOutOfRange reports store access outside the image.
+	ErrStoreOutOfRange = disk.ErrOutOfRange
 )
 
 // DefaultConfig returns the paper's evaluation configuration: 4 KB
@@ -178,15 +216,37 @@ func NewMemDiskWithClock(capacity int64, clock *Clock) *Disk {
 	return disk.NewMem(capacity, clock)
 }
 
-// OpenImage opens (or creates) a file-backed disk image, so volumes
-// survive process restarts; used by the command-line tools.
-func OpenImage(path string, capacity int64) (*Disk, error) {
-	geom := disk.GeometryForCapacity(capacity)
-	store, err := disk.OpenFileStore(path, geom.TotalBytes())
+// OpenStore opens a raw block store without a simulated disk on top;
+// most callers want NewDisk instead. The capacity is used exactly as
+// given — NewDisk rounds it to disk geometry first.
+func OpenStore(opts StoreOptions) (Store, error) { return disk.OpenStore(opts) }
+
+// ParseStoreBackend maps a backend name ("mem", "cow", "file", "mmap")
+// to its StoreBackend, for command-line flags.
+func ParseStoreBackend(name string) (StoreBackend, bool) {
+	return disk.ParseStoreBackend(name)
+}
+
+// NewDisk builds a simulated disk of at least opts.Capacity bytes on
+// the selected store backend, modelled on the paper's CDC WREN IV and
+// driven by a fresh simulated clock. The backend never affects the
+// simulation: timing, statistics, and image bytes are identical across
+// backends — only persistence technology differs.
+func NewDisk(opts StoreOptions) (*Disk, error) {
+	geom := disk.GeometryForCapacity(opts.Capacity)
+	opts.Capacity = geom.TotalBytes()
+	store, err := disk.OpenStore(opts)
 	if err != nil {
 		return nil, err
 	}
 	return disk.New(store, geom, disk.WrenIVModel(), sim.NewClock())
+}
+
+// OpenImage opens (or creates) a file-backed disk image, so volumes
+// survive process restarts; used by the command-line tools. It is
+// NewDisk with the file backend.
+func OpenImage(path string, capacity int64) (*Disk, error) {
+	return NewDisk(StoreOptions{Backend: BackendFile, Path: path, Capacity: capacity})
 }
 
 // Format initialises the disk as an empty log-structured file system.

@@ -58,6 +58,22 @@ go run ./cmd/lfsbench -experiment cleaning-curve -quick \
 	-benchjson "$tracedir/BENCH_cleaning.json"
 scripts/benchdiff.sh BENCH_cleaning.json "$tracedir/BENCH_cleaning.json"
 mv "$tracedir/BENCH_cleaning.json" BENCH_cleaning.json
+echo "== store conformance =="
+# The pluggable-store acceptance gate, run explicitly (it is also part
+# of `go test ./...` above): every backend — mem, cow, file, mmap —
+# must pass the exported conformance suite, including fault-injection
+# identity and same-seed byte-identical images.
+go test ./internal/disk -run 'TestStoreConformance|TestStoreDifferentialProperty' -count=1
+echo "== crashsweep smoke =="
+# Crash-point sweep benchmark: the snapshot strategy (restore a
+# copy-on-write image per point) must stay at least 5x faster per
+# point than replaying the workload — lfsbench itself enforces the
+# floor — and the sweep's deterministic counters are diffed against
+# the committed baseline.
+go run ./cmd/lfsbench -experiment crashsweep -quick \
+	-benchjson "$tracedir/BENCH_crashsweep.json"
+scripts/benchdiff.sh BENCH_crashsweep.json "$tracedir/BENCH_crashsweep.json"
+mv "$tracedir/BENCH_crashsweep.json" BENCH_crashsweep.json
 echo "== metrics smoke =="
 # Metrics-plane smoke: small-file + cleaning run under the sampler,
 # final sample pinned to the end-of-run aggregates; the series feeds
