@@ -1,16 +1,26 @@
-// Command lfslint runs the repository's static-analysis suite: five
-// analyzers that mechanically enforce the simulation and log
-// invariants the paper's results depend on (see internal/lint).
+// Command lfslint runs the repository's static-analysis suite: ten
+// analyzers that mechanically enforce the simulation, log,
+// determinism, and resource invariants the paper's results depend on
+// (see internal/lint).
 //
 // Usage:
 //
-//	lfslint [-rules] [package patterns]
+//	lfslint [-rules] [-timings] [-budget d] [-json file] [package patterns]
 //
 // Patterns are module-relative in the style of the go tool: "./..."
 // (the default) analyses the whole module, "./internal/..." a
-// subtree, "./internal/core" one package. Findings print as
-// "file:line: rule: message" and any finding makes the exit status 1,
-// so scripts/ci.sh can use the command as a gate.
+// subtree, "./internal/core" one package. The whole module is always
+// loaded and analyzed — the reachability and derived-scope analyzers
+// need the full import and call graphs — and patterns filter which
+// findings are reported. Findings print as "file:line: rule: message"
+// and any finding makes the exit status 1, so scripts/ci.sh can use
+// the command as a gate.
+//
+// -timings prints the per-analyzer cost after the findings; -budget
+// fails the run (exit 1) when the whole analysis exceeds the given
+// duration, which is the ci.sh guard keeping the lint gate fast;
+// -json writes the machine-readable report ("-" for stdout) for
+// annotation tooling.
 package main
 
 import (
@@ -18,21 +28,25 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
 	"lfs/internal/lint"
 )
 
 func main() {
 	rules := flag.Bool("rules", false, "list the analyzers and exit")
+	timings := flag.Bool("timings", false, "print per-analyzer timings")
+	budget := flag.Duration("budget", 0, "fail if the full run takes longer than this (0 = no budget)")
+	jsonOut := flag.String("json", "", "write the JSON report to this file (\"-\" for stdout)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: lfslint [-rules] [package patterns]\n")
+		fmt.Fprintf(os.Stderr, "usage: lfslint [-rules] [-timings] [-budget d] [-json file] [package patterns]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 
 	if *rules {
 		for _, a := range lint.Analyzers {
-			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
 		}
 		return
 	}
@@ -42,21 +56,78 @@ func main() {
 		fmt.Fprintln(os.Stderr, "lfslint:", err)
 		os.Exit(2)
 	}
+	start := time.Now()
 	pkgs, err := lint.LoadModule(root)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lfslint:", err)
 		os.Exit(2)
 	}
-	pkgs = lint.Match(pkgs, flag.Args())
+	selected := lint.Match(pkgs, flag.Args())
 
-	diags := lint.Run(pkgs, lint.Analyzers)
+	// Analyze the whole module — derived scopes and reachability need
+	// every package — then report only findings in selected packages.
+	diags, times := lint.RunWithTimings(pkgs, lint.Analyzers)
+	diags = filterByPackages(diags, selected)
+	elapsed := time.Since(start)
+
 	for _, d := range diags {
 		fmt.Println(d)
 	}
+	if *timings {
+		for _, tm := range times {
+			fmt.Printf("lfslint: %-12s %7.2fms %4d finding(s)\n", tm.Rule, tm.Millis, tm.Findings)
+		}
+		fmt.Printf("lfslint: total        %7.2fms (%d packages)\n",
+			float64(elapsed)/float64(time.Millisecond), len(pkgs))
+	}
+	if *jsonOut != "" {
+		report := lint.NewReport(selected, diags, times)
+		w := os.Stdout
+		if *jsonOut != "-" {
+			f, err := os.Create(*jsonOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "lfslint:", err)
+				os.Exit(2)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := report.WriteJSON(w); err != nil {
+			fmt.Fprintln(os.Stderr, "lfslint:", err)
+			os.Exit(2)
+		}
+	}
+
+	fail := false
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "lfslint: %d finding(s)\n", len(diags))
+		fail = true
+	}
+	if *budget > 0 && elapsed > *budget {
+		fmt.Fprintf(os.Stderr, "lfslint: run took %v, over the %v budget\n",
+			elapsed.Round(time.Millisecond), *budget)
+		fail = true
+	}
+	if fail {
 		os.Exit(1)
 	}
+}
+
+// filterByPackages keeps the findings whose file lies in one of the
+// selected packages' directories.
+func filterByPackages(diags []lint.Diagnostic, pkgs []*lint.Package) []lint.Diagnostic {
+	dirs := make(map[string]bool, len(pkgs))
+	for _, p := range pkgs {
+		dirs[p.RelDir] = true
+	}
+	out := diags[:0]
+	for _, d := range diags {
+		dir := filepath.ToSlash(filepath.Dir(d.Pos.Filename))
+		if dirs[dir] || dir == "." && dirs["."] {
+			out = append(out, d)
+		}
+	}
+	return out
 }
 
 // findModuleRoot walks up from the working directory to the directory

@@ -281,6 +281,7 @@ func (c *Cache) remove(b *Block) {
 // discarding dirty contents; it returns the number removed.
 func (c *Cache) RemoveMatching(pred func(Key) bool) int {
 	var victims []*Block
+	//lfslint:allow maporder removal order does not matter: every victim is removed and the final cache state is identical for any order
 	for k, b := range c.blocks {
 		if pred(k) {
 			victims = append(victims, b)
@@ -296,6 +297,7 @@ func (c *Cache) RemoveMatching(pred func(Key) bool) int {
 // paper's "flush the file cache" step between benchmark phases.
 func (c *Cache) DropClean() int {
 	var victims []*Block
+	//lfslint:allow maporder eviction order does not matter: every clean block is dropped and the final cache state is identical for any order
 	for k, b := range c.blocks {
 		if !b.dirty && b.pins == 0 {
 			_ = k

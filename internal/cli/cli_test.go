@@ -3,18 +3,21 @@ package cli
 import "testing"
 
 func TestParseSize(t *testing.T) {
-	cases := map[string]int64{
-		"512":  512,
-		"4K":   4 << 10,
-		"4k":   4 << 10,
-		"300M": 300 << 20,
-		"1G":   1 << 30,
-		" 8M ": 8 << 20,
+	cases := []struct {
+		in   string
+		want int64
+	}{
+		{"512", 512},
+		{"4K", 4 << 10},
+		{"4k", 4 << 10},
+		{"300M", 300 << 20},
+		{"1G", 1 << 30},
+		{" 8M ", 8 << 20},
 	}
-	for in, want := range cases {
-		got, err := ParseSize(in)
-		if err != nil || got != want {
-			t.Errorf("ParseSize(%q) = %d, %v; want %d", in, got, err, want)
+	for _, tc := range cases {
+		got, err := ParseSize(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseSize(%q) = %d, %v; want %d", tc.in, got, err, tc.want)
 		}
 	}
 	for _, bad := range []string{"", "x", "12Q", "-5", "0", "K"} {

@@ -886,6 +886,7 @@ func TestConcurrentAccess(t *testing.T) {
 	errCh := make(chan error, workers)
 	for w := 0; w < workers; w++ {
 		w := w
+		//lfslint:allow nogoroutine this test deliberately exercises the external mutex under real concurrency; simulated results are not read until all workers join
 		go func() {
 			dir := fmt.Sprintf("/w%d", w)
 			if err := fs.Mkdir(dir); err != nil {

@@ -421,6 +421,7 @@ func (fs *FS) creditSegmentAged(seg int, nbytes int64, age sim.Time) {
 // additional live data, counting data already dirty in the cache.
 func (fs *FS) admitBytes(newBytes int64) error {
 	dirty := int64(fs.bc.DirtyCount()) * int64(fs.cfg.BlockSize)
+	//lfslint:allow floataccum admission limit is recomputed from integers on every call; the fraction never accumulates
 	limit := int64(float64(fs.logCapacity()) * fs.cfg.MaxLiveFraction)
 	if fs.liveBytes+dirty+newBytes > limit {
 		return fmt.Errorf("%w: live data %d + %d would exceed limit %d",

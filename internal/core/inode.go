@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"lfs/internal/cache"
 	"lfs/internal/disk"
@@ -138,18 +139,28 @@ func (fs *FS) getInode(ino layout.Ino) (*layout.Inode, error) {
 	return want, nil
 }
 
-// evictInodes drops clean in-core inodes when over the limit.
+// evictInodes drops clean in-core inodes when over the limit. The
+// eviction set is chosen in ascending inode order, never by map
+// iteration order: which inodes survive decides which future lookups
+// go back to disk, and those reads charge simulated time — a random
+// eviction set would make the whole timeline differ between reruns
+// of the same seed.
 func (fs *FS) evictInodes() {
 	if len(fs.inodes) < inodeCacheLimit {
 		return
 	}
+	clean := make([]layout.Ino, 0, len(fs.inodes))
 	for ino := range fs.inodes {
 		if !fs.dirtyInodes[ino] {
-			delete(fs.inodes, ino)
-			if len(fs.inodes) < inodeCacheLimit/2 {
-				break
-			}
+			clean = append(clean, ino)
 		}
+	}
+	sort.Slice(clean, func(i, j int) bool { return clean[i] < clean[j] })
+	for _, ino := range clean {
+		if len(fs.inodes) < inodeCacheLimit/2 {
+			break
+		}
+		delete(fs.inodes, ino)
 	}
 }
 

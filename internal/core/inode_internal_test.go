@@ -1,0 +1,59 @@
+package core
+
+import (
+	"testing"
+
+	"lfs/internal/layout"
+)
+
+// TestEvictInodesDeterministic is the regression test for the lfslint
+// maporder finding fixed in inode.go: eviction used to walk the inode
+// table in map iteration order, so which inodes survived — and which
+// future lookups went back to disk, charging simulated time — varied
+// between reruns of the same seed. The eviction set must be the
+// ascending-inode prefix of the clean inodes, every dirty inode must
+// survive, and the table must land exactly on the half-limit mark.
+func TestEvictInodesDeterministic(t *testing.T) {
+	fs := &FS{
+		inodes:      make(map[layout.Ino]*layout.Inode),
+		dirtyInodes: make(map[layout.Ino]bool),
+	}
+	for i := 1; i <= inodeCacheLimit; i++ {
+		ino := layout.Ino(i)
+		fs.inodes[ino] = &layout.Inode{Ino: ino}
+		if i%3 == 0 {
+			fs.dirtyInodes[ino] = true
+		}
+	}
+	fs.evictInodes()
+
+	if got, want := len(fs.inodes), inodeCacheLimit/2-1; got != want {
+		t.Fatalf("evictInodes left %d inodes, want %d", got, want)
+	}
+	for ino := range fs.dirtyInodes {
+		if _, ok := fs.inodes[ino]; !ok {
+			t.Fatalf("dirty inode %d was evicted", ino)
+		}
+	}
+	// The surviving clean inodes must be exactly the largest ones: an
+	// ascending eviction never removes a clean inode above a survivor.
+	minClean := layout.Ino(0)
+	for ino := range fs.inodes {
+		if !fs.dirtyInodes[ino] && (minClean == 0 || ino < minClean) {
+			minClean = ino
+		}
+	}
+	if minClean == 0 {
+		t.Fatal("no clean inode survived")
+	}
+	for i := layout.Ino(1); i < minClean; i++ {
+		if _, ok := fs.inodes[i]; ok && !fs.dirtyInodes[i] {
+			t.Fatalf("clean inode %d survived below the eviction frontier %d", i, minClean)
+		}
+	}
+	for i := minClean; i <= layout.Ino(inodeCacheLimit); i++ {
+		if _, ok := fs.inodes[i]; !ok && !fs.dirtyInodes[i] {
+			t.Fatalf("clean inode %d above the frontier %d was evicted", i, minClean)
+		}
+	}
+}

@@ -74,6 +74,7 @@ func (m PerfModel) SeekTime(dist, cylinders int) sim.Duration {
 	if frac > 1 {
 		frac = 1
 	}
+	//lfslint:allow floataccum the seek model is defined in real arithmetic and evaluated per request; no float state accumulates
 	return m.MinSeek + sim.Duration(float64(m.MaxSeek-m.MinSeek)*frac)
 }
 
@@ -83,5 +84,6 @@ func (m PerfModel) TransferTime(n int64) sim.Duration {
 	if n <= 0 {
 		return 0
 	}
+	//lfslint:allow floataccum the transfer model is defined in real arithmetic and evaluated per request; no float state accumulates
 	return sim.Duration(float64(n) / m.Bandwidth * 1e9)
 }

@@ -224,6 +224,7 @@ func PolicyAblation(opts PolicyOpts) ([]PolicyRow, error) {
 			return nil, err
 		}
 		start := sys.Clock().Now()
+		//lfslint:allow floataccum hot-set sizing applies a config fraction once at setup; nothing accumulates
 		hot := int(float64(opts.Files) * opts.HotFraction)
 		if hot < 1 {
 			hot = 1

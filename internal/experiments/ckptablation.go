@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"lfs/internal/core"
@@ -113,8 +114,17 @@ func CheckpointAblation(opts CkptOpts) ([]CkptRow, error) {
 			return nil, fmt.Errorf("ckpt ablation %v: remount: %w", interval, err)
 		}
 		mountMs := float64(sys.Clock().Now().Sub(before)) / float64(sim.Millisecond)
-		lost := 0
+		// Probe the window files in sorted order: each Stat charges
+		// simulated CPU and touches the cache, so probing in map
+		// order would perturb the simulated timeline (and any
+		// attached metrics samplers) from run to run.
+		probes := make([]string, 0, len(windowFiles))
 		for p := range windowFiles {
+			probes = append(probes, p)
+		}
+		sort.Strings(probes)
+		lost := 0
+		for _, p := range probes {
 			if _, err := recovered.Stat(p); err != nil {
 				lost++
 			}

@@ -117,7 +117,9 @@ func CleaningCurve(opts CleaningOpts) ([]CleaningRow, error) {
 			lfs := sys.System.(*core.FS)
 			z := opts.Zipf
 			z.FileSize = opts.FileSize
+			//lfslint:allow floataccum workload sizing applies the utilization target once per cell; nothing accumulates
 			z.Files = int(u * float64(lfs.LogCapacity()) / float64(opts.FileSize))
+			//lfslint:allow floataccum workload sizing applies the overwrite factor once per cell; nothing accumulates
 			z.Overwrites = int(opts.OverwritesPerFile * float64(z.Files))
 			if _, err := workload.ZipfOverwrite(sys, z); err != nil {
 				return nil, fmt.Errorf("cleaning %s u=%.2f: %w", arm.Name, u, err)

@@ -39,6 +39,7 @@ func DefaultFig4Opts() Fig4Opts {
 // reread of one large file.
 func Fig4(opts Fig4Opts) ([]Fig4Row, error) {
 	var rows []Fig4Row
+	//lfslint:allow floataccum cache sizing applies a config fraction once at setup; nothing accumulates
 	cacheBytes := int64(float64(opts.FileSize) * opts.CacheFraction)
 	if opts.CacheFraction <= 0 {
 		cacheBytes = 15 << 20

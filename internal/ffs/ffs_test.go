@@ -500,6 +500,62 @@ func TestFsckDetectsCorruption(t *testing.T) {
 	}
 }
 
+// TestFsckProblemsDeterministicOrder is the regression test for the
+// lfslint maporder finding fixed in fsck's Pass 3: per-inode problems
+// used to be emitted in map iteration order, so the report — which
+// lfsck prints and tests golden — differed between identical runs.
+// With many damaged inodes, the Pass 3 lines must come out in
+// ascending inode order every time.
+func TestFsckProblemsDeterministicOrder(t *testing.T) {
+	d := disk.NewMem(32<<20, sim.NewClock())
+	cfg := ffs.DefaultConfig()
+	if err := ffs.Format(d, cfg); err != nil {
+		t.Fatal(err)
+	}
+	fs, err := ffs.Mount(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 25; i++ {
+		p := fmt.Sprintf("/f%02d", i)
+		if err := fs.Create(p); err != nil {
+			t.Fatal(err)
+		}
+		if err := fs.Write(p, 0, []byte("payload")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fs.Unmount(); err != nil {
+		t.Fatal(err)
+	}
+	// Zero group 0's bitmap: every allocated inode now reads as free,
+	// so Pass 3 reports one problem per inode.
+	zero := make([]byte, cfg.BlockSize)
+	if err := d.Store().WriteAt(zero, int64(cfg.BlockSize)); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ffs.Fsck(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last, seen := -1, 0
+	for _, p := range rep.Problems {
+		var ino int
+		if _, err := fmt.Sscanf(p, "inode %d in use but free in bitmap", &ino); err != nil {
+			continue
+		}
+		seen++
+		if ino <= last {
+			t.Fatalf("bitmap problems out of ascending inode order: %d after %d\n%v",
+				ino, last, rep.Problems)
+		}
+		last = ino
+	}
+	if seen < 25 {
+		t.Fatalf("only %d per-inode bitmap problems reported, want at least 25", seen)
+	}
+}
+
 // TestDoubleIndirectLifecycle exercises FFS's double-indirect paths:
 // sparse writes land blocks in the double-indirect region, reads find
 // them (and holes around them), and truncation releases the whole

@@ -2,6 +2,7 @@ package ffs
 
 import (
 	"fmt"
+	"sort"
 
 	"lfs/internal/disk"
 	"lfs/internal/layout"
@@ -233,8 +234,17 @@ func Fsck(d *disk.Disk, cfg Config) (*FsckReport, error) {
 		return nil, err
 	}
 
-	// Pass 3: cross-checks, including link counts.
-	for ino, rec := range inodes {
+	// Pass 3: cross-checks, including link counts. Problems are
+	// reported in ascending inode order: the report is part of the
+	// deterministic output contract (lfsck prints it, tests golden
+	// it), so it must not inherit map iteration order.
+	inos := make([]layout.Ino, 0, len(inodes))
+	for ino := range inodes {
+		inos = append(inos, ino)
+	}
+	sort.Slice(inos, func(i, j int) bool { return inos[i] < inos[j] })
+	for _, ino := range inos {
+		rec := inodes[ino]
 		if refs[ino] == 0 {
 			rep.Problems = append(rep.Problems, fmt.Sprintf("inode %d allocated but unreachable", ino))
 		}

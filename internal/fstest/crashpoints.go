@@ -645,7 +645,15 @@ func (r *crashRunner) verifyContent(fs *core.FS, k int64) []CrashFailure {
 				p, got.describe(), floor, r.lastStep, h.at(floor).describe())
 		}
 	}
+	// Unknown-path failures report in sorted order too: CrashFailure
+	// details feed test output and goldens, so they must not inherit
+	// map iteration order.
+	unknown := make([]string, 0, len(recovered))
 	for p := range recovered {
+		unknown = append(unknown, p)
+	}
+	sort.Strings(unknown)
+	for _, p := range unknown {
 		if _, known := r.histories[p]; !known {
 			fails = append(fails, CrashFailure{
 				CutWrite: k, Torn: r.cfg.Torn, Stage: "content",

@@ -23,7 +23,7 @@ var AtomicMixAnalyzer = &Analyzer{
 	Run:  runAtomicMix,
 }
 
-func runAtomicMix(pkg *Package) []Diagnostic {
+func runAtomicMix(pkg *Package, _ *Index) []Diagnostic {
 	// Pass 1: find fields used atomically, and remember the exact
 	// selector nodes inside atomic calls so pass 2 exempts them.
 	atomicFields := make(map[string]bool)

@@ -42,7 +42,7 @@ var ErrWrapAnalyzer = &Analyzer{
 	Run:  runErrWrap,
 }
 
-func runErrWrap(pkg *Package) []Diagnostic {
+func runErrWrap(pkg *Package, _ *Index) []Diagnostic {
 	if !pkg.inDirs(errwrapDirs...) {
 		return nil
 	}

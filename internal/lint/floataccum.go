@@ -1,0 +1,145 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// intConvNames are the builtin integer types: converting float
+// arithmetic through one truncates, and truncation inside accounting
+// arithmetic drifts as it accumulates.
+var intConvNames = map[string]bool{
+	"int": true, "int8": true, "int16": true, "int32": true, "int64": true,
+	"uint": true, "uint8": true, "uint16": true, "uint32": true, "uint64": true,
+	"uintptr": true, "byte": true, "rune": true,
+}
+
+// FloatAccumAnalyzer flags integer conversions whose operand is float
+// arithmetic, in simulation packages: shapes like
+// int64(float64(live) * frac) or sim.Duration(float64(n) / bw). This
+// is the exact bug class behind the PR 6 killBlock live-estimate
+// drift — a float round-trip on byte/time accounting that feeds
+// checkpoints or counters loses ulps that accumulate into visible
+// divergence. Float math on float-typed quantities (utilizations,
+// policy ratios) is untouched; only the float→integer boundary is
+// policed, and a deliberate boundary (a latency model defined in real
+// arithmetic, a config fraction applied once) takes a justified
+// allow.
+var FloatAccumAnalyzer = &Analyzer{
+	Name: "floataccum",
+	Doc:  "byte/time accounting stays integral; no float arithmetic feeding integer conversions",
+	Run:  runFloatAccum,
+}
+
+func runFloatAccum(pkg *Package, ix *Index) []Diagnostic {
+	if !ix.InSimScope(pkg) {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		timeName := importName(f.AST, "time")
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			target := intConvTarget(pkg, ix, f, call, timeName)
+			if target == "" || !hasFloatArith(call.Args[0]) {
+				return true
+			}
+			diags = append(diags, Diagnostic{
+				Pos:  pkg.Fset.Position(call.Pos()),
+				Rule: "floataccum",
+				Msg: target + " of float arithmetic truncates; accumulated " +
+					"byte/time accounting drifts (the killBlock bug class) — " +
+					"keep accounting integral or justify the boundary with an allow",
+			})
+			return true
+		})
+	}
+	return diags
+}
+
+// intConvTarget returns the display name of the conversion target
+// when the call converts to an integer-like type: a builtin integer
+// type, time.Duration, or a module-defined named type (a
+// single-argument "call" of a name that is not a known function is a
+// conversion; named float types would be an odd thing to define, so
+// the target is taken as integral).
+func intConvTarget(pkg *Package, ix *Index, f *File, call *ast.CallExpr, timeName string) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if intConvNames[fun.Name] && fun.Obj == nil {
+			return fun.Name
+		}
+		if builtinNames[fun.Name] {
+			return "" // float64(...), string(...), len(...)
+		}
+		// Same-package named type: a conversion exactly when no
+		// function of that name exists.
+		for _, cand := range ix.funcs[fun.Name] {
+			if cand.Pkg == pkg {
+				return ""
+			}
+		}
+		return fun.Name
+	case *ast.SelectorExpr:
+		id, ok := fun.X.(*ast.Ident)
+		if !ok || id.Obj != nil {
+			return ""
+		}
+		if isPkgIdent(id, timeName) && fun.Sel.Name == "Duration" {
+			return "time.Duration"
+		}
+		if dir := ix.importDirFor(f, id.Name); dir != "" {
+			for _, cand := range ix.funcs[fun.Sel.Name] {
+				if cand.Pkg.RelDir == dir && cand.Decl.Recv == nil {
+					return "" // a real function, not a conversion
+				}
+			}
+			return id.Name + "." + fun.Sel.Name
+		}
+	}
+	return ""
+}
+
+// hasFloatArith reports whether the expression contains arithmetic
+// with an evident float operand: a float32/float64 conversion or a
+// floating-point literal inside a +,-,*,/ expression.
+func hasFloatArith(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		switch be.Op {
+		case token.ADD, token.SUB, token.MUL, token.QUO:
+			if mentionsFloat(be.X) || mentionsFloat(be.Y) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// mentionsFloat reports an evident float in the subtree: a float
+// conversion or a float literal.
+func mentionsFloat(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && (id.Name == "float64" || id.Name == "float32") {
+				found = true
+			}
+		case *ast.BasicLit:
+			if n.Kind == token.FLOAT {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

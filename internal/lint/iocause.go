@@ -23,7 +23,7 @@ var IOCauseAnalyzer = &Analyzer{
 	Run:  runIOCause,
 }
 
-func runIOCause(pkg *Package) []Diagnostic {
+func runIOCause(pkg *Package, _ *Index) []Diagnostic {
 	var diags []Diagnostic
 	for _, f := range pkg.Files {
 		ast.Inspect(f.AST, func(n ast.Node) bool {

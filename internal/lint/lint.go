@@ -3,35 +3,45 @@
 // latency model, so every figure we reproduce silently depends on
 // conventions the compiler cannot check: the simulated clock is the
 // only time source, every disk request names its IOCause, VFS
-// operations fail only with *vfs.PathError, and lock-guarded state is
-// touched only under the lock. Each analyzer here turns one of those
-// conventions into a build gate (run by scripts/ci.sh before the
-// tests).
+// operations fail only with *vfs.PathError, lock-guarded state is
+// touched only under the lock, deterministic output never depends on
+// map iteration order or goroutine scheduling, store sentinels are
+// compared with errors.Is, store handles reach Close, and byte/time
+// accounting stays in integer arithmetic. Each analyzer here turns
+// one of those conventions into a build gate (run by scripts/ci.sh
+// before the tests).
 //
 // The suite is written against the standard library only (go/ast,
 // go/parser, go/token) so go.mod stays dependency-free. Analyses are
 // therefore syntactic: they resolve package qualifiers through the
 // file's import table rather than full type information, which is
 // precise enough for this repository's idioms and keeps a whole-module
-// run under a second.
+// run under a second. Analyzers that need more than one package —
+// reachability from deterministic-output writers, the derived
+// simulation scope — share the Index built once per run.
 //
 // A finding can be suppressed where the violation is intentional by
 // placing
 //
 //	//lfslint:allow <rule>[,<rule>...] <one-line justification>
 //
-// on the flagged line or the line directly above it. Allow directives
-// are deliberately line-scoped: there is no file- or package-wide
-// escape hatch, so every exception is visible next to the code it
-// excuses.
+// on the flagged line or the line directly above it. The
+// justification is mandatory: a directive without one is itself
+// reported (rule "allow"), as is a stale directive that no longer
+// suppresses anything. Allow directives are deliberately line-scoped:
+// there is no file- or package-wide escape hatch, so every exception
+// is visible next to the code it excuses.
 package lint
 
 import (
+	"encoding/json"
 	"fmt"
 	"go/ast"
 	"go/token"
+	"io"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Diagnostic is one finding: a violated rule at a position.
@@ -51,13 +61,36 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Rule, d.Msg)
 }
 
+// Allow is one parsed //lfslint:allow directive.
+type Allow struct {
+	// Rules are the analyzer names the directive suppresses.
+	Rules []string
+	// Justification is everything after the rule list. It is
+	// mandatory; an empty justification is reported by the driver.
+	Justification string
+	// Pos locates the directive.
+	Pos token.Position
+	// used records whether the directive suppressed at least one
+	// finding during the current run.
+	used bool
+}
+
+// covers reports whether the directive names the rule.
+func (a *Allow) covers(rule string) bool {
+	for _, r := range a.Rules {
+		if r == rule {
+			return true
+		}
+	}
+	return false
+}
+
 // File is one parsed source file plus its allow directives.
 type File struct {
 	// AST is the parsed file (with comments).
 	AST *ast.File
-	// Allows maps a line number to the set of rules an
-	// //lfslint:allow directive on that line suppresses.
-	Allows map[int]map[string]bool
+	// Allows are the file's parsed //lfslint:allow directives.
+	Allows []*Allow
 }
 
 // Package is all Go files of one directory (test files included: the
@@ -95,8 +128,10 @@ type Analyzer struct {
 	// Doc is a one-line description for cmd/lfslint -rules.
 	Doc string
 	// Run inspects one package and returns its findings (allow
-	// filtering happens in the driver).
-	Run func(pkg *Package) []Diagnostic
+	// filtering happens in the driver). The shared index gives
+	// cross-package facts: derived simulation scope, call-graph
+	// reachability, map-typed names.
+	Run func(pkg *Package, ix *Index) []Diagnostic
 }
 
 // Analyzers is the full suite, in the order findings are reported.
@@ -106,15 +141,19 @@ var Analyzers = []*Analyzer{
 	ErrWrapAnalyzer,
 	LockCheckAnalyzer,
 	AtomicMixAnalyzer,
+	MapOrderAnalyzer,
+	NoGoroutineAnalyzer,
+	SentinelErrAnalyzer,
+	StoreCapAnalyzer,
+	FloatAccumAnalyzer,
 }
 
 // allowDirective is the comment prefix of the escape hatch.
 const allowDirective = "lfslint:allow"
 
-// parseAllows extracts the allow directives of a parsed file, keyed by
-// line number.
-func parseAllows(fset *token.FileSet, f *ast.File) map[int]map[string]bool {
-	allows := make(map[int]map[string]bool)
+// parseAllows extracts the allow directives of a parsed file.
+func parseAllows(fset *token.FileSet, f *ast.File) []*Allow {
+	var allows []*Allow
 	for _, cg := range f.Comments {
 		for _, c := range cg.List {
 			text := strings.TrimPrefix(c.Text, "//")
@@ -122,21 +161,19 @@ func parseAllows(fset *token.FileSet, f *ast.File) map[int]map[string]bool {
 			if !strings.HasPrefix(text, allowDirective) {
 				continue
 			}
-			rest := strings.TrimPrefix(text, allowDirective)
-			fields := strings.Fields(rest)
-			if len(fields) == 0 {
-				continue
+			rest := strings.TrimSpace(strings.TrimPrefix(text, allowDirective))
+			ruleList, justification, _ := strings.Cut(rest, " ")
+			a := &Allow{
+				Justification: strings.TrimSpace(justification),
+				Pos:           fset.Position(c.Pos()),
 			}
-			line := fset.Position(c.Pos()).Line
-			set := allows[line]
-			if set == nil {
-				set = make(map[string]bool)
-				allows[line] = set
-			}
-			for _, rule := range strings.Split(fields[0], ",") {
+			for _, rule := range strings.Split(ruleList, ",") {
 				if rule != "" {
-					set[rule] = true
+					a.Rules = append(a.Rules, rule)
 				}
+			}
+			if len(a.Rules) > 0 {
+				allows = append(allows, a)
 			}
 		}
 	}
@@ -144,15 +181,17 @@ func parseAllows(fset *token.FileSet, f *ast.File) map[int]map[string]bool {
 }
 
 // allowed reports whether an allow directive for rule covers the given
-// line: the directive may sit on the flagged line itself or on the
-// line directly above it.
+// line — the directive may sit on the flagged line itself or on the
+// line directly above it — and marks any covering directive as used.
 func (f *File) allowed(rule string, line int) bool {
-	for _, l := range [2]int{line, line - 1} {
-		if f.Allows[l][rule] {
-			return true
+	ok := false
+	for _, a := range f.Allows {
+		if (a.Pos.Line == line || a.Pos.Line == line-1) && a.covers(rule) {
+			a.used = true
+			ok = true
 		}
 	}
-	return false
+	return ok
 }
 
 // fileFor maps a diagnostic back to the file it was reported in, for
@@ -166,20 +205,45 @@ func fileFor(pkg *Package, d Diagnostic) *File {
 	return nil
 }
 
+// Timing is the cost of one pass over the whole load, for the ci.sh
+// budget line. The pseudo-entry "index" accounts for building the
+// shared package index.
+type Timing struct {
+	Rule     string  `json:"rule"`
+	Millis   float64 `json:"ms"`
+	Findings int     `json:"findings"`
+}
+
 // Run executes the analyzers over the packages, drops findings covered
-// by allow directives, and returns the rest sorted by position.
+// by allow directives, and returns the rest — plus any allow-directive
+// violations — sorted by position.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	diags, _ := RunWithTimings(pkgs, analyzers)
+	return diags
+}
+
+// RunWithTimings is Run plus per-analyzer wall time, one Timing per
+// analyzer in suite order after the "index" entry.
+func RunWithTimings(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, []Timing) {
+	start := time.Now()
+	ix := NewIndex(pkgs)
+	timings := []Timing{{Rule: "index", Millis: msSince(start)}}
 	var out []Diagnostic
-	for _, pkg := range pkgs {
-		for _, a := range analyzers {
-			for _, d := range a.Run(pkg) {
+	for _, a := range analyzers {
+		t0 := time.Now()
+		found := 0
+		for _, pkg := range pkgs {
+			for _, d := range a.Run(pkg, ix) {
 				if f := fileFor(pkg, d); f != nil && f.allowed(d.Rule, d.Pos.Line) {
 					continue
 				}
+				found++
 				out = append(out, d)
 			}
 		}
+		timings = append(timings, Timing{Rule: a.Name, Millis: msSince(t0), Findings: found})
 	}
+	out = append(out, checkAllows(pkgs, analyzers)...)
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Pos.Filename != out[j].Pos.Filename {
 			return out[i].Pos.Filename < out[j].Pos.Filename
@@ -189,7 +253,100 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		}
 		return out[i].Rule < out[j].Rule
 	})
+	return out, timings
+}
+
+func msSince(t time.Time) float64 {
+	return float64(time.Since(t)) / float64(time.Millisecond)
+}
+
+// checkAllows audits the escape hatch itself after the analyzers ran:
+// every directive must carry a justification, and a directive that
+// suppressed nothing is stale and must be deleted. Staleness is only
+// judged when every rule the directive names was part of this run
+// (a partial -rules invocation cannot prove a directive dead). These
+// findings carry the pseudo-rule "allow" and cannot themselves be
+// suppressed.
+func checkAllows(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	ran := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, a := range f.Allows {
+				rules := strings.Join(a.Rules, ",")
+				if a.Justification == "" {
+					out = append(out, Diagnostic{
+						Pos:  a.Pos,
+						Rule: "allow",
+						Msg: "allow directive for " + rules + " has no justification; " +
+							"write why the violation is intentional after the rule list",
+					})
+					continue
+				}
+				judgeable := true
+				for _, r := range a.Rules {
+					if !ran[r] {
+						judgeable = false
+						break
+					}
+				}
+				if judgeable && !a.used {
+					out = append(out, Diagnostic{
+						Pos:  a.Pos,
+						Rule: "allow",
+						Msg: "stale allow directive: no " + rules + " finding on this " +
+							"or the next line; delete it",
+					})
+				}
+			}
+		}
+	}
 	return out
+}
+
+// Report is the machine-readable result of a run, written by
+// cmd/lfslint -json and consumed by future annotation tooling.
+type Report struct {
+	// Packages is the number of packages analyzed.
+	Packages int `json:"packages"`
+	// Findings are the surviving diagnostics in report order.
+	Findings []ReportFinding `json:"findings"`
+	// Timings are the per-analyzer costs (when collected).
+	Timings []Timing `json:"timings,omitempty"`
+}
+
+// ReportFinding is one diagnostic in the JSON report.
+type ReportFinding struct {
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+	Rule string `json:"rule"`
+	Msg  string `json:"msg"`
+}
+
+// NewReport assembles the JSON report from a run's results.
+func NewReport(pkgs []*Package, diags []Diagnostic, timings []Timing) Report {
+	r := Report{Packages: len(pkgs), Findings: []ReportFinding{}, Timings: timings}
+	for _, d := range diags {
+		r.Findings = append(r.Findings, ReportFinding{
+			File: d.Pos.Filename,
+			Line: d.Pos.Line,
+			Col:  d.Pos.Column,
+			Rule: d.Rule,
+			Msg:  d.Msg,
+		})
+	}
+	return r
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
 }
 
 // importName returns the local name the file binds the given import

@@ -1,6 +1,7 @@
 package lint_test
 
 import (
+	"encoding/json"
 	"flag"
 	"os"
 	"path/filepath"
@@ -75,9 +76,10 @@ func TestAnalyzersGolden(t *testing.T) {
 }
 
 // TestEveryAnalyzerHasFindings guards the golden corpus itself: each
-// of the five rules must produce at least one finding somewhere in
-// testdata, so a pass broken into silence cannot hide behind an
-// accidentally empty golden file.
+// of the ten rules — and the "allow" pseudo-rule auditing the escape
+// hatch — must produce at least one finding somewhere in testdata, so
+// a pass broken into silence cannot hide behind an accidentally empty
+// golden file.
 func TestEveryAnalyzerHasFindings(t *testing.T) {
 	seen := make(map[string]bool)
 	cases, err := os.ReadDir(filepath.Join("testdata", "src"))
@@ -99,6 +101,9 @@ func TestEveryAnalyzerHasFindings(t *testing.T) {
 		if !seen[a.Name] {
 			t.Errorf("rule %s produced no findings across testdata", a.Name)
 		}
+	}
+	if !seen["allow"] {
+		t.Errorf("the allow audit produced no findings across testdata")
 	}
 }
 
@@ -136,9 +141,9 @@ func TestMatch(t *testing.T) {
 		patterns []string
 		want     int
 	}{
-		{nil, 7},
-		{[]string{"./..."}, 7},
-		{[]string{"./internal/..."}, 6},
+		{nil, 9},
+		{[]string{"./..."}, 9},
+		{[]string{"./internal/..."}, 8},
 		{[]string{"./internal/core"}, 1},
 		{[]string{"./cmd/tool"}, 1},
 		{[]string{"./nosuchdir"}, 0},
@@ -146,5 +151,95 @@ func TestMatch(t *testing.T) {
 		if got := len(lint.Match(pkgs, tc.patterns)); got != tc.want {
 			t.Errorf("Match(%v) selected %d packages, want %d", tc.patterns, got, tc.want)
 		}
+	}
+}
+
+// TestDerivedSimScope pins the import-closure derivation on the
+// wallclock corpus: every package importing internal/sim (directly or
+// transitively) is in scope, cmd/ is exempt by design, and the
+// sim-free internal/util stays out.
+func TestDerivedSimScope(t *testing.T) {
+	pkgs, err := lint.LoadModule(filepath.Join("testdata", "src", "wallclock"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := strings.Join(lint.NewIndex(pkgs).SimDirs(), " ")
+	want := strings.Join([]string{
+		"internal/core",
+		"internal/disk/cowstore",
+		"internal/obs",
+		"internal/sched",
+		"internal/server",
+		"internal/sim",
+		"internal/workload",
+	}, " ")
+	if got != want {
+		t.Errorf("derived sim scope = %q, want %q", got, want)
+	}
+}
+
+// TestRunWithTimings checks the per-analyzer timing stream ci.sh
+// prints: one entry per analyzer after the index entry, with finding
+// counts that sum to the total (the allow pseudo-findings are audited
+// by the driver, not an analyzer, so they are excluded here).
+func TestRunWithTimings(t *testing.T) {
+	pkgs, err := lint.LoadModule(filepath.Join("testdata", "src", "wallclock"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, timings := lint.RunWithTimings(pkgs, lint.Analyzers)
+	if len(timings) != len(lint.Analyzers)+1 {
+		t.Fatalf("got %d timings, want %d", len(timings), len(lint.Analyzers)+1)
+	}
+	if timings[0].Rule != "index" {
+		t.Errorf("first timing entry is %q, want index", timings[0].Rule)
+	}
+	for i, a := range lint.Analyzers {
+		if timings[i+1].Rule != a.Name {
+			t.Errorf("timing %d is %q, want %q", i+1, timings[i+1].Rule, a.Name)
+		}
+	}
+	sum := 0
+	for _, tm := range timings {
+		sum += tm.Findings
+	}
+	analyzed := 0
+	for _, d := range diags {
+		if d.Rule != "allow" {
+			analyzed++
+		}
+	}
+	if sum != analyzed {
+		t.Errorf("timing finding counts sum to %d, want %d", sum, analyzed)
+	}
+}
+
+// TestJSONReport round-trips a run through the machine-readable
+// report cmd/lfslint -json writes.
+func TestJSONReport(t *testing.T) {
+	pkgs, err := lint.LoadModule(filepath.Join("testdata", "src", "wallclock"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, timings := lint.RunWithTimings(pkgs, lint.Analyzers)
+	var buf strings.Builder
+	if err := lint.NewReport(pkgs, diags, timings).WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back lint.Report
+	if err := json.Unmarshal([]byte(buf.String()), &back); err != nil {
+		t.Fatalf("report does not round-trip: %v", err)
+	}
+	if back.Packages != len(pkgs) {
+		t.Errorf("report has %d packages, want %d", back.Packages, len(pkgs))
+	}
+	if len(back.Findings) != len(diags) {
+		t.Errorf("report has %d findings, want %d", len(back.Findings), len(diags))
+	}
+	if len(back.Findings) > 0 && (back.Findings[0].Rule == "" || back.Findings[0].File == "" || back.Findings[0].Line == 0) {
+		t.Errorf("first finding lost fields in JSON: %+v", back.Findings[0])
+	}
+	if len(back.Timings) != len(timings) {
+		t.Errorf("report has %d timings, want %d", len(back.Timings), len(timings))
 	}
 }

@@ -38,7 +38,7 @@ type guardedField struct {
 	mutexName  string
 }
 
-func runLockCheck(pkg *Package) []Diagnostic {
+func runLockCheck(pkg *Package, _ *Index) []Diagnostic {
 	guards := collectGuards(pkg)
 	if len(guards) == 0 {
 		return nil

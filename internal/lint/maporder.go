@@ -1,0 +1,377 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// MapOrderAnalyzer flags `range` over a map inside any function
+// reachable from a deterministic-output writer (JSONL export,
+// checkpoint/summary encode, golden producers, tool mains, tests)
+// when the loop body is order-sensitive. Go randomizes map iteration
+// order per run, so a map-order loop anywhere on the path to
+// deterministic output breaks the byte-identical-rerun guarantee —
+// and not only through the bytes themselves: a probe issued in map
+// order against a mounted file system perturbs the simulated
+// timeline.
+//
+// Order-insensitive bodies pass without a finding: pure folds
+// (compound assignment, counters, map/set inserts), conditional
+// deletes from the ranged map, and the sorted-keys idiom (collect the
+// keys, then a Sort call before any other use). Collected slices may
+// also be handed to a module-local callee that owns the ordering;
+// handing them to a foreign package (json.Marshal, fmt.Fprintf)
+// unsorted is flagged.
+var MapOrderAnalyzer = &Analyzer{
+	Name: "maporder",
+	Doc:  "no order-sensitive map iteration on paths to deterministic output",
+	Run:  runMapOrder,
+}
+
+func runMapOrder(pkg *Package, ix *Index) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		for _, decl := range f.AST.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !ix.Reachable(fn) {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				rng, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				name, display := rangedMapName(pkg, ix, rng)
+				if name == "" {
+					return true
+				}
+				if d := checkMapRange(pkg, ix, f, fn, rng, display); d != nil {
+					diags = append(diags, *d)
+				}
+				return true
+			})
+		}
+	}
+	return diags
+}
+
+// rangedMapName reports the map being ranged over, or "" when the
+// expression is not evidently a map. Map-ness comes from the index's
+// per-package map-typed names (fields, variables, parameters, make
+// and literal bindings).
+func rangedMapName(pkg *Package, ix *Index, rng *ast.RangeStmt) (name, display string) {
+	switch x := rng.X.(type) {
+	case *ast.Ident:
+		if ix.IsMapName(pkg, x.Name) {
+			return x.Name, x.Name
+		}
+	case *ast.SelectorExpr:
+		if ix.IsMapName(pkg, x.Sel.Name) {
+			d := x.Sel.Name
+			if id, ok := x.X.(*ast.Ident); ok {
+				d = id.Name + "." + x.Sel.Name
+			}
+			return x.Sel.Name, d
+		}
+	}
+	return "", ""
+}
+
+// checkMapRange classifies one map range and returns a diagnostic if
+// the loop is order-sensitive.
+func checkMapRange(pkg *Package, ix *Index, f *File, fn *ast.FuncDecl, rng *ast.RangeStmt, display string) *Diagnostic {
+	reason, collected := classifyRangeBody(pkg, ix, f, rng)
+	if reason != "" {
+		return &Diagnostic{
+			Pos:  pkg.Fset.Position(rng.Pos()),
+			Rule: "maporder",
+			Msg: "range over map " + display + " is order-sensitive (" + reason + ") " +
+				"and reachable from deterministic output; iterate sorted keys instead",
+		}
+	}
+	for _, slice := range collected {
+		if why := unsortedUse(pkg, ix, f, fn, slice, rng.End()); why != "" {
+			return &Diagnostic{
+				Pos:  pkg.Fset.Position(rng.Pos()),
+				Rule: "maporder",
+				Msg: "keys collected from map " + display + " into " + slice +
+					" are used unsorted (" + why + "); sort before use",
+			}
+		}
+	}
+	return nil
+}
+
+// classifyRangeBody walks the loop body. It returns a non-empty
+// reason when the body is order-sensitive on its own, plus the names
+// of slices the body appends to (their later uses decide safety).
+func classifyRangeBody(pkg *Package, ix *Index, f *File, rng *ast.RangeStmt) (reason string, collected []string) {
+	// break binds to the nearest enclosing for/switch/select; only a
+	// break binding to this range exits it early. Record the spans of
+	// nested binders so their breaks pass.
+	var binders []ast.Node
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			binders = append(binders, n)
+		}
+		return true
+	})
+	boundElsewhere := func(pos token.Pos) bool {
+		for _, b := range binders {
+			if b.Pos() <= pos && pos < b.End() {
+				return true
+			}
+		}
+		return false
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if reason != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			reason = "returns from inside the loop"
+		case *ast.BranchStmt:
+			if n.Tok == token.GOTO {
+				reason = "jumps out of the loop"
+			}
+			if n.Tok == token.BREAK && !boundElsewhere(n.Pos()) {
+				reason = "break exits the loop early"
+			}
+		case *ast.GoStmt, *ast.SendStmt, *ast.DeferStmt, *ast.SelectStmt:
+			reason = "escapes the loop's control flow"
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || !isBuiltinCall(call, "append") || i >= len(n.Lhs) {
+					continue
+				}
+				switch lhs := n.Lhs[i].(type) {
+				case *ast.Ident:
+					collected = append(collected, lhs.Name)
+				case *ast.SelectorExpr:
+					if id, ok := lhs.X.(*ast.Ident); ok {
+						collected = append(collected, id.Name+"."+lhs.Sel.Name)
+					} else {
+						reason = "appends to a non-local destination in map order"
+					}
+				default:
+					reason = "appends to a non-local destination in map order"
+				}
+			}
+		case *ast.CallExpr:
+			if who := impureCall(pkg, ix, f, n); who != "" {
+				reason = "calls " + who + " in map order"
+			}
+		}
+		return true
+	})
+	return reason, collected
+}
+
+// isBuiltinCall reports whether the call invokes the named builtin.
+func isBuiltinCall(call *ast.CallExpr, name string) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == name && id.Obj == nil
+}
+
+// builtinNames are the predeclared functions and types: calling (or
+// converting through) one has no effect the loop order can reorder.
+var builtinNames = map[string]bool{
+	"append": true, "cap": true, "complex": true, "copy": true,
+	"delete": true, "imag": true, "len": true, "make": true,
+	"max": true, "min": true, "new": true, "panic": true,
+	"real": true, "recover": true,
+	"bool": true, "byte": true, "rune": true, "string": true,
+	"int": true, "int8": true, "int16": true, "int32": true, "int64": true,
+	"uint": true, "uint8": true, "uint16": true, "uint32": true, "uint64": true,
+	"uintptr": true, "float32": true, "float64": true,
+	"complex64": true, "complex128": true, "error": true, "any": true,
+}
+
+// impureCall names the side-effecting callee of a call made in map
+// order, or "" when the call cannot observe iteration order:
+// builtins, type conversions, and pure stdlib helpers (fmt.Sprintf,
+// strings.X) pass; module functions and method calls (they may write
+// output or advance the simulated clock) do not. Methods on the
+// testing.T/B idents t and b pass — test-failure text is not part of
+// the deterministic output contract.
+func impureCall(pkg *Package, ix *Index, f *File, call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if builtinNames[fun.Name] && fun.Obj == nil {
+			return ""
+		}
+		// A same-package function is impure; anything else (type
+		// conversion, closure variable) is taken as order-safe.
+		for _, cand := range ix.funcs[fun.Name] {
+			if cand.Pkg == pkg && cand.Decl.Recv == nil {
+				return fun.Name
+			}
+		}
+		return ""
+	case *ast.SelectorExpr:
+		id, ok := fun.X.(*ast.Ident)
+		if !ok {
+			return exprString(fun) // chained call on an expression
+		}
+		if id.Obj == nil {
+			if dir := ix.importDirFor(f, id.Name); dir != "" {
+				// Module-qualified: impure only when it names a real
+				// function there (sim.Duration(x) is a conversion).
+				for _, cand := range ix.funcs[fun.Sel.Name] {
+					if cand.Pkg.RelDir == dir && cand.Decl.Recv == nil {
+						return id.Name + "." + fun.Sel.Name
+					}
+				}
+				return ""
+			}
+			if importName(f.AST, "fmt") == id.Name &&
+				(strings.HasPrefix(fun.Sel.Name, "Print") || strings.HasPrefix(fun.Sel.Name, "Fprint")) {
+				return id.Name + "." + fun.Sel.Name
+			}
+			if isStdlibQualifier(f, id.Name) {
+				return "" // fmt.Sprintf, strings.X, ...: pure helpers
+			}
+		}
+		if id.Name == "t" || id.Name == "b" {
+			return ""
+		}
+		return id.Name + "." + fun.Sel.Name
+	}
+	return ""
+}
+
+// isStdlibQualifier reports whether name is bound by the file to a
+// non-module import (stdlib, since the module has no dependencies).
+func isStdlibQualifier(f *File, name string) bool {
+	for _, imp := range f.AST.Imports {
+		path := strings.Trim(imp.Path.Value, `"`)
+		local := path
+		if i := strings.LastIndex(path, "/"); i >= 0 {
+			local = path[i+1:]
+		}
+		if imp.Name != nil {
+			local = imp.Name.Name
+		}
+		if local == name {
+			return true
+		}
+	}
+	return false
+}
+
+// exprString renders a short selector chain for a message.
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.CallExpr:
+		return exprString(e.Fun) + "()"
+	}
+	return "call"
+}
+
+// unsortedUse inspects every use of a collected slice after the range
+// ends. The uses are safe when a Sort call is applied to the slice,
+// or when the slice is only handed to module-local callees (which own
+// the ordering — writeInodeBatchFor sorts its batch itself). Any
+// other use — ranging over it, returning it, passing it to a foreign
+// package — leaks map order and is reported.
+func unsortedUse(pkg *Package, ix *Index, f *File, fn *ast.FuncDecl, name string, after token.Pos) string {
+	sorted := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() <= after {
+			return true
+		}
+		if countArgMatches(call, name) == 0 {
+			return true
+		}
+		if strings.Contains(strings.ToLower(exprString(call.Fun)), "sort") {
+			sorted = true
+		}
+		return true
+	})
+	if sorted {
+		return ""
+	}
+	why := ""
+	total, asArg := 0, 0
+	dotted := strings.Contains(name, ".")
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if call, isCall := n.(*ast.CallExpr); isCall && call.Pos() > after {
+			if matches := countArgMatches(call, name); matches > 0 {
+				asArg += matches
+				if foreignCall(pkg, ix, f, call) {
+					why = "passed to " + exprString(call.Fun)
+				}
+			}
+			return true
+		}
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			if dotted && n.Pos() > after && exprString(n) == name {
+				total++
+			}
+			return !dotted // a dotted name is counted as a whole
+		case *ast.Ident:
+			if !dotted && n.Name == name && n.Pos() > after {
+				total++
+			}
+		}
+		return true
+	})
+	if why != "" {
+		return why
+	}
+	if total > asArg {
+		return "iterated or stored without sorting"
+	}
+	return ""
+}
+
+// countArgMatches counts the call's direct arguments that are exactly
+// the named identifier or selector chain.
+func countArgMatches(call *ast.CallExpr, name string) int {
+	matches := 0
+	for _, a := range call.Args {
+		switch a.(type) {
+		case *ast.Ident, *ast.SelectorExpr:
+			if exprString(a) == name {
+				matches++
+			}
+		}
+	}
+	return matches
+}
+
+// callTakesIdent reports whether the call has the named identifier as
+// a direct argument.
+func callTakesIdent(call *ast.CallExpr, name string) bool {
+	for _, a := range call.Args {
+		if id, ok := a.(*ast.Ident); ok && id.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// foreignCall reports whether the call targets a non-module package:
+// handing an unsorted slice across the module boundary (json.Marshal,
+// fmt.Fprintf) emits map order directly.
+func foreignCall(pkg *Package, ix *Index, f *File, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false // bare ident: builtin or same-package callee
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok || id.Obj != nil {
+		return false // method call on a local value
+	}
+	return ix.importDirFor(f, id.Name) == "" && isStdlibQualifier(f, id.Name)
+}

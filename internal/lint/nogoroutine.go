@@ -1,0 +1,72 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// NoGoroutineAnalyzer forbids `go` statements and unsynchronized
+// channel operations (send, receive, select) in simulation packages.
+// The determinism story assumes a single control loop — sched.Loop —
+// drives every event in simulated-time order; a goroutine or channel
+// handoff reintroduces the runtime scheduler as a hidden source of
+// ordering. The scope is the same derived one wallclock uses: every
+// package whose imports reach internal/sim, cmd/ excluded (the
+// interactive tools may multiplex input freely).
+//
+// One finding is reported per function: the first offending
+// construct stands for the function's concurrency, so a test that
+// deliberately exercises races needs exactly one justified
+// //lfslint:allow. The escape hatch doubles as the opt-out reserved
+// for a future barrier-synchronized parallel simulator.
+var NoGoroutineAnalyzer = &Analyzer{
+	Name: "nogoroutine",
+	Doc:  "simulation packages are single-threaded; sched.Loop owns all concurrency",
+	Run:  runNoGoroutine,
+}
+
+func runNoGoroutine(pkg *Package, ix *Index) []Diagnostic {
+	if !ix.InSimScope(pkg) {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		for _, decl := range f.AST.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			found := false
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				if found {
+					return false
+				}
+				var what string
+				switch n := n.(type) {
+				case *ast.GoStmt:
+					what = "go statement forks the runtime scheduler into the simulation"
+				case *ast.SendStmt:
+					what = "channel send synchronizes through the runtime scheduler"
+				case *ast.SelectStmt:
+					what = "select order depends on the runtime scheduler"
+				case *ast.UnaryExpr:
+					if n.Op == token.ARROW {
+						what = "channel receive synchronizes through the runtime scheduler"
+					}
+				}
+				if what == "" {
+					return true
+				}
+				found = true
+				diags = append(diags, Diagnostic{
+					Pos:  pkg.Fset.Position(n.Pos()),
+					Rule: "nogoroutine",
+					Msg: what + "; simulation code must stay on the single " +
+						"sched.Loop thread (justify deliberate concurrency with an allow)",
+				})
+				return false
+			})
+		}
+	}
+	return diags
+}

@@ -1,0 +1,148 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// sentinelErrDirs are the packages whose public error contract is
+// sentinel-based: disk.ErrClosed/ErrOutOfRange cross the store
+// boundary wrapped in path and operation context, and core wraps
+// everything again into *vfs.PathError. A bare == against a sentinel
+// works only until someone adds a wrapping layer, then silently
+// stops matching — exactly the failure errors.Is exists to prevent.
+var sentinelErrDirs = []string{"internal/disk", "internal/core"}
+
+// SentinelErrAnalyzer enforces errors.Is-based sentinel handling in
+// internal/disk and internal/core: no ==/!= against Err*-named
+// values, no switching on error identity, and fmt.Errorf must wrap
+// sentinels with %w so they stay matchable.
+var SentinelErrAnalyzer = &Analyzer{
+	Name: "sentinelerr",
+	Doc:  "store/core sentinels are matched with errors.Is and wrapped with %w",
+	Run:  runSentinelErr,
+}
+
+func runSentinelErr(pkg *Package, _ *Index) []Diagnostic {
+	if !pkg.inDirs(sentinelErrDirs...) {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		fmtName := importName(f.AST, "fmt")
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				// err != nil on a sentinel-named variable is the
+				// ordinary error check, not an identity match.
+				if isNilExpr(n.X) || isNilExpr(n.Y) {
+					return true
+				}
+				name := sentinelName(n.X)
+				if name == "" {
+					name = sentinelName(n.Y)
+				}
+				if name == "" {
+					return true
+				}
+				diags = append(diags, Diagnostic{
+					Pos:  pkg.Fset.Position(n.Pos()),
+					Rule: "sentinelerr",
+					Msg: "comparing " + name + " with " + n.Op.String() +
+						" stops matching once the error is wrapped; use errors.Is(err, " + name + ")",
+				})
+			case *ast.SwitchStmt:
+				if n.Tag == nil {
+					return true
+				}
+				for _, stmt := range n.Body.List {
+					cc, ok := stmt.(*ast.CaseClause)
+					if !ok {
+						continue
+					}
+					for _, e := range cc.List {
+						if name := sentinelName(e); name != "" {
+							diags = append(diags, Diagnostic{
+								Pos:  pkg.Fset.Position(n.Pos()),
+								Rule: "sentinelerr",
+								Msg: "switch on error identity (case " + name + ") stops matching " +
+									"once the error is wrapped; use an errors.Is chain",
+							})
+							return true
+						}
+					}
+				}
+			case *ast.CallExpr:
+				sel, ok := n.Fun.(*ast.SelectorExpr)
+				if !ok || sel.Sel.Name != "Errorf" {
+					return true
+				}
+				if id, ok := sel.X.(*ast.Ident); !ok || !isPkgIdent(id, fmtName) {
+					return true
+				}
+				if len(n.Args) == 0 {
+					return true
+				}
+				format, ok := n.Args[0].(*ast.BasicLit)
+				if !ok || format.Kind != token.STRING || strings.Contains(format.Value, "%w") {
+					return true
+				}
+				for _, a := range n.Args[1:] {
+					if name := sentinelName(a); name != "" {
+						diags = append(diags, Diagnostic{
+							Pos:  pkg.Fset.Position(n.Pos()),
+							Rule: "sentinelerr",
+							Msg: "fmt.Errorf formats " + name + " without %w, so errors.Is " +
+								"cannot see through the wrap; use %w",
+						})
+						return true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// sentinelName returns the sentinel's display name when the
+// expression is an Err*/err*-named identifier or selector, else "".
+func sentinelName(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		if isSentinelIdent(e.Name) {
+			return e.Name
+		}
+	case *ast.SelectorExpr:
+		if isSentinelIdent(e.Sel.Name) {
+			if id, ok := e.X.(*ast.Ident); ok {
+				return id.Name + "." + e.Sel.Name
+			}
+			return e.Sel.Name
+		}
+	}
+	return ""
+}
+
+// isNilExpr reports whether the expression is the nil identifier.
+func isNilExpr(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// isSentinelIdent matches the sentinel naming convention: Err or err
+// followed by an upper-case letter (ErrClosed, errBoom).
+func isSentinelIdent(name string) bool {
+	for _, p := range [2]string{"Err", "err"} {
+		if strings.HasPrefix(name, p) && len(name) > len(p) {
+			if c := name[len(p)]; c >= 'A' && c <= 'Z' {
+				return true
+			}
+		}
+	}
+	return false
+}

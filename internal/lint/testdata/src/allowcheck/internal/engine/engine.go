@@ -1,0 +1,34 @@
+// Package engine exercises the audit of the escape hatch itself: a
+// directive with no justification is reported even though it
+// suppresses a real finding, and a justified directive that no longer
+// suppresses anything is reported as stale.
+package engine
+
+import (
+	"time"
+
+	"allowcheck/internal/sim"
+)
+
+// naked suppresses a real wallclock finding but gives no reason: the
+// suppression holds, and the bare directive is itself flagged (rule
+// "allow", missing justification).
+func naked() int64 {
+	//lfslint:allow wallclock
+	return time.Now().UnixNano()
+}
+
+// stale carries a justification for a violation that was refactored
+// away: nothing on the next line triggers wallclock any more, so the
+// directive is flagged as stale.
+func stale(c *sim.Clock) sim.Time {
+	//lfslint:allow wallclock the clock read predates the simulated-clock refactor
+	return c.Now()
+}
+
+// justified is the healthy shape: a real finding, a directive, a
+// reason — only here is the suite silent.
+func justified() int64 {
+	//lfslint:allow wallclock corpus demonstration of a justified suppression
+	return time.Now().UnixNano()
+}

@@ -1,0 +1,16 @@
+// Package sim anchors the derived deterministic scope for this
+// corpus so the engine package's wallclock violation is real — the
+// allow audit needs a genuine finding to suppress.
+package sim
+
+// Time is an instant on the simulated clock.
+type Time int64
+
+// Clock hands out simulated time.
+type Clock struct{ now Time }
+
+// Now returns the current simulated time.
+func (c *Clock) Now() Time { return c.now }
+
+// Advance moves the clock forward by d.
+func (c *Clock) Advance(d Time) { c.now += d }

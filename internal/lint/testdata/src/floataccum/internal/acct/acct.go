@@ -1,0 +1,40 @@
+// Package acct is a deliberately broken miniature of byte/time
+// accounting (its sim import places it in the derived scope): float
+// arithmetic truncated into integer accounting loses ulps that
+// accumulate into visible divergence and must be flagged.
+package acct
+
+import "floataccum/internal/sim"
+
+// scaleBytes truncates float arithmetic into byte accounting and must
+// be flagged.
+func scaleBytes(live int64, frac float64) int64 {
+	return int64(float64(live) * frac)
+}
+
+// transferCost truncates float arithmetic into simulated time and
+// must be flagged.
+func transferCost(n int64, bytesPerTick float64) sim.Time {
+	return sim.Time(float64(n) / bytesPerTick)
+}
+
+// quarters is the sanctioned integer-scaling idiom: multiply before
+// divide, no float, no finding.
+func quarters(live int64) int64 { return live * 3 / 4 }
+
+// utilization keeps policy math on float-typed quantities with no
+// integer conversion — untouched, no finding.
+func utilization(live, capacity int64) float64 {
+	return float64(live) / float64(capacity)
+}
+
+// stretch scales simulated time integrally, no finding.
+func stretch(d sim.Time) sim.Time { return sim.Time(int64(d) * 2) }
+
+// seekModel is a latency model defined in real arithmetic and
+// evaluated per request — the deliberate boundary takes the justified
+// escape hatch, no finding.
+func seekModel(dist int64) sim.Time {
+	//lfslint:allow floataccum the model is defined in real arithmetic and evaluated per request; no float state accumulates
+	return sim.Time(float64(dist) * 0.02)
+}

@@ -1,0 +1,10 @@
+// Package report renders host-side summaries and never imports
+// internal/sim: it is outside the derived scope, so the float
+// round-trip here is display math, not accounting, and must not be
+// flagged.
+package report
+
+// Percent renders a host-side percentage — out of scope, no finding.
+func Percent(n, total int64) int {
+	return int(float64(n) / float64(total) * 100)
+}

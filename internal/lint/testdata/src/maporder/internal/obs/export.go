@@ -1,0 +1,80 @@
+// Package obs is a miniature of the export path: every function whose
+// name marks it a deterministic-output writer (the Encode prefix), or
+// that such a writer calls, must not leak map iteration order — the
+// exported bytes are promised to be identical across reruns.
+package obs
+
+import (
+	"fmt"
+	"sort"
+)
+
+// EncodeCounts is a deterministic-output root: the lines are appended
+// in map order and returned unsorted, and must be flagged.
+func EncodeCounts(counts map[string]int) []string {
+	var lines []string
+	for name, n := range counts {
+		lines = append(lines, fmt.Sprintf("%s=%d", name, n))
+	}
+	return lines
+}
+
+// EncodeSorted is the sanctioned collect-then-sort idiom: the keys
+// leave the loop unordered but are sorted before any other use, no
+// finding.
+func EncodeSorted(counts map[string]int) []string {
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]string, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, fmt.Sprintf("%s=%d", k, counts[k]))
+	}
+	return out
+}
+
+// EncodeTotal folds the map into a sum: a pure fold is the same in
+// any order, no finding.
+func EncodeTotal(counts map[string]int) int {
+	sum := 0
+	for _, n := range counts {
+		sum += n
+	}
+	return sum
+}
+
+// probe returns from inside the range, so map order decides which
+// element wins; it is reachable from EncodeFirst and must be flagged.
+func probe(counts map[string]int) string {
+	for name, n := range counts {
+		if n > 0 {
+			return name
+		}
+	}
+	return ""
+}
+
+// EncodeFirst delegates to probe: reachability flows through the
+// call, the finding lands in probe.
+func EncodeFirst(counts map[string]int) string { return probe(counts) }
+
+// scratch has the same order-sensitive shape as probe but no root
+// reaches it, so it must not be flagged.
+func scratch(counts map[string]int) string {
+	for name := range counts {
+		return name
+	}
+	return ""
+}
+
+// EncodeAny demonstrates the escape hatch on an order-sensitive loop
+// whose nondeterminism is argued harmless.
+func EncodeAny(counts map[string]int) string {
+	//lfslint:allow maporder any key is acceptable here: the pick seeds a heuristic, not output bytes
+	for name := range counts {
+		return name
+	}
+	return ""
+}

@@ -1,0 +1,15 @@
+// Package host never imports internal/sim, so it sits outside the
+// derived scope: host-side concurrency is legitimate here and the
+// nogoroutine pass must report nothing.
+package host
+
+// Spawn runs host-side work on its own goroutine — out of scope, not
+// flagged.
+func Spawn(work func()) chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		work()
+		close(done)
+	}()
+	return done
+}

@@ -1,0 +1,55 @@
+// Package pipeline is a deliberately broken miniature of a simulation
+// package (its sim import places it in the derived scope): goroutines
+// and channel operations reintroduce the runtime scheduler as a
+// hidden ordering source and must be flagged — one finding per
+// function, the first construct standing for the rest.
+package pipeline
+
+import "nogoroutine/internal/sim"
+
+// fanOut forks a goroutine inside the simulation and must be flagged
+// once (the go statement; the send inside the closure rides along).
+func fanOut(work []int) chan int {
+	out := make(chan int)
+	for _, w := range work {
+		go func(w int) { out <- w }(w)
+	}
+	return out
+}
+
+// push sends on a channel and must be flagged.
+func push(ch chan int, v int) { ch <- v }
+
+// drain receives from a channel and must be flagged.
+func drain(ch chan int) int {
+	total := 0
+	for i := 0; i < 4; i++ {
+		total += <-ch
+	}
+	return total
+}
+
+// choose selects between channels and must be flagged once (the
+// select; the receives inside ride along).
+func choose(a, b chan int) int {
+	select {
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+// step advances the simulated clock on the single loop thread: the
+// sanctioned pattern, no finding.
+func step(c *sim.Clock) sim.Time {
+	c.Advance(1)
+	return c.Now()
+}
+
+// replay deliberately exercises the external-waiter seam and takes
+// the justified escape hatch, no finding.
+func replay(done chan struct{}) {
+	//lfslint:allow nogoroutine deliberate: exercises the external waiter seam; the goroutine joins before any simulated state is read
+	go func() { done <- struct{}{} }()
+}

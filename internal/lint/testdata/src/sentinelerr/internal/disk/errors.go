@@ -1,0 +1,54 @@
+// Package disk is a deliberately broken miniature of the store
+// package's error contract: sentinels cross the boundary wrapped, so
+// identity comparison and %v-wrapping silently stop matching and must
+// be flagged.
+package disk
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrClosed is the corpus sentinel.
+var ErrClosed = errors.New("store closed")
+
+// errTorn is an unexported sentinel; the convention covers it too.
+var errTorn = errors.New("torn write")
+
+// isClosed compares identity with == and must be flagged.
+func isClosed(err error) bool { return err == ErrClosed }
+
+// stillOpen compares identity with != and must be flagged.
+func stillOpen(err error) bool { return err != ErrClosed }
+
+// classify switches on error identity and must be flagged (once per
+// switch).
+func classify(err error) string {
+	switch err {
+	case errTorn:
+		return "torn"
+	case ErrClosed:
+		return "closed"
+	default:
+		return "other"
+	}
+}
+
+// wrapBad formats a sentinel with %v, so errors.Is cannot see through
+// the wrap; must be flagged.
+func wrapBad(op string) error {
+	return fmt.Errorf("%s: %v", op, ErrClosed)
+}
+
+// wrapGood wraps with %w: the sanctioned pattern, no finding.
+func wrapGood(op string) error {
+	return fmt.Errorf("%s: %w", op, ErrClosed)
+}
+
+// isClosedGood matches through wrapping with errors.Is: the
+// sanctioned pattern, no finding.
+func isClosedGood(err error) bool { return errors.Is(err, ErrClosed) }
+
+// check is the ordinary nil check on an err-named variable — not an
+// identity match, no finding.
+func check(errProbe error) bool { return errProbe != nil }

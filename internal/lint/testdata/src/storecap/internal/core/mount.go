@@ -1,0 +1,73 @@
+// Package core is a deliberately broken consumer of the store
+// package: it probes capabilities outside the approved sites and
+// leaks store handles, both of which must be flagged.
+package core
+
+import "storecap/internal/disk"
+
+// probeSnapshot asserts a capability outside the approved probe sites
+// (internal/disk, internal/fstest) and must be flagged.
+func probeSnapshot(s disk.Store) bool {
+	_, ok := s.(disk.Snapshotter)
+	return ok
+}
+
+// leak opens a store that never reaches Close and never escapes, and
+// must be flagged.
+func leak(path string) error {
+	s, err := disk.OpenStore(path)
+	if err != nil {
+		return err
+	}
+	s.Grow(64)
+	return nil
+}
+
+// discard drops the handle on the floor and must be flagged.
+func discard(path string) {
+	_, _ = disk.OpenStore(path)
+}
+
+// use closes via defer: the sanctioned shape, no finding.
+func use(path string) error {
+	s, err := disk.OpenStore(path)
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	s.Grow(64)
+	return nil
+}
+
+// handOff returns the handle: the caller owns the Close now, no
+// finding.
+func handOff(path string) (disk.Store, error) {
+	s, err := disk.OpenStore(path)
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// probeFailure asserts the constructor must fail — the expected-
+// failure probe shape, nothing to close on the asserted path, no
+// finding.
+func probeFailure() bool {
+	if _, err := disk.OpenStore(""); err == nil {
+		return false
+	}
+	return true
+}
+
+// adopt deliberately keeps a handle open across the function boundary
+// through a package-level registry the corpus does not model; the
+// escape hatch documents it.
+func adopt(path string) error {
+	//lfslint:allow storecap the handle is parked in a process-lifetime registry closed at exit
+	s, err := disk.OpenStore(path)
+	if err != nil {
+		return err
+	}
+	s.Grow(1)
+	return nil
+}

@@ -1,0 +1,42 @@
+// Package disk is the corpus store package: it defines the
+// constructor and the optional capability, and probes the capability
+// itself — an approved site, so its assertion is not flagged.
+package disk
+
+import "errors"
+
+// Store is the corpus store contract.
+type Store interface {
+	Grow(n int64)
+	Close() error
+}
+
+// Snapshotter is the optional capability.
+type Snapshotter interface {
+	Snapshot() error
+}
+
+// ErrBadPath rejects empty paths.
+var ErrBadPath = errors.New("bad path")
+
+// OpenStore is the corpus constructor; results own the closed-state
+// contract.
+func OpenStore(path string) (Store, error) {
+	if path == "" {
+		return nil, ErrBadPath
+	}
+	return &memStore{}, nil
+}
+
+type memStore struct{}
+
+func (*memStore) Grow(int64)      {}
+func (*memStore) Close() error    { return nil }
+func (*memStore) Snapshot() error { return nil }
+
+// CanSnapshot probes the capability inside the approved disk package
+// — no finding.
+func CanSnapshot(s Store) bool {
+	_, ok := s.(Snapshotter)
+	return ok
+}

@@ -1,14 +1,19 @@
-// Command tool sits outside the simulation directories, where
-// wall-clock use is legitimate (progress output, host timing): the
-// wallclock pass must report nothing here.
+// Command tool imports internal/sim — its import closure reaches the
+// simulated clock — yet cmd/ is exempt from the derived scope by
+// design: tools time wall-clock benchmarks and print progress for
+// humans, so the wallclock pass must report nothing here.
 package main
 
 import (
 	"fmt"
 	"time"
+
+	"wallclock/internal/sim"
 )
 
 func main() {
 	start := time.Now()
-	fmt.Println("host elapsed:", time.Since(start))
+	var c sim.Clock
+	c.Advance(42)
+	fmt.Println("simulated now:", c.Now(), "host elapsed:", time.Since(start))
 }

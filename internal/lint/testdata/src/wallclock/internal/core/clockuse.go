@@ -1,11 +1,14 @@
 // Package core is a deliberately broken miniature of a simulation
-// package: wall-clock reads and implicitly seeded randomness inside
-// the scoped directories must be flagged by the wallclock pass.
+// package: it imports internal/sim, which places it in the derived
+// deterministic scope, so wall-clock reads and implicitly seeded
+// randomness here must be flagged by the wallclock pass.
 package core
 
 import (
 	"math/rand"
 	"time"
+
+	"wallclock/internal/sim"
 )
 
 // now reads the wall clock and must be flagged.
@@ -25,6 +28,10 @@ func seeded(seed int64) int {
 	rng := rand.New(rand.NewSource(seed))
 	return rng.Intn(6)
 }
+
+// simNow is the sanctioned clock pattern: simulated time from the
+// threaded-through clock, no finding.
+func simNow(c *sim.Clock) sim.Time { return c.Now() }
 
 // sanctioned demonstrates the escape hatch: the directive on the line
 // above the violation suppresses it.

@@ -1,13 +1,15 @@
-// Package cowstore is a miniature of a store backend under
-// internal/disk: persistence code is inside the simulation boundary,
-// so wall-clock reads and the global rand source must be flagged even
-// two directories below internal/disk itself (the rule matches by
-// prefix).
+// Package cowstore is a miniature of a store backend: its import
+// closure reaches internal/sim (through this file's sim import), so
+// persistence code two directories below internal/disk is inside the
+// derived deterministic scope and wall-clock reads and the global
+// rand source must be flagged even here.
 package cowstore
 
 import (
 	"math/rand"
 	"time"
+
+	"wallclock/internal/sim"
 )
 
 // chunkSalt draws from a seeded source — the sanctioned pattern, not
@@ -19,6 +21,10 @@ func chunkSalt(seed int64) uint32 {
 // snapshotID stamps a snapshot with wall-clock time and must be
 // flagged.
 func snapshotID() int64 { return time.Now().UnixNano() }
+
+// simSnapshotID is the sanctioned pattern: the snapshot is stamped
+// with simulated time, no finding.
+func simSnapshotID(c *sim.Clock) sim.Time { return c.Now() }
 
 // scatter picks an eviction victim from the global source and must be
 // flagged.

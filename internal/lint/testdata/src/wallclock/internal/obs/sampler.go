@@ -1,14 +1,19 @@
 // Package obs is a deliberately broken miniature of the metrics
-// plane: samplers timestamp every sample, so a wall-clock read here
-// silently replaces simulated time and breaks both zero perturbation
-// and byte-determinism of the export.
+// plane: it imports internal/sim and so sits in the derived scope.
+// Samplers timestamp every sample, so a wall-clock read here silently
+// replaces simulated time and breaks both zero perturbation and
+// byte-determinism of the export.
 package obs
 
-import "time"
+import (
+	"time"
+
+	"wallclock/internal/sim"
+)
 
 // sampleTime stamps a sample from the wall clock and must be flagged.
 func sampleTime() int64 { return time.Now().UnixNano() }
 
 // sampleAt is the sanctioned pattern: the simulated timestamp is
 // passed in by the caller holding the clock, no finding.
-func sampleAt(now int64) int64 { return now }
+func sampleAt(now sim.Time) sim.Time { return now }

@@ -1,12 +1,15 @@
 // Package sched is a deliberately broken miniature of the event-loop
-// package: the scheduler orders events on the simulated clock, so any
-// wall-clock read or implicitly seeded draw here breaks same-seed
-// reproducibility and must be flagged.
+// package: it owns the simulated clock (importing internal/sim puts
+// it in the derived scope), so any wall-clock read or implicitly
+// seeded draw here breaks same-seed reproducibility and must be
+// flagged.
 package sched
 
 import (
 	"math/rand"
 	"time"
+
+	"wallclock/internal/sim"
 )
 
 // deadline reads the wall clock and must be flagged.
@@ -20,4 +23,11 @@ func jitter() int64 { return rand.Int63n(1000) }
 // in, no finding.
 func seededJitter(seed int64) int64 {
 	return rand.New(rand.NewSource(seed)).Int63n(1000)
+}
+
+// tick is the sanctioned pattern: events advance the simulated clock,
+// no finding.
+func tick(c *sim.Clock, d sim.Time) sim.Time {
+	c.Advance(d)
+	return c.Now()
 }

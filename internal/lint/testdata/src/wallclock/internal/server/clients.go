@@ -1,13 +1,21 @@
 // Package server is a deliberately broken miniature of the
-// multi-client driver: client think time must come from the event
-// loop's simulated clock, so sleeping or ticking on the wall clock
-// must be flagged.
+// multi-client driver: it imports internal/sim, so client think time
+// must come from the event loop's simulated clock, and sleeping or
+// ticking on the wall clock must be flagged.
 package server
 
-import "time"
+import (
+	"time"
+
+	"wallclock/internal/sim"
+)
 
 // think sleeps on the wall clock and must be flagged.
 func think() { time.Sleep(10 * time.Millisecond) }
 
 // pace ticks on the wall clock and must be flagged.
 func pace() <-chan time.Time { return time.Tick(time.Second) }
+
+// simThink is the sanctioned pattern: think time advances the
+// simulated clock, no finding.
+func simThink(c *sim.Clock, d sim.Time) { c.Advance(d) }

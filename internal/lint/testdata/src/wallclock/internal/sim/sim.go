@@ -1,0 +1,18 @@
+// Package sim is the corpus stand-in for the module's simulated
+// clock. The deterministic scope is derived, not listed: a package is
+// in scope exactly when its module-internal import closure reaches
+// internal/sim, so every in-scope file in this corpus imports this
+// package (and internal/util deliberately does not).
+package sim
+
+// Time is an instant on the simulated clock.
+type Time int64
+
+// Clock hands out simulated time.
+type Clock struct{ now Time }
+
+// Now returns the current simulated time.
+func (c *Clock) Now() Time { return c.now }
+
+// Advance moves the clock forward by d.
+func (c *Clock) Advance(d Time) { c.now += d }

@@ -1,0 +1,11 @@
+// Package util sits outside the derived scope: nothing in its import
+// closure reaches internal/sim, so it never runs on the simulated
+// clock and wall-clock use here is legitimate (host-side helpers).
+// The wallclock pass must report nothing in this package.
+package util
+
+import "time"
+
+// HostStamp reads the wall clock for a host-side log line — out of
+// scope, not flagged.
+func HostStamp() int64 { return time.Now().UnixNano() }

@@ -1,12 +1,15 @@
 // Package workload is a miniature of the synthetic-workload package:
 // generators draw from explicitly seeded RNGs (the sanctioned
-// rand.NewZipf pattern) and are timed on the simulated clock, so the
-// global source and the wall clock must both be flagged here.
+// rand.NewZipf pattern) and are timed on the simulated clock it
+// imports, so the global source and the wall clock must both be
+// flagged here.
 package workload
 
 import (
 	"math/rand"
 	"time"
+
+	"wallclock/internal/sim"
 )
 
 // skewed is the sanctioned generator pattern: a seeded source feeding
@@ -24,3 +27,7 @@ func jitter() float64 { return rand.Float64() }
 // stamp reads the wall clock for a workload timestamp and must be
 // flagged.
 func stamp() int64 { return time.Now().Unix() }
+
+// stampAt is the sanctioned pattern: operations are stamped with the
+// simulated time threaded in, no finding.
+func stampAt(now sim.Time) sim.Time { return now }

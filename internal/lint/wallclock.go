@@ -4,26 +4,6 @@ import (
 	"go/ast"
 )
 
-// wallclockDirs are the packages whose results the paper's figures
-// depend on: everything inside them must run on the simulated clock
-// and on explicitly seeded RNGs, or reruns stop being reproducible.
-var wallclockDirs = []string{
-	"internal/core",
-	"internal/disk",
-	"internal/ffs",
-	"internal/cache",
-	"internal/sim",
-	"internal/workload",
-	"internal/experiments",
-	"internal/sched",
-	"internal/server",
-	// The metrics/trace plane promises zero perturbation and
-	// byte-deterministic exports; a wall-clock read in a sampler
-	// breaks both. cmd/lfstop only replays recorded samples and
-	// stays out.
-	"internal/obs",
-}
-
 // forbiddenTimeFuncs are the package time functions that read or wait
 // on the wall clock. Types (time.Duration) and constants
 // (time.Millisecond) remain usable: sim.Duration is time.Duration.
@@ -58,14 +38,21 @@ var allowedRandNames = map[string]bool{
 // seeded randomness in the simulation packages. The paper's results
 // are deterministic functions of the latency model; a single time.Now
 // or global rand.Intn makes a figure unreproducible.
+//
+// The scope is derived, not listed: any package (outside cmd/) whose
+// module-internal import closure reaches internal/sim runs on the
+// simulated clock and is held to the rule. The old hardcoded
+// directory list needed a manual append every time a subsystem landed
+// — each omission was a silent coverage hole. cmd/ stays exempt: the
+// tools time wall-clock benchmarks and drive terminal UIs.
 var WallclockAnalyzer = &Analyzer{
 	Name: "wallclock",
 	Doc:  "simulation packages must use the simulated clock and explicitly seeded RNGs",
 	Run:  runWallclock,
 }
 
-func runWallclock(pkg *Package) []Diagnostic {
-	if !pkg.inDirs(wallclockDirs...) {
+func runWallclock(pkg *Package, ix *Index) []Diagnostic {
+	if !ix.InSimScope(pkg) {
 		return nil
 	}
 	var diags []Diagnostic

@@ -115,5 +115,6 @@ func (c Costs) Copy(n int) int64 {
 	if n <= 0 {
 		return 0
 	}
+	//lfslint:allow floataccum the per-byte cost model is evaluated fresh per call; truncation is deterministic and nothing accumulates in float
 	return int64(c.CopyPerByte * float64(n))
 }

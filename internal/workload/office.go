@@ -105,6 +105,7 @@ func Office(sys System, opts OfficeOpts) (OfficeResult, error) {
 	pick := func() int {
 		// Hot files cluster at the end of the slice (most recently
 		// created), matching temporal locality.
+		//lfslint:allow floataccum hot-set sizing is recomputed from integers on every pick; not accounting state
 		hot := int(float64(len(live)) * opts.HotFraction)
 		if hot < 1 {
 			hot = 1

@@ -17,7 +17,7 @@ fi
 echo "== vet =="
 go vet ./...
 echo "== lint =="
-go run ./cmd/lfslint ./...
+go run ./cmd/lfslint -timings -budget 20s ./...
 echo "== lint test suite =="
 go test -v ./internal/lint/
 echo "== tests =="

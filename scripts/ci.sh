@@ -18,11 +18,18 @@ if [ -n "$unformatted" ]; then
 fi
 echo "== vet =="
 go vet ./...
+tracedir="$(mktemp -d)"
+trap 'rm -rf "$tracedir"' EXIT
 echo "== lint =="
 # lfslint enforces the simulation/log invariants (simulated clock
 # only, named IOCauses, *vfs.PathError returns, guarded-field
-# locking, no mixed atomics) before the test suite spends minutes.
-go run ./cmd/lfslint ./...
+# locking, no mixed atomics, no map-order output, single-threaded
+# simulation, errors.Is sentinels, store capability/Close discipline,
+# integral accounting) before the test suite spends minutes. The
+# per-analyzer timings print with the run, the whole suite must fit
+# the 20s budget, and the machine-readable report lands next to the
+# other CI artifacts.
+go run ./cmd/lfslint -timings -budget 20s -json "$tracedir/lint.json" ./...
 echo "== test -race =="
 go test -race ./...
 echo "== tracing smoke =="
@@ -31,8 +38,6 @@ echo "== tracing smoke =="
 # (write cost, ops/s, attribution share) to a fresh summary that is
 # diffed against the committed BENCH_trace.json baseline (±10%)
 # before replacing it — a silent perf regression fails here.
-tracedir="$(mktemp -d)"
-trap 'rm -rf "$tracedir"' EXIT
 go run ./cmd/lfsbench -experiment trace -quick \
 	-trace "$tracedir/trace.jsonl" -benchjson "$tracedir/BENCH_trace.json"
 go run ./cmd/lfstrace "$tracedir/trace.jsonl" > /dev/null

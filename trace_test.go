@@ -53,6 +53,7 @@ func TestStatsSnapshotDuringWorkload(t *testing.T) {
 	stop := make(chan struct{})
 	for i := 0; i < 4; i++ {
 		wg.Add(1)
+		//lfslint:allow nogoroutine this test deliberately races StatsSnapshot readers against the workload to prove snapshot safety; goroutines join before any assertion
 		go func() {
 			defer wg.Done()
 			for {
