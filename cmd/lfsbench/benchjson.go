@@ -1,0 +1,100 @@
+package main
+
+// Every -benchjson writer funnels through writeBenchJSON, which keeps
+// the summary files byte-deterministic and merge-safe. Historically
+// each experiment clobbered the whole file, so pointing two
+// experiments at one BENCH file silently dropped the first one's
+// keys; and any non-map values marshalled in struct-field order,
+// which made the key sequence depend on Go source order rather than
+// on the data. Now summaries are canonicalised (every object's keys
+// sorted, numbers preserved verbatim via json.Number) and writing a
+// new experiment into an existing file merges it under an
+// "experiments" object instead of reordering or dropping the
+// siblings. benchdiff.sh compares key sequences positionally, so this
+// canonical order is load-bearing: the same data must always produce
+// the same bytes.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// canonicalJSON re-decodes v so that every JSON object becomes a map
+// (marshalled with sorted keys) and every number a json.Number (its
+// literal digits preserved exactly on re-encode).
+func canonicalJSON(v any) (any, error) {
+	buf, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	dec := json.NewDecoder(bytes.NewReader(buf))
+	dec.UseNumber()
+	var out any
+	if err := dec.Decode(&out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// writeBenchJSON writes an experiment's summary to path. The summary
+// must carry its experiment name under the "experiment" key. A fresh
+// path, or one already holding the same experiment, gets the single
+// flat form benchdiff.sh diffs; a path holding a different experiment
+// is upgraded to the multi form — {"experiments": {name: summary}} —
+// with the existing experiment's keys byte-for-byte intact.
+func writeBenchJSON(path string, summary map[string]any) error {
+	name, _ := summary["experiment"].(string)
+	if name == "" {
+		return fmt.Errorf("benchjson: summary has no experiment name")
+	}
+	canon, err := canonicalJSON(summary)
+	if err != nil {
+		return fmt.Errorf("benchjson: %w", err)
+	}
+
+	var top any = canon
+	if prev, err := os.ReadFile(path); err == nil {
+		existing, err := mergeBenchJSON(prev, name, canon)
+		if err != nil {
+			return fmt.Errorf("benchjson: merging into %s: %w", path, err)
+		}
+		top = existing
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+
+	buf, err := json.MarshalIndent(top, "", "  ")
+	if err != nil {
+		return fmt.Errorf("benchjson: %w", err)
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+// mergeBenchJSON folds the canonicalised summary for experiment name
+// into the previous contents of a BENCH file.
+func mergeBenchJSON(prev []byte, name string, canon any) (any, error) {
+	dec := json.NewDecoder(bytes.NewReader(prev))
+	dec.UseNumber()
+	var old any
+	if err := dec.Decode(&old); err != nil {
+		return nil, err
+	}
+	obj, ok := old.(map[string]any)
+	if !ok {
+		return nil, fmt.Errorf("existing file is not a JSON object")
+	}
+	if multi, ok := obj["experiments"].(map[string]any); ok {
+		multi[name] = canon
+		return obj, nil
+	}
+	oldName, _ := obj["experiment"].(string)
+	if oldName == "" {
+		return nil, fmt.Errorf("existing file has no experiment name")
+	}
+	if oldName == name {
+		return canon, nil
+	}
+	return map[string]any{"experiments": map[string]any{oldName: obj, name: canon}}, nil
+}

@@ -13,9 +13,7 @@ package main
 // wallclock lint rule bans inside the simulation packages.
 
 import (
-	"encoding/json"
 	"fmt"
-	"os"
 	"time"
 
 	"lfs"
@@ -156,11 +154,7 @@ func runCrashSweep(quick bool) error {
 			"replay_points_per_s":   fmt.Sprintf("%.1f", replayPerSec),
 			"speedup_x":             fmt.Sprintf("%.1f", speedup),
 		}
-		buf, err := json.MarshalIndent(summary, "", "  ")
-		if err != nil {
-			return err
-		}
-		if err := os.WriteFile(benchJSON, append(buf, '\n'), 0o644); err != nil {
+		if err := writeBenchJSON(benchJSON, summary); err != nil {
 			return err
 		}
 	}

@@ -13,6 +13,7 @@
 //	lfsbench -experiment ablation-segsize   # segment size sweep
 //	lfsbench -experiment ablation-policy    # greedy vs cost-benefit cleaning
 //	lfsbench -experiment concurrency # multi-client throughput scaling
+//	lfsbench -experiment sharding   # multi-log scale-out: ops/s vs shard count
 //	lfsbench -experiment crashsweep # crash-point sweep: snapshot vs replay
 //	lfsbench -experiment all        # everything
 //
@@ -32,7 +33,6 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -93,8 +93,9 @@ func main() {
 		"concurrency":        runConcurrency,
 		"metrics":            runMetrics,
 		"crashsweep":         runCrashSweep,
+		"sharding":           runSharding,
 	}
-	order := []string{"fig1", "fig3", "fig4", "fig5", "scaling", "recovery", "ablation-segsize", "ablation-policy", "ablation-ckpt", "ablation-blocksize", "utilization", "cleaning-curve", "trace", "concurrency", "metrics", "crashsweep"}
+	order := []string{"fig1", "fig3", "fig4", "fig5", "scaling", "recovery", "ablation-segsize", "ablation-policy", "ablation-ckpt", "ablation-blocksize", "utilization", "cleaning-curve", "trace", "concurrency", "sharding", "metrics", "crashsweep"}
 
 	if *exp == "all" {
 		for _, name := range order {
@@ -395,11 +396,7 @@ func runCleaningCurve(quick bool) error {
 			summary[arm.key+"_write_amp_u80"] = r.WriteAmp
 			summary[arm.key+"_segments_cleaned_u80"] = r.SegmentsCleaned
 		}
-		buf, err := json.MarshalIndent(summary, "", "  ")
-		if err != nil {
-			return err
-		}
-		if err := os.WriteFile(benchJSON, append(buf, '\n'), 0o644); err != nil {
+		if err := writeBenchJSON(benchJSON, summary); err != nil {
 			return err
 		}
 	}
@@ -452,11 +449,7 @@ func runTrace(quick bool) error {
 			"write_cost_stats":  r.WriteCostStats,
 			"spans":             r.Spans,
 		}
-		buf, err := json.MarshalIndent(summary, "", "  ")
-		if err != nil {
-			return err
-		}
-		if err := os.WriteFile(benchJSON, append(buf, '\n'), 0o644); err != nil {
+		if err := writeBenchJSON(benchJSON, summary); err != nil {
 			return err
 		}
 	}
@@ -498,11 +491,7 @@ func runConcurrency(quick bool) error {
 				r.LFSP99.Seconds() * 1000}
 		}
 		summary := map[string]any{"experiment": "concurrency", "curve": curve}
-		buf, err := json.MarshalIndent(summary, "", "  ")
-		if err != nil {
-			return err
-		}
-		if err := os.WriteFile(benchJSON, append(buf, '\n'), 0o644); err != nil {
+		if err := writeBenchJSON(benchJSON, summary); err != nil {
 			return err
 		}
 	}
@@ -533,15 +522,69 @@ func runMetrics(quick bool) error {
 			"final_write_cost":       r.FinalWriteCost,
 			"final_clean_segments":   r.FinalCleanSegs,
 		}
-		buf, err := json.MarshalIndent(summary, "", "  ")
-		if err != nil {
-			return err
-		}
-		if err := os.WriteFile(benchJSON, append(buf, '\n'), 0o644); err != nil {
+		if err := writeBenchJSON(benchJSON, summary); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+func runSharding(quick bool) error {
+	opts := experiments.DefaultShardingOpts()
+	if quick {
+		opts = experiments.QuickShardingOpts()
+	}
+	res, err := experiments.Sharding(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.FormatSharding(res))
+	// The crash scenario fails the experiment itself on data loss or a
+	// dirty fsck; determinism is a verdict, so enforce it here.
+	if !res.Deterministic {
+		return fmt.Errorf("sharding: same-seed rerun produced different shard images")
+	}
+	if benchJSON != "" {
+		type point struct {
+			Shards      int     `json:"shards"`
+			Clients     int     `json:"clients"`
+			OpsPerSec   float64 `json:"ops_per_s"`
+			Speedup     float64 `json:"speedup"`
+			WritesPerOp float64 `json:"writes_per_op"`
+			P50Ms       float64 `json:"p50_ms"`
+			P95Ms       float64 `json:"p95_ms"`
+			P99Ms       float64 `json:"p99_ms"`
+		}
+		curve := make([]point, len(res.Rows))
+		for i, r := range res.Rows {
+			curve[i] = point{r.Shards, r.Clients, r.OpsPerSec, r.Speedup,
+				r.WritesPerOp, r.P50.Seconds() * 1000,
+				r.P95.Seconds() * 1000, r.P99.Seconds() * 1000}
+		}
+		// Booleans don't register with benchdiff's numeric gate, so the
+		// two verdicts are recorded as 0/1 counters.
+		det, fsck := 0, 0
+		if res.Deterministic {
+			det = 1
+		}
+		if res.Crash.FsckOk {
+			fsck = 1
+		}
+		summary := map[string]any{
+			"experiment":             "sharding",
+			"curve":                  curve,
+			"speedup_at_max":         res.Rows[len(res.Rows)-1].Speedup,
+			"deterministic":          det,
+			"crash_tolerated_errors": res.Crash.ToleratedErrors,
+			"crash_healthy_ops":      res.Crash.HealthyOps,
+			"crash_files_retained":   res.Crash.FilesRetained,
+			"crash_fsck_ok":          fsck,
+		}
+		if err := writeBenchJSON(benchJSON, summary); err != nil {
+			return err
+		}
+	}
+	return emitCSV("sharding", func(f *os.File) error { return experiments.CSVSharding(f, res) })
 }
 
 func runAblationBlockSize(quick bool) error {

@@ -5,11 +5,18 @@
 // run look like over time" after the fact, from the recorded samples
 // alone — it never touches a simulated clock or a file system.
 //
+// The per-shard streams of a sharded run (labels shard-0, shard-1,
+// ...) collapse into one summary table — one row per shard with its
+// ops, peak ops/s, peak queue depth, and cleaner debt — instead of
+// interleaving N full dashboards; `-fs shard-K` still opens one
+// shard's full view.
+//
 // Usage:
 //
 //	lfstop run.metrics.jsonl
 //	lfsbench -experiment concurrency -metrics - | lfstop
 //	lfstop -series disk.queue.depth,seg.clean -fs lfs-0 run.metrics.jsonl
+//	lfstop -fs shard-2 sharding.metrics.jsonl
 //	lfstop -list run.metrics.jsonl
 package main
 
@@ -18,6 +25,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
+	"strconv"
 	"strings"
 
 	"lfs/internal/obs"
@@ -110,6 +119,9 @@ func buildDashboard(samples []obs.Sample, opts dashOpts) (string, error) {
 		return b.String(), nil
 	}
 
+	if opts.FS == "" && len(opts.Series) == 0 {
+		labels = renderShardSummary(&b, groups, labels)
+	}
 	for _, label := range labels {
 		ss := groups[label]
 		if err := renderInstance(&b, displayLabel(label), ss, opts); err != nil {
@@ -117,6 +129,60 @@ func buildDashboard(samples []obs.Sample, opts dashOpts) (string, error) {
 		}
 	}
 	return b.String(), nil
+}
+
+// shardIndex extracts N from a shard-N instance label (the streams
+// the sharding experiment emits); ok is false for any other label.
+func shardIndex(label string) (int, bool) {
+	rest, found := strings.CutPrefix(label, "shard-")
+	if !found || rest == "" {
+		return 0, false
+	}
+	n, err := strconv.Atoi(rest)
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+// renderShardSummary collapses shard-N-labelled instances into one
+// table — one row per shard, in shard order — and returns the labels
+// that still need the full per-instance rendering. With fewer than
+// two shard streams there is nothing to collapse and the labels pass
+// through untouched.
+func renderShardSummary(b *strings.Builder, groups map[string][]obs.Sample, labels []string) []string {
+	type shardRow struct {
+		n     int
+		label string
+	}
+	var shards []shardRow
+	var rest []string
+	for _, l := range labels {
+		if n, ok := shardIndex(l); ok {
+			shards = append(shards, shardRow{n, l})
+		} else {
+			rest = append(rest, l)
+		}
+	}
+	if len(shards) < 2 {
+		return labels
+	}
+	sort.Slice(shards, func(i, j int) bool { return shards[i].n < shards[j].n })
+	fmt.Fprintf(b, "=== shards: %d instances, one row per shard (-fs shard-K for the full view) ===\n",
+		len(shards))
+	fmt.Fprintf(b, "%8s %8s %10s %12s %12s %12s\n",
+		"shard", "samples", "ops", "peak ops/s", "peak qdepth", "clean.debt")
+	for _, s := range shards {
+		ss := groups[s.label]
+		ops := seriesValues(ss, "ops")
+		_, peakRate := minMax(seriesValues(ss, "ops.rate"))
+		_, peakDepth := minMax(seriesValues(ss, "disk.queue.depth"))
+		debt := seriesValues(ss, "cleaner.debt_segments")
+		fmt.Fprintf(b, "%8d %8d %10s %12s %12s %12s\n",
+			s.n, len(ss), fnum(ops[len(ops)-1]), fnum(peakRate),
+			fnum(peakDepth), fnum(debt[len(debt)-1]))
+	}
+	return rest
 }
 
 // groupByFS splits samples by instance label, preserving sample order

@@ -186,3 +186,88 @@ func TestSparklineFlatSeries(t *testing.T) {
 		t.Errorf("flat series sparkline %q, want all-low", s)
 	}
 }
+
+// shardFixture returns samples for a 2-shard run plus one unrelated
+// instance.
+func shardFixture() []obs.Sample {
+	mk := func(fs string, t, seq, ops int64, rate, depth, debt float64) obs.Sample {
+		return obs.Sample{
+			Type: "metrics", V: obs.MetricsSchemaVersion, FS: fs, Time: t, Seq: seq,
+			Counters: map[string]int64{"ops": ops},
+			Gauges: map[string]float64{"ops.rate": rate,
+				"disk.queue.depth": depth, "cleaner.debt_segments": debt},
+		}
+	}
+	return []obs.Sample{
+		mk("shard-1", 0, 0, 0, 0, 0, 0),
+		mk("shard-1", 1e9, 1, 40, 40, 2, 1),
+		mk("shard-0", 0, 0, 0, 0, 0, 0),
+		mk("shard-0", 1e9, 1, 64, 64, 5, 3),
+		mk("lfs-0", 0, 0, 9, 9, 1, 0),
+	}
+}
+
+// TestDashboardShardSummary asserts the per-shard view: shard-N
+// streams collapse into one table row each (in shard order, even when
+// the stream order differs), other instances keep the full view, and
+// -fs shard-K bypasses the summary.
+func TestDashboardShardSummary(t *testing.T) {
+	out, err := buildDashboard(shardFixture(), dashOpts{Width: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "=== shards: 2 instances") {
+		t.Fatalf("shard summary missing:\n%s", out)
+	}
+	// One row per shard, shard 0 first despite shard-1 appearing first
+	// in the stream; no full dashboard blocks for shard labels.
+	i0 := strings.Index(out, "\n       0 ")
+	i1 := strings.Index(out, "\n       1 ")
+	if i0 < 0 || i1 < 0 || i1 < i0 {
+		t.Errorf("shard rows missing or out of order:\n%s", out)
+	}
+	if strings.Contains(out, "=== shard-0") || strings.Contains(out, "=== shard-1") {
+		t.Errorf("shard instances still rendered in full:\n%s", out)
+	}
+	// Row values: shard 0 final ops 64, peak qdepth 5, final debt 3.
+	for _, want := range []string{"64", "5", "3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("shard row missing value %q:\n%s", want, out)
+		}
+	}
+	// The non-shard instance keeps its full view.
+	if !strings.Contains(out, "=== lfs-0") {
+		t.Errorf("non-shard instance lost its full view:\n%s", out)
+	}
+
+	// -fs shard-0 opens the full single-shard view, no summary.
+	out, err = buildDashboard(shardFixture(), dashOpts{Width: 16, FS: "shard-0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "=== shard-0") || strings.Contains(out, "=== shards:") {
+		t.Errorf("-fs shard-0 view wrong:\n%s", out)
+	}
+
+	// A single shard stream has nothing to collapse.
+	out, err = buildDashboard(shardFixture()[:2], dashOpts{Width: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "=== shards:") || !strings.Contains(out, "=== shard-1") {
+		t.Errorf("single shard stream must render in full:\n%s", out)
+	}
+}
+
+func TestShardIndex(t *testing.T) {
+	for label, want := range map[string]int{"shard-0": 0, "shard-12": 12} {
+		if n, ok := shardIndex(label); !ok || n != want {
+			t.Errorf("shardIndex(%q) = %d, %v", label, n, ok)
+		}
+	}
+	for _, label := range []string{"shard-", "shard-x", "lfs-0", "shard--1", ""} {
+		if _, ok := shardIndex(label); ok {
+			t.Errorf("shardIndex(%q) accepted", label)
+		}
+	}
+}

@@ -1,9 +1,12 @@
 // Command mklfs formats a disk image file as an empty log-structured
-// file system.
+// file system. With -shards N it formats N standalone per-shard
+// images (fs.shard0.img, fs.shard1.img, ...) that together back a
+// sharded multi-log system; each image is an ordinary LFS volume and
+// mounts alone (see FORMAT.md).
 //
 // Usage:
 //
-//	mklfs -image fs.img -size 300M [-block 4096] [-segment 1M] [-inodes 65536] [-backend file|mmap]
+//	mklfs -image fs.img -size 300M [-block 4096] [-segment 1M] [-inodes 65536] [-backend file|mmap] [-shards N]
 package main
 
 import (
@@ -17,15 +20,20 @@ import (
 
 func main() {
 	image := flag.String("image", "", "path of the disk image to create")
-	size := flag.String("size", "300M", "volume capacity (e.g. 64M, 1G)")
+	size := flag.String("size", "300M", "total volume capacity (e.g. 64M, 1G), split evenly across shards")
 	block := flag.Int("block", 4096, "block size in bytes")
 	segment := flag.String("segment", "1M", "segment size (e.g. 512K, 1M)")
-	inodes := flag.Int("inodes", 65536, "maximum number of inodes")
+	inodes := flag.Int("inodes", 65536, "maximum number of inodes (per shard)")
 	backend := flag.String("backend", "file", "image store backend: file or mmap")
+	shards := flag.Int("shards", 1, "number of shards; above 1, formats one standalone image per shard")
 	flag.Parse()
 
 	if *image == "" {
 		fmt.Fprintln(os.Stderr, "mklfs: -image is required")
+		os.Exit(2)
+	}
+	if *shards < 1 {
+		fmt.Fprintf(os.Stderr, "mklfs: -shards must be at least 1, got %d\n", *shards)
 		os.Exit(2)
 	}
 	be, ok := lfs.ParseStoreBackend(*backend)
@@ -44,25 +52,57 @@ func main() {
 		os.Exit(2)
 	}
 
-	d, err := lfs.NewDisk(lfs.StoreOptions{Backend: be, Path: *image, Capacity: capacity})
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "mklfs: %v\n", err)
-		os.Exit(1)
-	}
-	defer d.Close()
-
 	cfg := lfs.DefaultConfig()
 	cfg.BlockSize = *block
 	cfg.SegmentSize = int(segSize)
 	cfg.MaxInodes = *inodes
-	if err := lfs.Format(d, cfg); err != nil {
+
+	if *shards == 1 {
+		d, err := lfs.NewDisk(lfs.StoreOptions{Backend: be, Path: *image, Capacity: capacity})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mklfs: %v\n", err)
+			os.Exit(1)
+		}
+		defer d.Close()
+		if err := lfs.Format(d, cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "mklfs: %v\n", err)
+			os.Exit(1)
+		}
+		if err := d.Sync(); err != nil {
+			fmt.Fprintf(os.Stderr, "mklfs: sync: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("mklfs: formatted %s: %d MB, %d-byte blocks, %d KB segments, %d inodes\n",
+			*image, capacity>>20, *block, segSize>>10, *inodes)
+		return
+	}
+
+	// Multi-shard: one standalone image per shard, on one clock, the
+	// total capacity split evenly.
+	clock := lfs.NewClock()
+	per := capacity / int64(*shards)
+	disks := make([]*lfs.Disk, *shards)
+	for i := range disks {
+		path := cli.ShardImagePath(*image, i)
+		d, err := lfs.NewDiskWithClock(lfs.StoreOptions{Backend: be, Path: path, Capacity: per}, clock)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mklfs: shard %d (%s): %v\n", i, path, err)
+			os.Exit(1)
+		}
+		defer d.Close()
+		disks[i] = d
+	}
+	if err := lfs.FormatSharded(disks, lfs.ShardOptions{Base: cfg}); err != nil {
 		fmt.Fprintf(os.Stderr, "mklfs: %v\n", err)
 		os.Exit(1)
 	}
-	if err := d.Sync(); err != nil {
-		fmt.Fprintf(os.Stderr, "mklfs: sync: %v\n", err)
-		os.Exit(1)
+	for i, d := range disks {
+		if err := d.Sync(); err != nil {
+			fmt.Fprintf(os.Stderr, "mklfs: sync shard %d: %v\n", i, err)
+			os.Exit(1)
+		}
 	}
-	fmt.Printf("mklfs: formatted %s: %d MB, %d-byte blocks, %d KB segments, %d inodes\n",
-		*image, capacity>>20, *block, segSize>>10, *inodes)
+	fmt.Printf("mklfs: formatted %d shard images %s..%s: %d MB each, %d-byte blocks, %d KB segments, %d inodes per shard\n",
+		*shards, cli.ShardImagePath(*image, 0), cli.ShardImagePath(*image, *shards-1),
+		per>>20, *block, segSize>>10, *inodes)
 }

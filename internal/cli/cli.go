@@ -3,9 +3,20 @@ package cli
 
 import (
 	"fmt"
+	"path/filepath"
 	"strconv"
 	"strings"
 )
+
+// ShardImagePath names shard i's image for a multi-shard volume
+// rooted at base, inserting the shard index before the extension:
+// "fs.img" → "fs.shard0.img", "vol" → "vol.shard2". Every shard image
+// is a standalone LFS volume (see FORMAT.md); the naming is only a
+// convention tying the set together on disk.
+func ShardImagePath(base string, shard int) string {
+	ext := filepath.Ext(base)
+	return fmt.Sprintf("%s.shard%d%s", strings.TrimSuffix(base, ext), shard, ext)
+}
 
 // ParseSize parses a human-friendly byte size: a plain number, or a
 // number suffixed with K, M, or G (binary multiples, case

@@ -26,3 +26,21 @@ func TestParseSize(t *testing.T) {
 		}
 	}
 }
+
+func TestShardImagePath(t *testing.T) {
+	cases := []struct {
+		base  string
+		shard int
+		want  string
+	}{
+		{"fs.img", 0, "fs.shard0.img"},
+		{"fs.img", 12, "fs.shard12.img"},
+		{"vol", 2, "vol.shard2"},
+		{"dir/fs.img", 1, "dir/fs.shard1.img"},
+	}
+	for _, tc := range cases {
+		if got := ShardImagePath(tc.base, tc.shard); got != tc.want {
+			t.Errorf("ShardImagePath(%q, %d) = %q, want %q", tc.base, tc.shard, got, tc.want)
+		}
+	}
+}

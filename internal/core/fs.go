@@ -145,6 +145,11 @@ type FS struct {
 	// ID in multi-client runs (0 = unattributed). Guarded by mu.
 	client int
 
+	// shard labels spans and disk events with this instance's 1-based
+	// shard ID when it serves as one log of a sharded multi-log
+	// system (0 = unsharded). Guarded by mu.
+	shard int
+
 	// rec is the attached trace recorder (cfg.Trace); nil when
 	// tracing is disabled. The recorder has its own lock, so spans
 	// recorded under fs.mu never deadlock with concurrent readers.
@@ -204,6 +209,17 @@ func (fs *FS) SetClient(id int) {
 	defer fs.mu.Unlock()
 	fs.client = id
 	fs.d.SetClient(id)
+}
+
+// SetShard labels this instance's spans and disk events with its
+// 1-based shard ID; the shard router sets it once per shard at mount
+// so sharded traces and per-cause busy time decompose per log. Zero
+// restores unsharded labelling.
+func (fs *FS) SetShard(id int) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.shard = id
+	fs.d.SetShard(id)
 }
 
 // Clock returns the simulated clock.

@@ -38,7 +38,7 @@ func (fs *FS) endOp(op, path string, start sim.Time, cpu0 int64, err error) erro
 		}
 		fs.rec.Span(obs.Span{Op: op, Path: path, Start: start,
 			End: fs.clock.Now(), CPU: fs.cpu.Instructions() - cpu0, Err: msg,
-			Client: fs.client})
+			Client: fs.client, Shard: fs.shard})
 	}
 	if fs.samp != nil {
 		fs.opsDone++
@@ -599,6 +599,29 @@ func (fs *FS) fileDirty(ino layout.Ino) bool {
 		}
 	}
 	return false
+}
+
+// FlushAsync issues everything dirty to the log as asynchronous
+// segment writes and returns without waiting for the disk. It is the
+// cross-shard group-commit hook: when one shard of a sharded
+// multi-log system must sync, the router calls FlushAsync on every
+// other shard first, so all disks transfer in overlapping simulated
+// time and each shard's own fsync then finds its data already in
+// flight (it piggybacks). A clean file system returns immediately
+// without charging CPU, so the broadcast costs nothing on idle
+// shards. No operation span is recorded; the issued writes carry
+// their usual log-append causes.
+func (fs *FS) FlushAsync() error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if err := fs.checkMounted(); err != nil {
+		return vfs.WrapPathError("flush", "/", err)
+	}
+	if len(fs.dirtyInodes) == 0 && len(fs.bc.DirtyBlocks()) == 0 {
+		return nil
+	}
+	fs.cpu.Charge(fs.cfg.Costs.Syscall)
+	return vfs.WrapPathError("flush", "/", fs.flush(flushAll))
 }
 
 // Sync forces a segment write of everything dirty and waits for the

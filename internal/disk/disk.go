@@ -126,6 +126,10 @@ type Event struct {
 	// Client is the issuing client's ID in multi-client runs
 	// (SetClient); 0 when unattributed.
 	Client int
+	// Shard is the owning shard's 1-based ID in sharded multi-log
+	// runs (SetShard); 0 when the disk belongs to an unsharded
+	// instance.
+	Shard int
 }
 
 // Tracer receives every disk request when attached via SetTracer.
@@ -243,8 +247,10 @@ type Disk struct {
 	qseq          uint64
 	maxQueueDepth int
 	// client labels requests with the issuing client ID (SetClient);
-	// 0 means unattributed.
+	// 0 means unattributed. shard labels them with the owning
+	// shard's 1-based ID (SetShard); 0 means unsharded.
 	client int
+	shard  int
 
 	stats  Stats
 	tracer Tracer
@@ -429,7 +435,7 @@ func (d *Disk) ReadSectors(sector int64, p []byte, cause IOCause, label string) 
 	d.stats.ByCause[cause].Busy += dur
 	d.trace(Event{Time: start, Kind: OpRead, Sector: sector, Sectors: len(p) / SectorSize,
 		Sync: true, Sequential: seq, SeekCylinders: seekCyl, Service: dur, Cause: cause,
-		Label: label, Client: d.client})
+		Label: label, Client: d.client, Shard: d.shard})
 	return d.store.ReadAt(p, sector*SectorSize)
 }
 
@@ -494,7 +500,7 @@ func (d *Disk) WriteSectors(sector int64, p []byte, sync bool, cause IOCause, la
 		d.stats.ByCause[cause].Busy += dur
 		d.trace(Event{Time: start, Kind: OpWrite, Sector: sector, Sectors: len(p) / SectorSize,
 			Sync: true, Sequential: seq, SeekCylinders: seekCyl, Service: dur, Cause: cause,
-			Label: label, Client: d.client})
+			Label: label, Client: d.client, Shard: d.shard})
 	} else {
 		// Asynchronous writes join the request queue; the scheduling
 		// policy decides their service order at the next barrier.

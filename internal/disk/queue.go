@@ -42,6 +42,7 @@ type queuedReq struct {
 	cause  IOCause
 	label  string
 	client int
+	shard  int
 }
 
 // SetScheduler selects the request scheduling policy. Switching with
@@ -69,6 +70,14 @@ func (d *Disk) SetClient(id int) { d.client = id }
 // Client returns the current client label.
 func (d *Disk) Client() int { return d.client }
 
+// SetShard labels subsequent requests with the owning shard's 1-based
+// ID (0 = unsharded); the shard router sets it once per shard at
+// mount so traces decompose disk traffic per log.
+func (d *Disk) SetShard(id int) { d.shard = id }
+
+// Shard returns the current shard label.
+func (d *Disk) Shard() int { return d.shard }
+
 // enqueue records an asynchronous write for later dispatch. Under
 // FCFS the queue drains immediately — arrival order is service order,
 // so there is nothing to reorder and the pre-queue timeline is
@@ -79,7 +88,7 @@ func (d *Disk) enqueue(sector int64, nbytes int, cause IOCause, label string) {
 	d.qseq++
 	d.queue = append(d.queue, queuedReq{
 		seq: d.qseq, issue: d.clock.Now(), sector: sector, nbytes: nbytes,
-		cause: cause, label: label, client: d.client,
+		cause: cause, label: label, client: d.client, shard: d.shard,
 	})
 	if len(d.queue) > d.maxQueueDepth {
 		d.maxQueueDepth = len(d.queue)
@@ -146,6 +155,6 @@ func (d *Disk) dispatchQueued() {
 		d.trace(Event{Time: start, Kind: OpWrite, Sector: req.sector,
 			Sectors: req.nbytes / SectorSize, Sync: false, Sequential: seq,
 			SeekCylinders: seekCyl, Service: dur, Cause: req.cause,
-			Label: req.label, Client: req.client})
+			Label: req.label, Client: req.client, Shard: req.shard})
 	}
 }

@@ -158,3 +158,15 @@ func CSVConcurrency(w io.Writer, rows []ConcurrencyRow) error {
 		"lfs_writes_per_op", "ffs_writes_per_op",
 		"lfs_p50_ms", "lfs_p95_ms", "lfs_p99_ms"}, recs)
 }
+
+// CSVSharding writes the multi-log scale-out sweep.
+func CSVSharding(w io.Writer, res *ShardingResult) error {
+	var recs [][]string
+	for _, r := range res.Rows {
+		recs = append(recs, []string{i(int64(r.Shards)), i(int64(r.Clients)),
+			f(r.OpsPerSec), f(r.Speedup), f(r.WritesPerOp),
+			f(ms(r.P50)), f(ms(r.P95)), f(ms(r.P99))})
+	}
+	return writeCSV(w, []string{"shards", "clients", "ops_per_s", "speedup",
+		"writes_per_op", "p50_ms", "p95_ms", "p99_ms"}, recs)
+}

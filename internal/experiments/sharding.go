@@ -1,0 +1,368 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+
+	"lfs/internal/core"
+	"lfs/internal/disk"
+	"lfs/internal/server"
+	"lfs/internal/shard"
+	"lfs/internal/sim"
+)
+
+// ShardingOpts scales the multi-log scale-out experiment: a fixed
+// population of closed-loop commit clients drives 1..N independent
+// logs behind one router, measuring how throughput grows as the
+// single append point — the paper's implicit bottleneck — is split.
+type ShardingOpts struct {
+	// TotalCapacity is divided evenly among a cell's shards, so every
+	// cell manages the same number of bytes.
+	TotalCapacity int64
+	// ShardCounts is the sweep's x-axis; it should start at 1 so
+	// speedups have a base.
+	ShardCounts []int
+	// Clients, OpsPerClient, WriteSize, and ThinkTime shape the
+	// closed loops (see server.Config); the client population is the
+	// same for every shard count.
+	Clients      int
+	OpsPerClient int
+	WriteSize    int
+	ThinkTime    sim.Duration
+	// Seed drives every run; the same seed reproduces every schedule
+	// and every per-shard disk image byte for byte.
+	Seed int64
+	// Config is the per-shard base configuration.
+	Config core.Config
+	// CrashCut is the 1-based disk-write index at which the crash
+	// scenario cuts power on shard 0.
+	CrashCut int64
+}
+
+// DefaultShardingOpts returns the paper-scale sweep: 32 clients
+// against 1..8 shards, group commit on, on a CPU twenty times the
+// Sun4. Sharding attacks the single append point, which only binds
+// once the CPU outruns one disk — exactly the §3.1 trend argument
+// (CPU speed growing exponentially against flat disk speed), so the
+// experiment models the machine that trend produces. On the original
+// 10-MIPS Sun4 the serial CPU dominates and extra logs cannot help.
+func DefaultShardingOpts() ShardingOpts {
+	cfg := defaultLFSConfig()
+	cfg.GroupCommit = true
+	cfg.MIPS = 20 * sim.Sun4MIPS
+	return ShardingOpts{
+		TotalCapacity: 256 << 20,
+		ShardCounts:   []int{1, 2, 4, 8},
+		Clients:       32,
+		OpsPerClient:  128,
+		WriteSize:     4096,
+		Seed:          42,
+		Config:        cfg,
+		CrashCut:      5,
+	}
+}
+
+// QuickShardingOpts returns the CI-sized variant.
+func QuickShardingOpts() ShardingOpts {
+	o := DefaultShardingOpts()
+	o.TotalCapacity = 96 << 20
+	o.ShardCounts = []int{1, 2, 4}
+	o.Clients = 16
+	o.OpsPerClient = 48
+	return o
+}
+
+// ShardingRow is one shard count's measurements.
+type ShardingRow struct {
+	Shards  int
+	Clients int
+	// OpsPerSec is aggregate committed-operation throughput; Speedup
+	// is relative to the sweep's first row.
+	OpsPerSec float64
+	Speedup   float64
+	// P50/P95/P99 are operation-latency percentiles merged across
+	// clients.
+	P50 sim.Duration
+	P95 sim.Duration
+	P99 sim.Duration
+	// WritesPerOp is disk write requests per operation, summed over
+	// every shard's disk.
+	WritesPerOp float64
+}
+
+// ShardingCrash summarises the fault-injection scenario: power cut
+// on one shard of four mid-run while the others keep committing,
+// then per-shard recovery through the router.
+type ShardingCrash struct {
+	Shards int
+	// CutWrite is the disk-write index the power cut fired at.
+	CutWrite int64
+	// ToleratedErrors counts client operations abandoned while the
+	// crashed shard was down; HealthyOps counts operations that
+	// committed during the same window.
+	ToleratedErrors int64
+	HealthyOps      int64
+	// FilesRetained counts pre-crash committed files still present
+	// (with their full size) after recovery — over all shards,
+	// crashed one included.
+	FilesRetained int
+	// FsckOk reports that every shard's image passed the offline
+	// consistency check after the final unmount.
+	FsckOk bool
+}
+
+// ShardingResult is the whole experiment: the scale-out curve, the
+// crash scenario, and the same-seed determinism verdict.
+type ShardingResult struct {
+	Rows  []ShardingRow
+	Crash ShardingCrash
+	// Deterministic reports that rerunning the largest cell with the
+	// same seed reproduced every shard's disk image byte for byte.
+	Deterministic bool
+}
+
+// NewSharded formats and mounts an n-shard system over fresh
+// memory-backed disks on one simulated clock, wiring a fresh metrics
+// sampler per shard when the MetricsSink is installed (series are
+// labelled shard-0, shard-1, ...).
+func NewSharded(n int, totalCapacity int64, cfg core.Config) (*shard.FS, error) {
+	opts := shard.Options{Base: cfg}
+	if MetricsSink != nil {
+		opts.ShardConfig = func(i int, c core.Config) core.Config {
+			if c.Metrics == nil {
+				c.Metrics = MetricsSink("shard")
+			}
+			return c
+		}
+	}
+	return shard.NewMem(n, totalCapacity, opts)
+}
+
+// runCell builds a fresh n-shard system, drives the configured client
+// population, and returns the system (still mounted) with the run's
+// row.
+func runCell(opts ShardingOpts, n int) (*shard.FS, ShardingRow, error) {
+	row := ShardingRow{Shards: n, Clients: opts.Clients}
+	fs, err := NewSharded(n, opts.TotalCapacity, opts.Config)
+	if err != nil {
+		return nil, row, fmt.Errorf("sharding: %d shards: %w", n, err)
+	}
+	scfg := server.Config{
+		Clients:        opts.Clients,
+		OpsPerClient:   opts.OpsPerClient,
+		WriteSize:      opts.WriteSize,
+		FilesPerClient: 8,
+		ThinkTime:      opts.ThinkTime,
+		Seed:           opts.Seed,
+	}
+	if samp := fs.ShardFS(0).Metrics(); samp != nil {
+		scfg.MetricsInterval = samp.Interval()
+	}
+	res, err := server.Run(fs, scfg)
+	if err != nil {
+		return nil, row, fmt.Errorf("sharding: %d shards: %w", n, err)
+	}
+	fs.SampleMetricsNow()
+	row.OpsPerSec = res.OpsPerSecond()
+	if row.P50, row.P95, row.P99, err = latencyPercentiles(res.PerClient); err != nil {
+		return nil, row, fmt.Errorf("sharding: merging latency histograms: %w", err)
+	}
+	var writes int64
+	for i := 0; i < n; i++ {
+		writes += fs.Disk(i).Stats().Writes
+	}
+	row.WritesPerOp = float64(writes) / float64(res.Ops)
+	return fs, row, nil
+}
+
+// shardImages snapshots every shard's backing store after unmount.
+func shardImages(fs *shard.FS) ([][]byte, error) {
+	images := make([][]byte, fs.NumShards())
+	for i := range images {
+		st := fs.Disk(i).Store()
+		buf := make([]byte, st.Size())
+		if err := st.ReadAt(buf, 0); err != nil {
+			return nil, fmt.Errorf("sharding: reading shard %d image: %w", i, err)
+		}
+		images[i] = buf
+	}
+	return images, nil
+}
+
+// Sharding sweeps shard counts at a fixed client population, then
+// runs the crash scenario and the determinism rerun.
+func Sharding(opts ShardingOpts) (*ShardingResult, error) {
+	if len(opts.ShardCounts) == 0 {
+		return nil, fmt.Errorf("sharding: empty shard counts")
+	}
+	res := &ShardingResult{}
+	var base float64
+	largest := 0
+	for i, n := range opts.ShardCounts {
+		if n < 1 {
+			return nil, fmt.Errorf("sharding: shard count %d", n)
+		}
+		if n > largest {
+			largest = n
+		}
+		fs, row, err := runCell(opts, n)
+		if err != nil {
+			return nil, err
+		}
+		if err := fs.Unmount(); err != nil {
+			return nil, fmt.Errorf("sharding: %d shards: unmount: %w", n, err)
+		}
+		if i == 0 {
+			base = row.OpsPerSec
+		}
+		row.Speedup = speedup(row.OpsPerSec, base)
+		res.Rows = append(res.Rows, row)
+	}
+
+	// Determinism: rerun the largest cell with the same seed and
+	// compare every shard's image byte for byte.
+	det, err := shardingDeterministic(opts, largest)
+	if err != nil {
+		return nil, err
+	}
+	res.Deterministic = det
+
+	crash, err := shardingCrash(opts)
+	if err != nil {
+		return nil, err
+	}
+	res.Crash = crash
+	return res, nil
+}
+
+// shardingDeterministic reruns the n-shard cell twice and compares
+// images.
+func shardingDeterministic(opts ShardingOpts, n int) (bool, error) {
+	var prev [][]byte
+	for run := 0; run < 2; run++ {
+		fs, _, err := runCell(opts, n)
+		if err != nil {
+			return false, err
+		}
+		if err := fs.Unmount(); err != nil {
+			return false, fmt.Errorf("sharding: determinism unmount: %w", err)
+		}
+		images, err := shardImages(fs)
+		if err != nil {
+			return false, err
+		}
+		if run == 0 {
+			prev = images
+			continue
+		}
+		for i := range images {
+			if !bytes.Equal(prev[i], images[i]) {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
+// shardingCrash runs the four-shard fault scenario: a healthy
+// committed phase, a power cut on shard 0 mid-phase-two with the
+// healthy shards still committing, per-shard recovery through the
+// router, and an offline fsck of all four images.
+func shardingCrash(opts ShardingOpts) (ShardingCrash, error) {
+	const n = 4
+	out := ShardingCrash{Shards: n, CutWrite: opts.CrashCut}
+	fs, err := NewSharded(n, opts.TotalCapacity, opts.Config)
+	if err != nil {
+		return out, fmt.Errorf("sharding: crash: %w", err)
+	}
+	scfg := server.Config{
+		Clients:        opts.Clients,
+		OpsPerClient:   opts.OpsPerClient,
+		WriteSize:      opts.WriteSize,
+		FilesPerClient: 8,
+		ThinkTime:      opts.ThinkTime,
+		Seed:           opts.Seed,
+	}
+
+	// Phase A: healthy, every op fsynced; then Sync commits the
+	// directory tree too.
+	if _, err := server.Run(fs, scfg); err != nil {
+		return out, fmt.Errorf("sharding: crash phase A: %w", err)
+	}
+	if err := fs.Sync(); err != nil {
+		return out, fmt.Errorf("sharding: crash phase A sync: %w", err)
+	}
+
+	// Phase B: arm the power cut on shard 0 and keep driving all
+	// shards, tolerating the dead shard's errors.
+	fs.Disk(0).SetFaultPolicy(&disk.CrashPlan{CutWrite: opts.CrashCut})
+	scfgB := scfg
+	scfgB.Seed = opts.Seed + 1
+	scfgB.OnOpError = func(client int, err error) bool { return true }
+	resB, err := server.Run(fs, scfgB)
+	if err != nil {
+		return out, fmt.Errorf("sharding: crash phase B: %w", err)
+	}
+	out.ToleratedErrors = resB.Errors
+	out.HealthyOps = resB.Ops
+
+	// Recover shard 0 through the router; the other shards are
+	// untouched.
+	if err := fs.RecoverShard(0); err != nil {
+		return out, fmt.Errorf("sharding: recovering shard 0: %w", err)
+	}
+
+	// Every phase-A file must have survived somewhere with its full
+	// size — on the crashed shard via its own roll-forward, on the
+	// healthy shards trivially.
+	for c := 1; c <= scfg.Clients; c++ {
+		for s := 0; s < scfg.FilesPerClient; s++ {
+			p := fmt.Sprintf("/client%02d/f%03d", c, s)
+			fi, err := fs.Stat(p)
+			if err != nil {
+				return out, fmt.Errorf("sharding: post-recovery %s: %w", p, err)
+			}
+			if fi.Size != int64(opts.WriteSize) {
+				return out, fmt.Errorf("sharding: post-recovery %s: size %d, want %d", p, fi.Size, opts.WriteSize)
+			}
+			out.FilesRetained++
+		}
+	}
+
+	if err := fs.Unmount(); err != nil {
+		return out, fmt.Errorf("sharding: crash unmount: %w", err)
+	}
+	fsckCfg := opts.Config
+	fsckCfg.Trace, fsckCfg.Metrics = nil, nil
+	for i := 0; i < n; i++ {
+		rep, err := core.Fsck(fs.Disk(i), fsckCfg)
+		if err != nil {
+			return out, fmt.Errorf("sharding: fsck shard %d: %w", i, err)
+		}
+		if !rep.Ok() {
+			return out, fmt.Errorf("sharding: fsck shard %d: %v", i, rep.Problems)
+		}
+	}
+	out.FsckOk = true
+	return out, nil
+}
+
+// FormatSharding renders the scale-out curve and the crash verdict.
+func FormatSharding(res *ShardingResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Sharding - ops/s vs shard count at fixed clients (multi-log scale-out)\n")
+	fmt.Fprintf(&b, "%8s %8s %12s %8s %10s %8s %8s %8s\n",
+		"shards", "clients", "ops/s", "speedup", "w/op", "p50ms", "p95ms", "p99ms")
+	for _, r := range res.Rows {
+		fmt.Fprintf(&b, "%8d %8d %12.1f %8.2f %10.2f %8.2f %8.2f %8.2f\n",
+			r.Shards, r.Clients, r.OpsPerSec, r.Speedup, r.WritesPerOp,
+			ms(r.P50), ms(r.P95), ms(r.P99))
+	}
+	fmt.Fprintf(&b, "deterministic: %v (largest cell rerun, per-shard images byte-identical)\n",
+		res.Deterministic)
+	c := res.Crash
+	fmt.Fprintf(&b, "crash: %d shards, power cut at shard-0 write %d: %d ops committed on healthy shards, %d errors tolerated, %d files retained after recovery, fsck ok: %v\n",
+		c.Shards, c.CutWrite, c.HealthyOps, c.ToleratedErrors, c.FilesRetained, c.FsckOk)
+	return b.String()
+}

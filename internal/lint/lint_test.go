@@ -141,9 +141,9 @@ func TestMatch(t *testing.T) {
 		patterns []string
 		want     int
 	}{
-		{nil, 9},
-		{[]string{"./..."}, 9},
-		{[]string{"./internal/..."}, 8},
+		{nil, 10},
+		{[]string{"./..."}, 10},
+		{[]string{"./internal/..."}, 9},
 		{[]string{"./internal/core"}, 1},
 		{[]string{"./cmd/tool"}, 1},
 		{[]string{"./nosuchdir"}, 0},
@@ -170,6 +170,7 @@ func TestDerivedSimScope(t *testing.T) {
 		"internal/obs",
 		"internal/sched",
 		"internal/server",
+		"internal/shard",
 		"internal/sim",
 		"internal/workload",
 	}, " ")

@@ -1,0 +1,24 @@
+// Package shard is a deliberately broken miniature of the multi-log
+// router: one deterministic scheduler drives every shard's log, so
+// fanning a broadcast out to per-shard goroutines reintroduces the
+// runtime scheduler as an ordering source and must be flagged.
+package shard
+
+import "nogoroutine/internal/sim"
+
+// broadcast forks one goroutine per shard and must be flagged once
+// (the go statement; the send inside the closure rides along).
+func broadcast(shards []chan int, v int) {
+	for _, ch := range shards {
+		go func(ch chan int) { ch <- v }(ch)
+	}
+}
+
+// sweep is the sanctioned pattern: the router visits shards in shard
+// order on the single loop thread, no finding.
+func sweep(c *sim.Clock, n int) sim.Time {
+	for i := 0; i < n; i++ {
+		c.Advance(1)
+	}
+	return c.Now()
+}

@@ -1,0 +1,26 @@
+// Package shard is a deliberately broken miniature of the multi-log
+// router: it imports internal/sim (as the real router does through
+// internal/core), which places it in the derived deterministic scope,
+// so wall-clock reads inside placement or recovery must be flagged.
+package shard
+
+import (
+	"time"
+
+	"wallclock/internal/sim"
+)
+
+// stamp timestamps a shard recovery with the wall clock and must be
+// flagged.
+func stamp() int64 { return time.Now().UnixNano() }
+
+// route is the sanctioned pattern: placement is a pure function of
+// the path and timing comes from the shared simulated clock, no
+// finding.
+func route(c *sim.Clock, path string) (int, sim.Time) {
+	h := 0
+	for i := 0; i < len(path); i++ {
+		h = h*31 + int(path[i])
+	}
+	return h % 4, c.Now()
+}

@@ -30,6 +30,11 @@ type Record struct {
 	// existed.
 	Client int `json:"client,omitempty"`
 
+	// span and io also share Shard: the executing shard's 1-based ID
+	// in sharded multi-log runs; omitted (0) for unsharded instances,
+	// keeping pre-sharding traces byte-identical, same as Client.
+	Shard int `json:"shard,omitempty"`
+
 	// io
 	Time    int64  `json:"time_ns,omitempty"`
 	Kind    string `json:"kind,omitempty"`
@@ -64,7 +69,7 @@ func (r *Recorder) WriteJSONL(w io.Writer) error {
 	for _, s := range r.spans {
 		rec := Record{Type: "span", Op: s.Op, Path: s.Path,
 			Start: int64(s.Start), End: int64(s.End), CPU: s.CPU, Err: s.Err,
-			Client: s.Client}
+			Client: s.Client, Shard: s.Shard}
 		if err := enc.Encode(rec); err != nil {
 			return err
 		}
@@ -73,7 +78,7 @@ func (r *Recorder) WriteJSONL(w io.Writer) error {
 		rec := Record{Type: "io", Time: int64(ev.Time), Kind: ev.Kind.String(),
 			Sector: ev.Sector, Sectors: ev.Sectors, Sync: ev.Sync,
 			Cause: ev.Cause.String(), Service: int64(ev.Service), Label: ev.Label,
-			Client: ev.Client}
+			Client: ev.Client, Shard: ev.Shard}
 		if err := enc.Encode(rec); err != nil {
 			return err
 		}
@@ -126,7 +131,7 @@ func AggregateRecords(recs []Record) *Aggregates {
 		case "span":
 			spans = append(spans, Span{Op: rec.Op, Path: rec.Path,
 				Start: sim.Time(rec.Start), End: sim.Time(rec.End),
-				CPU: rec.CPU, Err: rec.Err, Client: rec.Client})
+				CPU: rec.CPU, Err: rec.Err, Client: rec.Client, Shard: rec.Shard})
 		case "io":
 			cause, _ := disk.ParseIOCause(rec.Cause)
 			kind := disk.OpRead
@@ -136,7 +141,7 @@ func AggregateRecords(recs []Record) *Aggregates {
 			events = append(events, disk.Event{Time: sim.Time(rec.Time), Kind: kind,
 				Sector: rec.Sector, Sectors: rec.Sectors, Sync: rec.Sync,
 				Cause: cause, Service: sim.Duration(rec.Service), Label: rec.Label,
-				Client: rec.Client})
+				Client: rec.Client, Shard: rec.Shard})
 		case "clean":
 			cleans = append(cleans, CleanRecord{Time: sim.Time(rec.Time), Seg: rec.Seg,
 				Utilization: rec.Utilization, BytesRead: rec.BytesRead,

@@ -28,7 +28,9 @@ import (
 // Span is one VFS operation: its name, target path, simulated start
 // and end times, the CPU instructions it charged, and the error it
 // returned ("" on success). Client is the issuing client's ID in
-// multi-client runs (0 = unattributed single-client traffic).
+// multi-client runs (0 = unattributed single-client traffic); Shard
+// is the executing shard's 1-based ID in sharded multi-log runs
+// (0 = unsharded).
 type Span struct {
 	Op     string
 	Path   string
@@ -37,6 +39,7 @@ type Span struct {
 	CPU    int64
 	Err    string
 	Client int
+	Shard  int
 }
 
 // Latency returns the operation's simulated duration.

@@ -20,6 +20,7 @@
 package server
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 
@@ -82,6 +83,14 @@ type Config struct {
 	// metrics-enabled run reports identical results. Ignored for
 	// targets without a metrics plane.
 	MetricsInterval sim.Duration
+	// OnOpError, when non-nil, is consulted on every operation error.
+	// Returning true tolerates the failure: it is counted in the
+	// client's Errors, the operation is abandoned, and the client
+	// moves on to its next operation after a think pause. Returning
+	// false — or leaving the hook nil — aborts the run with the
+	// error, the default. Fault-injection experiments use it to keep
+	// healthy shards committing while one shard is down.
+	OnOpError func(client int, err error) bool
 }
 
 // DefaultConfig returns a small-file commit workload: 4 KB writes,
@@ -125,6 +134,9 @@ type ClientStats struct {
 	Client int
 	// Ops counts completed write+fsync operations.
 	Ops int64
+	// Errors counts operations abandoned after a tolerated error
+	// (Config.OnOpError returned true); always zero without the hook.
+	Errors int64
 	// BytesWritten counts payload bytes.
 	BytesWritten int64
 	// TotalLatency sums write-to-fsync-completion latencies.
@@ -151,6 +163,8 @@ type Result struct {
 	// Ops and BytesWritten total over all clients.
 	Ops          int64
 	BytesWritten int64
+	// Errors totals tolerated operation errors over all clients.
+	Errors int64
 	// Start and End bound the run in simulated time.
 	Start sim.Time
 	End   sim.Time
@@ -175,7 +189,11 @@ func (r Result) OpsPerSecond() float64 {
 
 // Run drives cfg.Clients closed-loop clients against fsys until every
 // client has issued its operations, then returns the aggregate result.
-// The first operation error aborts the run and is returned.
+// The first operation error aborts the run and is returned, unless
+// Config.OnOpError tolerates it. Runs are idempotent over an existing
+// client tree — directories and files left by an earlier Run against
+// the same target are reused — so multi-phase experiments can call
+// Run repeatedly on one file system.
 func Run(fsys FS, cfg Config) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
@@ -208,12 +226,23 @@ func Run(fsys FS, cfg Config) (Result, error) {
 		}
 		stopPump()
 	}
+	// tolerate routes an operation error through Config.OnOpError:
+	// true means the client abandons the op and moves on.
+	tolerate := func(st *ClientStats, err error) bool {
+		if cfg.OnOpError != nil && cfg.OnOpError(st.Client, err) {
+			st.Errors++
+			return true
+		}
+		fail(err)
+		return false
+	}
 
 	// Per-client working directories, created up front so the run
-	// itself is pure write/fsync traffic.
+	// itself is pure write/fsync traffic. A directory left over from
+	// an earlier run against the same target is fine.
 	for c := 1; c <= cfg.Clients; c++ {
 		fsys.SetClient(c)
-		if err := fsys.Mkdir(clientDir(c)); err != nil {
+		if err := fsys.Mkdir(clientDir(c)); err != nil && !errors.Is(err, vfs.ErrExist) {
 			fsys.SetClient(0)
 			return Result{}, err
 		}
@@ -232,6 +261,19 @@ func Run(fsys FS, cfg Config) (Result, error) {
 		created := make([]bool, cfg.FilesPerClient)
 		n := 0
 		var issue func()
+		// next retires the current operation — completed or
+		// abandoned after a tolerated error — and schedules the
+		// client's following one.
+		next := func() {
+			n++
+			opsLeft--
+			if opsLeft == 0 {
+				stopPump()
+			}
+			if n < cfg.OpsPerClient {
+				loop.After(think(rng, cfg.ThinkTime), "write", issue)
+			}
+		}
 		issue = func() {
 			if firstErr != nil {
 				return
@@ -241,14 +283,19 @@ func Run(fsys FS, cfg Config) (Result, error) {
 			start := loop.Clock().Now()
 			fsys.SetClient(client)
 			if !created[slot] {
-				if err := fsys.Create(path); err != nil {
-					fail(err)
+				// A file surviving from an earlier run is reused.
+				if err := fsys.Create(path); err != nil && !errors.Is(err, vfs.ErrExist) {
+					if tolerate(st, err) {
+						next()
+					}
 					return
 				}
 				created[slot] = true
 			}
 			if err := fsys.Write(path, 0, payload); err != nil {
-				fail(err)
+				if tolerate(st, err) {
+					next()
+				}
 				return
 			}
 			// The fsync is a separate event: other clients' writes
@@ -260,7 +307,9 @@ func Run(fsys FS, cfg Config) (Result, error) {
 				}
 				fsys.SetClient(client)
 				if err := syncFile(fsys, path); err != nil {
-					fail(err)
+					if tolerate(st, err) {
+						next()
+					}
 					return
 				}
 				lat := loop.Clock().Now().Sub(start)
@@ -271,14 +320,7 @@ func Run(fsys FS, cfg Config) (Result, error) {
 					st.MaxLatency = lat
 				}
 				st.Latency.Observe(lat.Seconds())
-				n++
-				opsLeft--
-				if opsLeft == 0 {
-					stopPump()
-				}
-				if n < cfg.OpsPerClient {
-					loop.After(think(rng, cfg.ThinkTime), "write", issue)
-				}
+				next()
 			})
 		}
 		// Stagger the first issue by one nanosecond per client: a
@@ -311,6 +353,7 @@ func Run(fsys FS, cfg Config) (Result, error) {
 	for i := range res.PerClient {
 		res.Ops += res.PerClient[i].Ops
 		res.BytesWritten += res.PerClient[i].BytesWritten
+		res.Errors += res.PerClient[i].Errors
 	}
 	return res, nil
 }

@@ -1,0 +1,385 @@
+package shard
+
+import (
+	"fmt"
+	"sort"
+
+	"lfs/internal/core"
+	"lfs/internal/layout"
+	"lfs/internal/vfs"
+)
+
+// route resolves a single-path operation to its owning shard,
+// wrapping path validation errors with the operation name.
+func (fs *FS) route(op, path string) (*core.FS, error) {
+	parts, err := vfs.SplitPath(path)
+	if err != nil {
+		return nil, vfs.WrapPathError(op, path, err)
+	}
+	return fs.shards[fs.place(path, parts)], nil
+}
+
+// Create makes the file on its placed shard.
+func (fs *FS) Create(path string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	s, err := fs.route("create", path)
+	if err != nil {
+		return err
+	}
+	return s.Create(path)
+}
+
+// Mkdir creates a pinned directory on its pin's shard and replicates
+// an unpinned one on every shard (in shard order), so the parent
+// chain of any hash-placed file exists wherever the hash may land.
+func (fs *FS) Mkdir(path string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	parts, err := vfs.SplitPath(path)
+	if err != nil {
+		return vfs.WrapPathError("mkdir", path, err)
+	}
+	if s, ok := fs.pinFor(parts); ok {
+		return fs.shards[s].Mkdir(path)
+	}
+	for _, s := range fs.shards {
+		if err := s.Mkdir(path); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Write stores data through the file's shard.
+func (fs *FS) Write(path string, off int64, data []byte) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	s, err := fs.route("write", path)
+	if err != nil {
+		return err
+	}
+	return s.Write(path, off, data)
+}
+
+// Read reads through the file's shard.
+func (fs *FS) Read(path string, off int64, buf []byte) (int, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	s, err := fs.route("read", path)
+	if err != nil {
+		return 0, err
+	}
+	return s.Read(path, off, buf)
+}
+
+// Stat describes the path from its home shard. A replicated
+// directory exists on every shard; its attributes are reported from
+// the home shard (the deterministic hash of its path), which is also
+// where a file of the same name would live.
+func (fs *FS) Stat(path string) (vfs.FileInfo, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	s, err := fs.route("stat", path)
+	if err != nil {
+		return vfs.FileInfo{}, err
+	}
+	return s.Stat(path)
+}
+
+// ReadDir lists a pinned directory from its pin's shard; for a
+// replicated directory it merges every shard's listing, deduplicated
+// by name (a replicated subdirectory appears on all shards) and
+// name-sorted. Each name's entry is taken from the name's own home
+// shard — the shard Stat would serve it from — so inode numbers are
+// consistent between ReadDir and Stat.
+func (fs *FS) ReadDir(path string) ([]layout.DirEntry, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	parts, err := vfs.SplitPath(path)
+	if err != nil {
+		return nil, vfs.WrapPathError("readdir", path, err)
+	}
+	if s, ok := fs.pinFor(parts); ok {
+		return fs.shards[s].ReadDir(path)
+	}
+	if len(fs.shards) == 1 {
+		return fs.shards[0].ReadDir(path)
+	}
+	home := fs.place(path, parts)
+	lists := make([][]layout.DirEntry, len(fs.shards))
+	errs := make([]error, len(fs.shards))
+	for i, s := range fs.shards {
+		lists[i], errs[i] = s.ReadDir(path)
+	}
+	// The home shard's verdict wins: listing a file must fail with
+	// its ErrNotDir, not a sibling shard's ErrNotExist.
+	if errs[home] != nil {
+		return nil, errs[home]
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	seen := make(map[string]layout.DirEntry)
+	var names []string
+	for i, list := range lists {
+		for _, e := range list {
+			child := path + "/" + e.Name
+			if path == "/" {
+				child = "/" + e.Name
+			}
+			if _, ok := seen[e.Name]; !ok {
+				names = append(names, e.Name)
+				seen[e.Name] = e
+			}
+			if fs.place(child, append(parts[:len(parts):len(parts)], e.Name)) == i {
+				seen[e.Name] = e
+			}
+		}
+	}
+	sort.Strings(names)
+	out := make([]layout.DirEntry, 0, len(names))
+	for _, n := range names {
+		out = append(out, seen[n])
+	}
+	return out, nil
+}
+
+// Remove unlinks a file on its shard; removing a replicated
+// directory first verifies it is empty on every shard (any entry
+// anywhere fails the whole operation) and then removes every
+// replica, so no shard is left with a stale copy.
+func (fs *FS) Remove(path string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	parts, err := vfs.SplitPath(path)
+	if err != nil {
+		return vfs.WrapPathError("remove", path, err)
+	}
+	if s, ok := fs.pinFor(parts); ok {
+		return fs.shards[s].Remove(path)
+	}
+	if len(fs.shards) == 1 || len(parts) == 0 {
+		// Single shard, or the root: delegate for the exact core
+		// error (the root cannot be removed).
+		return fs.shards[fs.place(path, parts)].Remove(path)
+	}
+	home := fs.shards[fs.place(path, parts)]
+	fi, err := home.Stat(path)
+	if err != nil {
+		// Nonexistent either way; delegate so the error carries the
+		// remove op, not stat.
+		return home.Remove(path)
+	}
+	if !fi.IsDir() {
+		return home.Remove(path)
+	}
+	for _, s := range fs.shards {
+		ents, err := s.ReadDir(path)
+		if err != nil {
+			return vfs.WrapPathError("remove", path, err)
+		}
+		if len(ents) > 0 {
+			return vfs.WrapPathError("remove", path, vfs.ErrNotEmpty)
+		}
+	}
+	for _, s := range fs.shards {
+		if err := s.Remove(path); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Rename moves oldPath to newPath when both place on one shard. A
+// cross-shard rename fails with ErrCrossShard — a log-structured
+// shard cannot atomically adopt blocks another log owns — as does
+// renaming a replicated directory (its descendants would re-hash to
+// other shards); directory renames are allowed when both ends sit
+// inside pinned subtrees on the same shard.
+func (fs *FS) Rename(oldPath, newPath string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.relink("rename", oldPath, newPath, true,
+		func(s *core.FS) error { return s.Rename(oldPath, newPath) })
+}
+
+// Link creates a hard link when both paths place on one shard; a
+// cross-shard link fails with ErrCrossShard (an inode lives in
+// exactly one shard's inode map).
+func (fs *FS) Link(oldPath, newPath string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.relink("link", oldPath, newPath, false,
+		func(s *core.FS) error { return s.Link(oldPath, newPath) })
+}
+
+// relink implements the shared two-path placement rules of Rename
+// and Link and delegates to apply on the owning shard. dirOK permits
+// directory sources when both ends are pinned to one shard (renames
+// do; links never link directories, so core rejects them anyway).
+func (fs *FS) relink(op, oldPath, newPath string, dirOK bool, apply func(*core.FS) error) error {
+	po, err := vfs.SplitPath(oldPath)
+	if err != nil {
+		return vfs.WrapPathError(op, oldPath, err)
+	}
+	pn, err := vfs.SplitPath(newPath)
+	if err != nil {
+		return vfs.WrapPathError(op, oldPath, err)
+	}
+	if len(fs.shards) == 1 {
+		return apply(fs.shards[0])
+	}
+	so := fs.place(oldPath, po)
+	sn := fs.place(newPath, pn)
+	fi, err := fs.shards[so].Stat(oldPath)
+	if err != nil {
+		// Source missing (or the root): delegate for the exact core
+		// error under the right op name.
+		return apply(fs.shards[so])
+	}
+	if fi.IsDir() && dirOK {
+		_, oldPinned := fs.pinFor(po)
+		_, newPinned := fs.pinFor(pn)
+		if oldPinned && newPinned && so == sn {
+			return apply(fs.shards[so])
+		}
+		if so != sn {
+			return vfs.WrapPathError(op, oldPath, fmt.Errorf(
+				"%w: directory %q places on shard %d, %q on shard %d",
+				ErrCrossShard, oldPath, so, newPath, sn))
+		}
+		return vfs.WrapPathError(op, oldPath, fmt.Errorf(
+			"%w: directory %q is replicated across shards; pin the subtree to rename it",
+			ErrCrossShard, oldPath))
+	}
+	if so != sn {
+		return vfs.WrapPathError(op, oldPath, fmt.Errorf(
+			"%w: %q places on shard %d, %q on shard %d",
+			ErrCrossShard, oldPath, so, newPath, sn))
+	}
+	return apply(fs.shards[so])
+}
+
+// Truncate resizes the file through its shard.
+func (fs *FS) Truncate(path string, size int64) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	s, err := fs.route("truncate", path)
+	if err != nil {
+		return err
+	}
+	return s.Truncate(path, size)
+}
+
+// FsyncFile durably commits one file through its shard. Before
+// waiting, the router starts every other shard's pending transfer
+// with an asynchronous flush — the cross-shard group commit: disk
+// service overlaps in simulated time across the array, and each
+// shard's own fsync then finds its data already in flight. An error
+// from another shard's flush (a crashed disk, say) is deliberately
+// ignored here: it must not fail this shard's fsync, and it
+// resurfaces on the failed shard's own operations.
+func (fs *FS) FsyncFile(path string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	parts, err := vfs.SplitPath(path)
+	if err != nil {
+		return vfs.WrapPathError("fsync", path, err)
+	}
+	home := fs.place(path, parts)
+	for i, s := range fs.shards {
+		if i != home {
+			_ = s.FlushAsync()
+		}
+	}
+	return fs.shards[home].FsyncFile(path)
+}
+
+// Sync flushes every shard. A first pass issues every shard's dirty
+// data asynchronously so the disks transfer in parallel; the second
+// pass syncs each shard, mostly just waiting out its own horizon.
+// All shards are attempted even when one fails (a crashed shard must
+// not block the others' durability); the first error is returned.
+func (fs *FS) Sync() error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	var first error
+	for _, s := range fs.shards {
+		if err := s.FlushAsync(); err != nil && first == nil {
+			first = err
+		}
+	}
+	for _, s := range fs.shards {
+		if err := s.Sync(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Unmount checkpoints and detaches every shard, in shard order; all
+// shards are attempted and the first error returned.
+func (fs *FS) Unmount() error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	var first error
+	for _, s := range fs.shards {
+		if err := s.Unmount(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Crash drops every shard's volatile state without flushing, as if
+// power failed on the whole array.
+func (fs *FS) Crash() {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	for _, s := range fs.shards {
+		s.Crash()
+	}
+}
+
+// DropCaches empties every shard's block cache.
+func (fs *FS) DropCaches() {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	for _, s := range fs.shards {
+		s.DropCaches()
+	}
+}
+
+// SetClient labels subsequent operations on every shard with the
+// issuing client's ID (server attribution).
+func (fs *FS) SetClient(id int) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	for _, s := range fs.shards {
+		s.SetClient(id)
+	}
+}
+
+// TickMetrics advances every shard's metrics sampler to the current
+// simulated time.
+func (fs *FS) TickMetrics() {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	for _, s := range fs.shards {
+		s.TickMetrics()
+	}
+}
+
+// SampleMetricsNow forces one sample row on every shard.
+func (fs *FS) SampleMetricsNow() {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	for _, s := range fs.shards {
+		s.SampleMetricsNow()
+	}
+}
+
+var _ vfs.FileSystem = (*FS)(nil)

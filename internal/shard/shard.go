@@ -1,0 +1,364 @@
+// Package shard scales the storage manager out horizontally: it
+// presents one vfs.FileSystem whose namespace is partitioned across N
+// independent core.FS instances ("shards"), each owning its own log,
+// cleaner, checkpoint regions, disk queue, and disk. The paper's
+// single append point is exactly what flattens multi-client
+// throughput — every client funnels through one log head and one
+// cleaner — so the router splits the namespace instead of the log
+// format: every shard's image is a complete, standalone LFS volume
+// (see FORMAT.md), and SSDFS-style multi-log layouts are the
+// precedent.
+//
+// Placement. A file lives on exactly one shard. By default the shard
+// is a deterministic hash (FNV-1a) of the file's canonical absolute
+// path; Options.Pins overrides the hash for whole directory subtrees
+// (longest-prefix wins), so a workload can keep a tree's files — and
+// the tree itself — on one log. Directories outside pinned subtrees
+// are *replicated*: Mkdir broadcasts to every shard, so the parent
+// chain of any hashed file exists on its shard, and ReadDir of a
+// replicated directory merges every shard's entries (deduplicated by
+// name, name-sorted). Paths inside a pinned subtree — directories
+// included — exist only on the pin's shard.
+//
+// Renames and links resolve both paths: when they place on the same
+// shard the operation delegates untouched; when they cross shards it
+// fails with ErrCrossShard (wrapped in *vfs.PathError), because a
+// log-structured shard cannot atomically move blocks it does not own.
+// Renaming a replicated directory is likewise rejected (its
+// descendants would re-hash to other shards); a directory rename is
+// allowed when both ends sit inside pinned subtrees on one shard.
+// With a single shard the router is a transparent passthrough and
+// every operation, directory renames included, delegates.
+//
+// Determinism. The router holds no clock and charges no CPU: it is a
+// pure function from path to shard, and all shards share one
+// simulated clock (Mount enforces pointer equality). Every operation
+// is executed by the single deterministic internal/sched loop in
+// (sim.Time, seq) order, and each shard's on-disk image is a function
+// of the operation subsequence routed to it — so same-seed runs
+// produce byte-identical per-shard images for any shard count.
+// Per-disk busy horizons still advance independently, which is where
+// the scale-out comes from: N shards overlap their segment writes in
+// simulated time while CPU charges remain the serial component.
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"lfs/internal/core"
+	"lfs/internal/disk"
+	"lfs/internal/sim"
+	"lfs/internal/vfs"
+)
+
+// ErrCrossShard reports a two-path operation (Rename, Link) whose
+// source and destination place on different shards, or a rename of a
+// replicated directory. Callers test it with errors.Is; the router
+// wraps it in *vfs.PathError like every other operation error.
+var ErrCrossShard = errors.New("operation crosses shard boundaries")
+
+// Options shapes a sharded system. The shard count is the number of
+// disks given to Format/Mount; the zero Options is valid and places
+// everything by hash.
+type Options struct {
+	// Pins maps directory-subtree roots (canonical absolute paths,
+	// e.g. "/build") to the shard index that owns the whole subtree.
+	// Longest-prefix wins. Nested pins must agree on the shard:
+	// pinning "/a" and "/a/b" to different shards would strand
+	// "/a/b"'s parent chain and is rejected at Format/Mount.
+	Pins map[string]int
+	// Base is the per-shard core configuration. Format and Mount use
+	// it verbatim for every shard unless ShardConfig is set.
+	Base core.Config
+	// ShardConfig, when non-nil, derives shard i's configuration from
+	// Base — the hook for attaching per-shard observability (a fresh
+	// obs.Sampler or Recorder per shard; samplers bind to exactly one
+	// instance). It is a mount-time hook: Format ignores it (layout
+	// parameters must live in Base), and RecoverShard calls it again
+	// for the shard's new incarnation, so it must hand out a fresh
+	// sampler each call (or none).
+	ShardConfig func(shard int, base core.Config) core.Config
+}
+
+// pin is one validated subtree pin.
+type pin struct {
+	parts []string
+	shard int
+}
+
+// FS is the sharded multi-log file system: a router over N core.FS
+// instances. It implements vfs.FileSystem (plus the FsyncFile,
+// SetClient, Clock, TickMetrics, and DropCaches hooks the server and
+// workload layers use), so everything that drives one LFS drives N.
+type FS struct {
+	// mu serialises router operations; shards is guarded by mu
+	// (RecoverShard swaps entries in place). Each core.FS does its
+	// own locking underneath.
+	mu     sync.Mutex
+	shards []*core.FS
+
+	// disks, clock, opts, and pins are set at mount and immutable
+	// thereafter.
+	disks []*disk.Disk
+	clock *sim.Clock
+	opts  Options
+	// pins is the validated pin list, longest prefix first.
+	pins []pin
+}
+
+// validatePins parses and orders opts.Pins for n shards.
+func validatePins(opts Options, n int) ([]pin, error) {
+	keys := make([]string, 0, len(opts.Pins))
+	for k := range opts.Pins {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	pins := make([]pin, 0, len(keys))
+	for _, k := range keys {
+		s := opts.Pins[k]
+		if s < 0 || s >= n {
+			return nil, fmt.Errorf("shard: pin %q names shard %d of %d", k, s, n)
+		}
+		parts, err := vfs.SplitPath(k)
+		if err != nil {
+			return nil, fmt.Errorf("shard: pin %q: %w", k, err)
+		}
+		if len(parts) == 0 {
+			return nil, fmt.Errorf("shard: cannot pin the root (use a single shard instead)")
+		}
+		pins = append(pins, pin{parts: parts, shard: s})
+	}
+	// Nested pins must agree on the shard, or the inner subtree's
+	// parent chain would not exist on its shard.
+	for i := range pins {
+		for j := range pins {
+			if i != j && isPrefix(pins[i].parts, pins[j].parts) && pins[i].shard != pins[j].shard {
+				return nil, fmt.Errorf("shard: nested pins %q (shard %d) and %q (shard %d) disagree",
+					"/"+strings.Join(pins[i].parts, "/"), pins[i].shard,
+					"/"+strings.Join(pins[j].parts, "/"), pins[j].shard)
+			}
+		}
+	}
+	// Longest prefix first, so pinFor's first match wins.
+	sort.SliceStable(pins, func(i, j int) bool { return len(pins[i].parts) > len(pins[j].parts) })
+	return pins, nil
+}
+
+// isPrefix reports whether a is a proper path-component prefix of b.
+func isPrefix(a, b []string) bool {
+	if len(a) >= len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// checkDisks validates the disk set and the shared clock.
+func checkDisks(disks []*disk.Disk) error {
+	if len(disks) == 0 {
+		return fmt.Errorf("shard: no disks")
+	}
+	clock := disks[0].Clock()
+	for i, d := range disks {
+		if d == nil {
+			return fmt.Errorf("shard: disk %d is nil", i)
+		}
+		if d.Clock() != clock {
+			return fmt.Errorf("shard: disk %d runs on its own clock; all shards must share one simulated clock", i)
+		}
+	}
+	return nil
+}
+
+// shardConfig derives shard i's core configuration from the options.
+func shardConfig(opts Options, i int) core.Config {
+	cfg := opts.Base
+	if opts.ShardConfig != nil {
+		cfg = opts.ShardConfig(i, cfg)
+	}
+	return cfg
+}
+
+// Format formats every disk as an independent, standalone LFS volume
+// — shard images carry no sharding metadata and any one of them
+// mounts alone with core.Mount (see FORMAT.md).
+func Format(disks []*disk.Disk, opts Options) error {
+	if err := checkDisks(disks); err != nil {
+		return err
+	}
+	if _, err := validatePins(opts, len(disks)); err != nil {
+		return err
+	}
+	for i, d := range disks {
+		// Formatting must not consume the per-shard observability
+		// hooks: samplers bind once, at mount, so the ShardConfig hook
+		// (which may mint a fresh sampler per call) stays unmade here
+		// and the base config's wiring is stripped.
+		cfg := opts.Base
+		cfg.Trace, cfg.Metrics = nil, nil
+		if err := core.Format(d, cfg); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Mount mounts every disk (running each shard's own crash recovery:
+// checkpoint load plus roll-forward) and assembles the router. All
+// disks must share one simulated clock.
+func Mount(disks []*disk.Disk, opts Options) (*FS, error) {
+	if err := checkDisks(disks); err != nil {
+		return nil, err
+	}
+	pins, err := validatePins(opts, len(disks))
+	if err != nil {
+		return nil, err
+	}
+	fs := &FS{
+		shards: make([]*core.FS, len(disks)),
+		disks:  append([]*disk.Disk(nil), disks...),
+		clock:  disks[0].Clock(),
+		opts:   opts,
+		pins:   pins,
+	}
+	for i, d := range disks {
+		sfs, err := core.Mount(d, shardConfig(opts, i))
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		sfs.SetShard(i + 1)
+		fs.shards[i] = sfs
+	}
+	return fs, nil
+}
+
+// NewMem formats and mounts a sharded system over n fresh
+// memory-backed disks sharing one simulated clock, splitting
+// totalCapacity evenly — the standard testbed constructor.
+func NewMem(n int, totalCapacity int64, opts Options) (*FS, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("shard: %d shards", n)
+	}
+	clock := sim.NewClock()
+	disks := make([]*disk.Disk, n)
+	for i := range disks {
+		disks[i] = disk.NewMem(totalCapacity/int64(n), clock)
+	}
+	if err := Format(disks, opts); err != nil {
+		return nil, err
+	}
+	return Mount(disks, opts)
+}
+
+// NumShards returns the shard count.
+func (fs *FS) NumShards() int { return len(fs.disks) }
+
+// Clock returns the simulated clock shared by every shard.
+func (fs *FS) Clock() *sim.Clock { return fs.clock }
+
+// Disk returns shard i's device, for experiment instrumentation and
+// offline checking (core.Fsck per shard).
+func (fs *FS) Disk(i int) *disk.Disk { return fs.disks[i] }
+
+// ShardFS returns shard i's mounted core.FS — the current
+// incarnation, so callers observe RecoverShard swaps.
+func (fs *FS) ShardFS(i int) *core.FS {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.shards[i]
+}
+
+// ShardFor reports which shard owns path: the pinned shard inside a
+// pinned subtree, the path hash otherwise. Replicated directories
+// report their home shard (the one Stat serves them from).
+func (fs *FS) ShardFor(path string) (int, error) {
+	parts, err := vfs.SplitPath(path)
+	if err != nil {
+		return 0, err
+	}
+	return fs.place(path, parts), nil
+}
+
+// pinFor returns the pinned shard for parts if any pin's subtree
+// contains it (the pin root itself included). pins is ordered longest
+// prefix first, so the first match is the innermost pin.
+func (fs *FS) pinFor(parts []string) (int, bool) {
+	for _, p := range fs.pins {
+		if len(p.parts) > len(parts) {
+			continue
+		}
+		match := true
+		for i := range p.parts {
+			if p.parts[i] != parts[i] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return p.shard, true
+		}
+	}
+	return 0, false
+}
+
+// place maps a validated path to its owning shard.
+func (fs *FS) place(path string, parts []string) int {
+	if s, ok := fs.pinFor(parts); ok {
+		return s
+	}
+	return int(hashPath(parts) % uint64(len(fs.disks)))
+}
+
+// hashPath is FNV-1a over the canonical path components. Hashing the
+// split components (with a separator) rather than the raw string
+// keeps equivalent spellings ("/a/b", "/a/b/") on one shard.
+func hashPath(parts []string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, p := range parts {
+		for i := 0; i < len(p); i++ {
+			h ^= uint64(p[i])
+			h *= prime64
+		}
+		h ^= uint64('/')
+		h *= prime64
+	}
+	return h
+}
+
+// RecoverShard brings shard i back after a crash or power cut: it
+// clears any injected fault policy, thaws the device, and remounts
+// the shard's volume — checkpoint load plus per-shard roll-forward —
+// swapping the fresh incarnation into the router. Other shards are
+// untouched; subsequent operations re-resolve through the router to
+// the new instance. The shard's configuration is re-derived through
+// Options.ShardConfig, so the new incarnation gets fresh
+// observability hooks.
+func (fs *FS) RecoverShard(i int) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if i < 0 || i >= len(fs.disks) {
+		return fmt.Errorf("shard: recover: no shard %d of %d", i, len(fs.disks))
+	}
+	d := fs.disks[i]
+	d.SetFaultPolicy(nil)
+	d.Thaw()
+	sfs, err := core.Mount(d, shardConfig(fs.opts, i))
+	if err != nil {
+		return fmt.Errorf("shard %d: recover: %w", i, err)
+	}
+	sfs.SetShard(i + 1)
+	fs.shards[i] = sfs
+	return nil
+}

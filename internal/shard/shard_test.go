@@ -1,0 +1,440 @@
+package shard_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"lfs/internal/core"
+	"lfs/internal/disk"
+	"lfs/internal/fstest"
+	"lfs/internal/server"
+	"lfs/internal/shard"
+	"lfs/internal/sim"
+	"lfs/internal/vfs"
+	"lfs/internal/workload"
+)
+
+// The router must satisfy every surface that drives a single LFS.
+var (
+	_ server.FS       = (*shard.FS)(nil)
+	_ workload.System = (*shard.FS)(nil)
+)
+
+// testConfig is a small, fast per-shard configuration.
+func testConfig() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.CacheBlocks = 512
+	cfg.GroupCommit = true
+	return cfg
+}
+
+// newShards builds an n-shard system over 16 MB-per-shard disks.
+func newShards(t *testing.T, n int, opts shard.Options) *shard.FS {
+	t.Helper()
+	fs, err := shard.NewMem(n, int64(n)*(16<<20), opts)
+	if err != nil {
+		t.Fatalf("NewMem(%d): %v", n, err)
+	}
+	return fs
+}
+
+// TestConformanceSingleShard runs the full VFS conformance suite
+// against a one-shard router: with a single shard the router is a
+// pure passthrough and must behave exactly like a bare core.FS.
+func TestConformanceSingleShard(t *testing.T) {
+	fstest.RunConformance(t, func(t *testing.T) vfs.FileSystem {
+		return newShards(t, 1, shard.Options{Base: testConfig()})
+	})
+}
+
+func TestPlacement(t *testing.T) {
+	fs := newShards(t, 4, shard.Options{
+		Base: testConfig(),
+		Pins: map[string]int{"/pinned": 2, "/pinned/deeper": 2},
+	})
+
+	s1, err := fs.ShardFor("/some/file")
+	if err != nil {
+		t.Fatalf("ShardFor: %v", err)
+	}
+	s2, err := fs.ShardFor("/some/file/")
+	if err != nil {
+		t.Fatalf("ShardFor trailing slash: %v", err)
+	}
+	if s1 != s2 {
+		t.Fatalf("equivalent spellings place differently: %d vs %d", s1, s2)
+	}
+	for _, p := range []string{"/pinned", "/pinned/a", "/pinned/deeper/x/y"} {
+		s, err := fs.ShardFor(p)
+		if err != nil {
+			t.Fatalf("ShardFor(%s): %v", p, err)
+		}
+		if s != 2 {
+			t.Fatalf("ShardFor(%s) = %d, want pinned shard 2", p, s)
+		}
+	}
+	if _, err := fs.ShardFor("bad"); !errors.Is(err, vfs.ErrInvalid) {
+		t.Fatalf("ShardFor(relative) = %v, want ErrInvalid", err)
+	}
+}
+
+func TestPinValidation(t *testing.T) {
+	mk := func(opts shard.Options) error {
+		_, err := shard.NewMem(2, 32<<20, opts)
+		return err
+	}
+	if err := mk(shard.Options{Base: testConfig(), Pins: map[string]int{"/a": 5}}); err == nil {
+		t.Fatal("out-of-range pin accepted")
+	}
+	if err := mk(shard.Options{Base: testConfig(), Pins: map[string]int{"/": 0}}); err == nil {
+		t.Fatal("root pin accepted")
+	}
+	if err := mk(shard.Options{Base: testConfig(), Pins: map[string]int{"/a": 0, "/a/b": 1}}); err == nil {
+		t.Fatal("disagreeing nested pins accepted")
+	}
+	if err := mk(shard.Options{Base: testConfig(), Pins: map[string]int{"/a": 1, "/a/b": 1}}); err != nil {
+		t.Fatalf("agreeing nested pins rejected: %v", err)
+	}
+}
+
+// TestReplicatedDirs exercises Mkdir broadcast, merged ReadDir, and
+// replicated-directory Remove across four shards.
+func TestReplicatedDirs(t *testing.T) {
+	fs := newShards(t, 4, shard.Options{Base: testConfig()})
+	if err := fs.Mkdir("/d"); err != nil {
+		t.Fatalf("mkdir: %v", err)
+	}
+	// The replicated directory must exist on every shard.
+	for i := 0; i < fs.NumShards(); i++ {
+		if _, err := fs.ShardFS(i).Stat("/d"); err != nil {
+			t.Fatalf("shard %d missing /d: %v", i, err)
+		}
+	}
+	// Spread files until at least two shards hold children of /d.
+	used := map[int]bool{}
+	var names []string
+	for i := 0; len(used) < 2 || i < 8; i++ {
+		name := fmt.Sprintf("f%02d", i)
+		path := "/d/" + name
+		if err := fs.Create(path); err != nil {
+			t.Fatalf("create %s: %v", path, err)
+		}
+		s, _ := fs.ShardFor(path)
+		used[s] = true
+		names = append(names, name)
+	}
+	ents, err := fs.ReadDir("/d")
+	if err != nil {
+		t.Fatalf("readdir: %v", err)
+	}
+	if len(ents) != len(names) {
+		t.Fatalf("readdir merged %d entries, want %d", len(ents), len(names))
+	}
+	for i, e := range ents {
+		if i > 0 && ents[i-1].Name >= e.Name {
+			t.Fatalf("readdir not name-sorted: %q then %q", ents[i-1].Name, e.Name)
+		}
+		// The merged entry must agree with Stat's inode.
+		fi, err := fs.Stat("/d/" + e.Name)
+		if err != nil {
+			t.Fatalf("stat %s: %v", e.Name, err)
+		}
+		if fi.Ino != e.Ino {
+			t.Fatalf("entry %s ino %d, stat ino %d", e.Name, e.Ino, fi.Ino)
+		}
+	}
+	// ReadDir of a file must fail with the file's own ErrNotDir.
+	if _, err := fs.ReadDir("/d/" + names[0]); !errors.Is(err, vfs.ErrNotDir) {
+		t.Fatalf("readdir(file) = %v, want ErrNotDir", err)
+	}
+	// Removing a non-empty replicated directory fails everywhere.
+	if err := fs.Remove("/d"); !errors.Is(err, vfs.ErrNotEmpty) {
+		t.Fatalf("remove non-empty = %v, want ErrNotEmpty", err)
+	}
+	for _, n := range names {
+		if err := fs.Remove("/d/" + n); err != nil {
+			t.Fatalf("remove %s: %v", n, err)
+		}
+	}
+	if err := fs.Remove("/d"); err != nil {
+		t.Fatalf("remove empty dir: %v", err)
+	}
+	// Every replica must be gone.
+	for i := 0; i < fs.NumShards(); i++ {
+		if _, err := fs.ShardFS(i).Stat("/d"); !errors.Is(err, vfs.ErrNotExist) {
+			t.Fatalf("shard %d still has /d (err=%v)", i, err)
+		}
+	}
+}
+
+// findNames returns sibling file names under dir whose placements
+// land on the same shard as anchor (same=true) or a different shard
+// (same=false).
+func findName(t *testing.T, fs *shard.FS, dir, prefix, anchor string, same bool) string {
+	t.Helper()
+	as, err := fs.ShardFor(anchor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		p := fmt.Sprintf("%s/%s%03d", dir, prefix, i)
+		s, err := fs.ShardFor(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if (s == as) == same {
+			return p
+		}
+	}
+	t.Fatalf("no candidate with same=%v placement as %s", same, anchor)
+	return ""
+}
+
+func TestRenameAndLinkPlacement(t *testing.T) {
+	fs := newShards(t, 4, shard.Options{
+		Base: testConfig(),
+		Pins: map[string]int{"/pa": 1, "/pb": 1},
+	})
+	if err := fs.Mkdir("/d"); err != nil {
+		t.Fatal(err)
+	}
+	const f = "/d/file"
+	if err := fs.Create(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Write(f, 0, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Same-shard rename succeeds and the content follows the name.
+	dst := findName(t, fs, "/d", "ren", f, true)
+	if err := fs.Rename(f, dst); err != nil {
+		t.Fatalf("same-shard rename: %v", err)
+	}
+	buf := make([]byte, 7)
+	if n, err := fs.Read(dst, 0, buf); err != nil || n != 7 || string(buf) != "payload" {
+		t.Fatalf("read after rename: n=%d err=%v buf=%q", n, err, buf)
+	}
+	if _, err := fs.Stat(f); !errors.Is(err, vfs.ErrNotExist) {
+		t.Fatalf("old name still resolves: %v", err)
+	}
+
+	// Cross-shard rename fails with ErrCrossShard in a *vfs.PathError
+	// and leaves the source untouched.
+	cross := findName(t, fs, "/d", "crs", dst, false)
+	err := fs.Rename(dst, cross)
+	if !errors.Is(err, shard.ErrCrossShard) {
+		t.Fatalf("cross-shard rename = %v, want ErrCrossShard", err)
+	}
+	var pe *vfs.PathError
+	if !errors.As(err, &pe) || pe.Op != "rename" {
+		t.Fatalf("cross-shard rename error not a rename PathError: %v", err)
+	}
+	if _, err := fs.Stat(dst); err != nil {
+		t.Fatalf("source vanished after rejected rename: %v", err)
+	}
+
+	// Cross-shard link fails the same way; same-shard link works.
+	if err := fs.Link(dst, cross); !errors.Is(err, shard.ErrCrossShard) {
+		t.Fatalf("cross-shard link = %v, want ErrCrossShard", err)
+	}
+	samelink := findName(t, fs, "/d", "lnk", dst, true)
+	if err := fs.Link(dst, samelink); err != nil {
+		t.Fatalf("same-shard link: %v", err)
+	}
+
+	// Renaming a replicated directory is rejected outright.
+	if err := fs.Rename("/d", "/d2"); !errors.Is(err, shard.ErrCrossShard) {
+		t.Fatalf("replicated dir rename = %v, want ErrCrossShard", err)
+	}
+
+	// A directory rename between pinned subtrees on one shard works,
+	// and files inside keep resolving.
+	if err := fs.Mkdir("/pa"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Mkdir("/pb"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Mkdir("/pa/sub"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Create("/pa/sub/x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename("/pa/sub", "/pb/sub"); err != nil {
+		t.Fatalf("pinned dir rename: %v", err)
+	}
+	if _, err := fs.Stat("/pb/sub/x"); err != nil {
+		t.Fatalf("stat after pinned dir rename: %v", err)
+	}
+}
+
+// imageBytes snapshots a disk's entire backing store.
+func imageBytes(t *testing.T, d *disk.Disk) []byte {
+	t.Helper()
+	st := d.Store()
+	buf := make([]byte, st.Size())
+	if err := st.ReadAt(buf, 0); err != nil {
+		t.Fatalf("reading image: %v", err)
+	}
+	return buf
+}
+
+// TestDeterminismAcrossShardCounts reruns the same seeded multi-client
+// workload at shard counts 1, 2, and 4 and requires byte-identical
+// per-shard disk images between same-seed runs.
+func TestDeterminismAcrossShardCounts(t *testing.T) {
+	scfg := server.Config{
+		Clients:        6,
+		OpsPerClient:   24,
+		WriteSize:      4096,
+		FilesPerClient: 4,
+		ThinkTime:      2 * sim.Millisecond,
+		Seed:           7,
+	}
+	for _, n := range []int{1, 2, 4} {
+		run := func() ([][]byte, sim.Time) {
+			fs := newShards(t, n, shard.Options{Base: testConfig()})
+			if _, err := server.Run(fs, scfg); err != nil {
+				t.Fatalf("%d shards: %v", n, err)
+			}
+			if err := fs.Unmount(); err != nil {
+				t.Fatalf("%d shards: unmount: %v", n, err)
+			}
+			images := make([][]byte, n)
+			for i := 0; i < n; i++ {
+				images[i] = imageBytes(t, fs.Disk(i))
+			}
+			return images, fs.Clock().Now()
+		}
+		img1, end1 := run()
+		img2, end2 := run()
+		if end1 != end2 {
+			t.Fatalf("%d shards: same seed ended at %v then %v", n, end1, end2)
+		}
+		for i := 0; i < n; i++ {
+			if !bytes.Equal(img1[i], img2[i]) {
+				t.Fatalf("%d shards: shard %d image differs between same-seed runs", n, i)
+			}
+		}
+	}
+}
+
+// TestCrashOneShardOthersCommit cuts power on shard 0 mid-run while
+// tolerating its errors, proves the healthy shards kept committing,
+// recovers shard 0 through the router, and fscks every image.
+func TestCrashOneShardOthersCommit(t *testing.T) {
+	const n = 4
+	fs := newShards(t, n, shard.Options{Base: testConfig()})
+	scfg := server.Config{
+		Clients:        8,
+		OpsPerClient:   16,
+		WriteSize:      4096,
+		FilesPerClient: 4,
+		Seed:           3,
+	}
+
+	// Phase A: healthy run; every op is fsynced, so all data is
+	// committed to some shard's log.
+	resA, err := server.Run(fs, scfg)
+	if err != nil {
+		t.Fatalf("phase A: %v", err)
+	}
+
+	// Record the committed files per shard for the retention check.
+	type fileAt struct {
+		path  string
+		shard int
+	}
+	var files []fileAt
+	for c := 1; c <= scfg.Clients; c++ {
+		for s := 0; s < scfg.FilesPerClient; s++ {
+			p := fmt.Sprintf("/client%02d/f%03d", c, s)
+			sh, err := fs.ShardFor(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := fs.Stat(p); err != nil {
+				t.Fatalf("phase A file %s missing: %v", p, err)
+			}
+			files = append(files, fileAt{p, sh})
+		}
+	}
+	// Flush everything so phase A's state is fully durable before the
+	// fault is armed (fsync already committed the data; Sync also
+	// commits directories).
+	if err := fs.Sync(); err != nil {
+		t.Fatalf("sync after phase A: %v", err)
+	}
+
+	// Phase B: cut power on shard 0's 5th write; tolerate errors so
+	// the healthy shards keep going.
+	fs.Disk(0).SetFaultPolicy(&disk.CrashPlan{CutWrite: 5})
+	var tolerated int
+	scfgB := scfg
+	scfgB.Seed = 4
+	scfgB.OnOpError = func(client int, err error) bool {
+		tolerated++
+		return true
+	}
+	resB, err := server.Run(fs, scfgB)
+	if err != nil {
+		t.Fatalf("phase B: %v", err)
+	}
+	if tolerated == 0 || resB.Errors == 0 {
+		t.Fatalf("phase B: expected tolerated errors, got %d (result %d)", tolerated, resB.Errors)
+	}
+	if resB.Ops == 0 {
+		t.Fatal("phase B: no operation completed on healthy shards")
+	}
+
+	// Shard 0 is dead until recovered...
+	if err := fs.ShardFS(0).Sync(); err == nil {
+		t.Fatal("shard 0 sync succeeded on a frozen disk")
+	}
+	if err := fs.RecoverShard(0); err != nil {
+		t.Fatalf("recover shard 0: %v", err)
+	}
+	// ...and serves again afterwards, through the same router.
+	for _, f := range files {
+		fi, err := fs.Stat(f.path)
+		if err != nil {
+			t.Fatalf("post-recovery stat %s (shard %d): %v", f.path, f.shard, err)
+		}
+		if fi.Size != int64(scfg.WriteSize) {
+			t.Fatalf("post-recovery %s size %d, want %d", f.path, fi.Size, scfg.WriteSize)
+		}
+	}
+	if resA.Ops != int64(scfg.Clients*scfg.OpsPerClient) {
+		t.Fatalf("phase A completed %d ops, want %d", resA.Ops, scfg.Clients*scfg.OpsPerClient)
+	}
+
+	// Phase C: a healthy full-strength run across all shards.
+	scfgC := scfg
+	scfgC.Seed = 5
+	resC, err := server.Run(fs, scfgC)
+	if err != nil {
+		t.Fatalf("phase C: %v", err)
+	}
+	if resC.Errors != 0 {
+		t.Fatalf("phase C tolerated %d errors, want 0", resC.Errors)
+	}
+
+	// Unmount and fsck every shard image offline.
+	if err := fs.Unmount(); err != nil {
+		t.Fatalf("unmount: %v", err)
+	}
+	cfg := testConfig()
+	for i := 0; i < n; i++ {
+		rep, err := core.Fsck(fs.Disk(i), cfg)
+		if err != nil {
+			t.Fatalf("fsck shard %d: %v", i, err)
+		}
+		if !rep.Ok() {
+			t.Fatalf("fsck shard %d: %v", i, rep.Problems)
+		}
+	}
+}

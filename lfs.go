@@ -33,6 +33,7 @@ import (
 	"lfs/internal/disk"
 	"lfs/internal/layout"
 	"lfs/internal/obs"
+	"lfs/internal/shard"
 	"lfs/internal/sim"
 	"lfs/internal/vfs"
 )
@@ -283,4 +284,55 @@ func Walk(fsys FileSystem, root string, fn func(path string, fi FileInfo) error)
 // file and directory counts.
 func TreeSize(fsys FileSystem, root string) (bytes int64, files, dirs int, err error) {
 	return vfs.TreeSize(fsys, root)
+}
+
+// Sharded multi-log scale-out: a VFS-conforming router partitioning
+// the namespace across N independent single-log file systems on one
+// simulated clock (see DESIGN.md §12).
+type (
+	// ShardFS routes each path to the shard that owns it — hash
+	// placement by default, directory-subtree pins as an option — and
+	// implements FileSystem over the whole array.
+	ShardFS = shard.FS
+	// ShardOptions configures placement pins, the per-shard base
+	// Config, and the per-shard observability hook.
+	ShardOptions = shard.Options
+)
+
+// ErrCrossShard reports a rename or link whose two paths place on
+// different shards; match it with errors.Is.
+var ErrCrossShard = shard.ErrCrossShard
+
+// NewClock returns a fresh simulated clock, for assembling
+// multi-device arrays on one timeline.
+func NewClock() *Clock { return sim.NewClock() }
+
+// NewDiskWithClock is NewDisk with a caller-provided clock, so the
+// disks of a sharded array share one timeline (FormatSharded and
+// MountSharded require it).
+func NewDiskWithClock(opts StoreOptions, clock *Clock) (*Disk, error) {
+	geom := disk.GeometryForCapacity(opts.Capacity)
+	opts.Capacity = geom.TotalBytes()
+	store, err := disk.OpenStore(opts)
+	if err != nil {
+		return nil, err
+	}
+	return disk.New(store, geom, disk.WrenIVModel(), clock)
+}
+
+// FormatSharded formats every disk as an independent, standalone LFS
+// volume; shard images carry no sharding metadata and any one of them
+// mounts alone with Mount (see FORMAT.md).
+func FormatSharded(disks []*Disk, opts ShardOptions) error { return shard.Format(disks, opts) }
+
+// MountSharded attaches a formatted shard set behind one router,
+// running per-shard crash recovery.
+func MountSharded(disks []*Disk, opts ShardOptions) (*ShardFS, error) {
+	return shard.Mount(disks, opts)
+}
+
+// NewMemSharded formats and mounts n shards over fresh memory-backed
+// disks sharing one clock, splitting totalCapacity evenly.
+func NewMemSharded(n int, totalCapacity int64, opts ShardOptions) (*ShardFS, error) {
+	return shard.NewMem(n, totalCapacity, opts)
 }

@@ -63,6 +63,21 @@ go run ./cmd/lfsbench -experiment cleaning-curve -quick \
 	-benchjson "$tracedir/BENCH_cleaning.json"
 scripts/benchdiff.sh BENCH_cleaning.json "$tracedir/BENCH_cleaning.json"
 mv "$tracedir/BENCH_cleaning.json" BENCH_cleaning.json
+echo "== sharding smoke =="
+# Multi-log scale-out smoke: the quick ops/s-vs-shard-count sweep
+# plus the four-shard crash scenario (power cut on shard 0 mid-write,
+# healthy shards keep committing, per-shard recovery, then fsck of
+# all four images) and the same-seed byte-identical determinism
+# rerun. lfsbench fails the run itself if any of those break; the
+# curve and crash counters are additionally diffed against the
+# committed baseline, and the per-shard metrics stream is replayed
+# through lfstop's shard table.
+go run ./cmd/lfsbench -experiment sharding -quick \
+	-metrics "$tracedir/sharding.metrics.jsonl" \
+	-benchjson "$tracedir/BENCH_sharding.json"
+go run ./cmd/lfstop "$tracedir/sharding.metrics.jsonl" > /dev/null
+scripts/benchdiff.sh BENCH_sharding.json "$tracedir/BENCH_sharding.json"
+mv "$tracedir/BENCH_sharding.json" BENCH_sharding.json
 echo "== store conformance =="
 # The pluggable-store acceptance gate, run explicitly (it is also part
 # of `go test ./...` above): every backend — mem, cow, file, mmap —
