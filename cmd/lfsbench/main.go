@@ -91,11 +91,12 @@ func main() {
 		"cleaning-curve":     runCleaningCurve,
 		"trace":              runTrace,
 		"concurrency":        runConcurrency,
+		"critpath":           runCritPath,
 		"metrics":            runMetrics,
 		"crashsweep":         runCrashSweep,
 		"sharding":           runSharding,
 	}
-	order := []string{"fig1", "fig3", "fig4", "fig5", "scaling", "recovery", "ablation-segsize", "ablation-policy", "ablation-ckpt", "ablation-blocksize", "utilization", "cleaning-curve", "trace", "concurrency", "sharding", "metrics", "crashsweep"}
+	order := []string{"fig1", "fig3", "fig4", "fig5", "scaling", "recovery", "ablation-segsize", "ablation-policy", "ablation-ckpt", "ablation-blocksize", "utilization", "cleaning-curve", "trace", "concurrency", "critpath", "sharding", "metrics", "crashsweep"}
 
 	if *exp == "all" {
 		for _, name := range order {
@@ -496,6 +497,50 @@ func runConcurrency(quick bool) error {
 		}
 	}
 	return emitCSV("concurrency", func(f *os.File) error { return experiments.CSVConcurrency(f, rows) })
+}
+
+func runCritPath(quick bool) error {
+	opts := experiments.DefaultCritPathOpts()
+	if quick {
+		opts.Capacity = 64 << 20
+		opts.ClientCounts = []int{1, 4, 8}
+		opts.OpsPerClient = 32
+	}
+	rows, err := experiments.CritPath(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.FormatCritPath(rows))
+	if benchJSON != "" {
+		curve := make([]map[string]any, len(rows))
+		for i, r := range rows {
+			p := map[string]any{
+				"clients":         r.Clients,
+				"fsyncs":          r.FsyncCount,
+				"mean_ms":         r.MeanLatency().Seconds() * 1000,
+				"p50_ms":          r.P50.Seconds() * 1000,
+				"p95_ms":          r.P95.Seconds() * 1000,
+				"top_blame":       r.TopBlame.String(),
+				"top_blame_share": r.TopBlameShare,
+			}
+			for k := obs.PhaseKind(0); k < obs.NumPhaseKinds; k++ {
+				p["mean_"+k.String()+"_ms"] = r.MeanPhase[k].Seconds() * 1000
+			}
+			curve[i] = p
+		}
+		// Exactness is a verdict: every span decomposed exactly, or
+		// CritPath itself would have failed. Recorded as 0/1 so the
+		// benchdiff gate pins it.
+		summary := map[string]any{
+			"experiment": "critpath",
+			"curve":      curve,
+			"exact":      1,
+		}
+		if err := writeBenchJSON(benchJSON, summary); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func runMetrics(quick bool) error {

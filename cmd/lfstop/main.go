@@ -170,19 +170,34 @@ func renderShardSummary(b *strings.Builder, groups map[string][]obs.Sample, labe
 	sort.Slice(shards, func(i, j int) bool { return shards[i].n < shards[j].n })
 	fmt.Fprintf(b, "=== shards: %d instances, one row per shard (-fs shard-K for the full view) ===\n",
 		len(shards))
-	fmt.Fprintf(b, "%8s %8s %10s %12s %12s %12s\n",
-		"shard", "samples", "ops", "peak ops/s", "peak qdepth", "clean.debt")
+	fmt.Fprintf(b, "%8s %8s %10s %12s %12s %12s %16s\n",
+		"shard", "samples", "ops", "peak ops/s", "peak qdepth", "clean.debt", "top fsync phase")
 	for _, s := range shards {
 		ss := groups[s.label]
 		ops := seriesValues(ss, "ops")
 		_, peakRate := minMax(seriesValues(ss, "ops.rate"))
 		_, peakDepth := minMax(seriesValues(ss, "disk.queue.depth"))
 		debt := seriesValues(ss, "cleaner.debt_segments")
-		fmt.Fprintf(b, "%8d %8d %10s %12s %12s %12s\n",
+		fmt.Fprintf(b, "%8d %8d %10s %12s %12s %12s %16s\n",
 			s.n, len(ss), fnum(ops[len(ops)-1]), fnum(peakRate),
-			fnum(peakDepth), fnum(debt[len(debt)-1]))
+			fnum(peakDepth), fnum(debt[len(debt)-1]), topFsyncPhase(ss))
 	}
 	return rest
+}
+
+// topFsyncPhase names the phase with the largest peak fsync p95
+// across the shard's op.fsync.phase.<kind>.p95 series — the one-glance
+// answer to "what is this shard's fsync tail waiting on". "-" when
+// the stream predates phase metrics or no fsync ever waited.
+func topFsyncPhase(ss []obs.Sample) string {
+	top, best := "-", 0.0
+	for k := obs.PhaseKind(0); k < obs.NumPhaseKinds; k++ {
+		_, peak := minMax(seriesValues(ss, "op.fsync.phase."+k.String()+".p95"))
+		if peak > best {
+			top, best = k.String(), peak
+		}
+	}
+	return top
 }
 
 // groupByFS splits samples by instance label, preserving sample order

@@ -1,0 +1,106 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"testing"
+
+	"lfs/internal/obs"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// TestV1TraceGolden pins backward compatibility with trace schema v1:
+// a committed pre-phases trace (no v field, no phases, no wait_ns)
+// must still parse, and the aggregate summary must stay byte-identical
+// to the committed golden — upgrading the schema must never change
+// what old traces report.
+func TestV1TraceGolden(t *testing.T) {
+	f, err := os.Open("testdata/v1_trace.jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	recs, err := obs.ReadJSONL(f)
+	if err != nil {
+		t.Fatalf("v1 trace no longer parses: %v", err)
+	}
+	for _, r := range recs {
+		if r.V != 0 {
+			t.Fatalf("testdata trace is not v1: record carries v=%d", r.V)
+		}
+		if r.Type == "span" && len(r.Phases) != 0 {
+			t.Fatalf("testdata trace is not v1: span carries phases")
+		}
+	}
+
+	var buf bytes.Buffer
+	summarise(&buf, "testdata/v1_trace.jsonl", recs)
+	const golden = "testdata/v1_summary.golden"
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("v1 summary drifted from golden (rerun with -update if intended)\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestV1PhaselessSpansUnattributed checks that v1 spans — which carry
+// no phase lists — surface their whole latency as unattributed in the
+// phase aggregation rather than being silently dropped or miscounted.
+func TestV1PhaselessSpansUnattributed(t *testing.T) {
+	f, err := os.Open("testdata/v1_trace.jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	recs, err := obs.ReadJSONL(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := obs.AggregateRecords(recs)
+	for _, o := range agg.Ops {
+		if got := attributed(o); got != 0 {
+			t.Errorf("op %s: v1 spans attributed %v to phases; want 0", o.Op, got)
+		}
+	}
+}
+
+// TestReportJSONShape checks the -json report parses back and keeps
+// phase entries in fixed kind order with every kind present.
+func TestReportJSONShape(t *testing.T) {
+	f, err := os.Open("testdata/v1_trace.jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	recs, err := obs.ReadJSONL(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := newReport(recs)
+	if r.Records != len(recs) {
+		t.Errorf("report records = %d, want %d", r.Records, len(recs))
+	}
+	for _, o := range r.Ops {
+		if len(o.Phases) != int(obs.NumPhaseKinds) {
+			t.Fatalf("op %s: %d phase entries, want %d", o.Op, len(o.Phases), obs.NumPhaseKinds)
+		}
+		for k := obs.PhaseKind(0); k < obs.NumPhaseKinds; k++ {
+			if o.Phases[k].Kind != k.String() {
+				t.Errorf("op %s phase %d = %q, want %q", o.Op, k, o.Phases[k].Kind, k.String())
+			}
+		}
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+}

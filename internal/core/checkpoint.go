@@ -245,6 +245,11 @@ func Mount(d *disk.Disk, cfg Config) (*FS, error) {
 		return nil, fmt.Errorf("lfs: volume has %d inodes, config wants %d", sb.MaxInodes, cfg.MaxInodes)
 	}
 	fs := newSkeleton(d, cfg, sb)
+	// Attach the phase-attribution hook: every blocking request's
+	// queue-wait/service split feeds the running operation's latency
+	// decomposition. Pure arithmetic on already-computed durations,
+	// so attaching never perturbs the timeline.
+	d.SetWaiter(diskWaiter{fs})
 
 	// Read both checkpoint regions; use the newest valid one.
 	var best checkpointState

@@ -59,7 +59,16 @@ func (fs *FS) cleanUntil(target int) (CleanResult, error) {
 		return res, nil
 	}
 	fs.cleaning = true
-	defer func() { fs.cleaning = false }()
+	// Bracket the whole activation — victim reads, relocation writes,
+	// mid-run and final checkpoints, and the CPU they charge — as
+	// cleaner interference on whichever operation triggered it. The
+	// disk.Waiter hook skips requests issued while cleaning, so the
+	// delta is attributed exactly once.
+	cleanT0 := fs.clock.Now()
+	defer func() {
+		fs.cleaning = false
+		fs.phases.Add(obs.PhaseCleaner, fs.clock.Now().Sub(cleanT0))
+	}()
 	fs.stats.CleanerRuns++
 
 	cleaned := false

@@ -164,6 +164,23 @@ type FS struct {
 	opsDone int64
 	opsErr  int64
 	opLat   obs.Histogram
+
+	// phases accumulates the running operation's latency attribution:
+	// disk waits arrive through the disk.Waiter hook, drains and the
+	// cleaner bracket their own clock deltas, and opStart folds in
+	// pendingWait. Reset at operation entry; guarded by mu.
+	phases obs.PhaseAccum
+	// pendingWait holds wait attributed to the *next* operation
+	// before it enters the FS — scheduler dispatch gaps and
+	// cross-shard fan-out noted via NoteWait. opStart backdates the
+	// span's start by the pending total, keeping the exactness
+	// invariant: the time really elapsed, just before the call.
+	// Guarded by mu.
+	pendingWait [obs.NumPhaseKinds]sim.Duration
+	// fsyncPhase feeds the per-phase fsync latency series
+	// (op.fsync.phase.*); maintained only when samp is non-nil.
+	// Guarded by mu.
+	fsyncPhase [obs.NumPhaseKinds]obs.Histogram
 }
 
 // newSkeleton builds an FS with empty state: every segment clean, an
@@ -194,7 +211,43 @@ func newSkeleton(d *disk.Disk, cfg Config, sb superblock) *FS {
 	fs.heads[classHot].open = true
 	fs.usage[0].State = segActive
 	fs.cleanCount = int(sb.Segments) - 1
+	for k := range fs.fsyncPhase {
+		fs.fsyncPhase[k] = obs.NewLatencyHistogram()
+	}
 	return fs
+}
+
+// diskWaiter adapts FS to disk.Waiter. DiskWait is invoked from
+// inside the FS's own disk calls, which only ever happen with fs.mu
+// held, so it reads guarded state directly without locking (the
+// adapter type keeps it off the FS method set lockcheck audits).
+type diskWaiter struct{ fs *FS }
+
+// DiskWait attributes a blocking request's queue wait and service
+// time to the running operation's phases. Requests issued while the
+// cleaner runs are skipped: the cleaner bracket in cleanUntil
+// attributes its whole clock delta as PhaseCleaner, reads, writes,
+// and mid-run checkpoints included.
+func (w diskWaiter) DiskWait(cause disk.IOCause, queue, service sim.Duration) {
+	if w.fs.cleaning {
+		return
+	}
+	w.fs.phases.Add(obs.PhaseQueueWait, queue)
+	w.fs.phases.AddService(cause, service)
+}
+
+// NoteWait credits the next operation with wait time that elapsed
+// before it entered the FS: the multi-client server notes scheduler
+// dispatch gaps (PhaseLockWait), the shard router its fan-out
+// broadcasts (PhaseFanout). The next span's start is backdated by the
+// noted total, so its phase list still sums to its latency exactly.
+func (fs *FS) NoteWait(kind obs.PhaseKind, d sim.Duration) {
+	if d <= 0 || kind >= obs.NumPhaseKinds {
+		return
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.pendingWait[kind] += d
 }
 
 // Disk returns the underlying device for experiment instrumentation.

@@ -30,6 +30,15 @@ func (fs *FS) initMetrics() error {
 	r.QuantileHist("op.latency_s", func() obs.Histogram { return fs.opLat },
 		0.5, 0.95, 0.99)
 
+	// Fsync latency by phase: one distribution per phase kind, in
+	// fixed kind order, each with a derived p95 — the series the
+	// critical-path report reads (e.g. op.fsync.phase.queue_wait.p95).
+	for k := obs.PhaseKind(0); k < obs.NumPhaseKinds; k++ {
+		kind := k
+		r.QuantileHist("op.fsync.phase."+kind.String(),
+			func() obs.Histogram { return fs.fsyncPhase[kind] }, 0.95)
+	}
+
 	// Log activity.
 	r.RatedCounter("log.blocks_written", func() int64 { return fs.stats.BlocksWritten })
 	r.Counter("log.segments_sealed", func() int64 { return fs.stats.SegmentsSealed })

@@ -19,18 +19,35 @@ func (fs *FS) maxFileSize() int64 {
 }
 
 // opStart samples the simulated clock and CPU at operation entry, for
-// the span recorded by endOp. Both reads are cheap enough to do even
-// with tracing disabled.
+// the span recorded by endOp, and arms phase attribution: the
+// accumulator is reset and any wait noted before entry (NoteWait) is
+// credited, backdating the span's start by the same amount. All reads
+// are cheap enough to do even with tracing disabled.
 func (fs *FS) opStart() (sim.Time, int64) {
-	return fs.clock.Now(), fs.cpu.Instructions()
+	fs.phases.Reset()
+	start := fs.clock.Now()
+	for k := range fs.pendingWait {
+		if d := fs.pendingWait[k]; d > 0 {
+			fs.phases.Add(obs.PhaseKind(k), d)
+			start = start.Add(-d)
+			fs.pendingWait[k] = 0
+		}
+	}
+	return start, fs.cpu.Instructions()
 }
 
 // endOp closes an operation: it wraps err with the operation and path
 // context (*vfs.PathError) and, when a recorder is attached, emits the
-// operation's span. Must be called with fs.mu held. Recording reads
-// only the simulated clock, so tracing never perturbs the timeline.
+// operation's span with its phase decomposition — the attributed
+// waits plus a derived CPU residual, summing to the span's latency
+// exactly. Must be called with fs.mu held. Recording reads only the
+// simulated clock, so tracing never perturbs the timeline.
 func (fs *FS) endOp(op, path string, start sim.Time, cpu0 int64, err error) error {
 	err = vfs.WrapPathError(op, path, err)
+	var phases []obs.Phase
+	if fs.rec != nil || fs.samp != nil {
+		phases = fs.phases.Phases(fs.clock.Now().Sub(start))
+	}
 	if fs.rec != nil {
 		msg := ""
 		if err != nil {
@@ -38,7 +55,7 @@ func (fs *FS) endOp(op, path string, start sim.Time, cpu0 int64, err error) erro
 		}
 		fs.rec.Span(obs.Span{Op: op, Path: path, Start: start,
 			End: fs.clock.Now(), CPU: fs.cpu.Instructions() - cpu0, Err: msg,
-			Client: fs.client, Shard: fs.shard})
+			Client: fs.client, Shard: fs.shard, Phases: phases})
 	}
 	if fs.samp != nil {
 		fs.opsDone++
@@ -46,9 +63,29 @@ func (fs *FS) endOp(op, path string, start sim.Time, cpu0 int64, err error) erro
 			fs.opsErr++
 		}
 		fs.opLat.Observe(fs.clock.Now().Sub(start).Seconds())
+		if op == "fsync" {
+			// Observe every kind, zeros included: the series is the
+			// distribution of that phase across all fsyncs, so an
+			// fsync that paid no queue wait drags queue_wait.p95
+			// down rather than being invisible to it.
+			totals := obs.PhaseTotals(phases)
+			for k := range totals {
+				fs.fsyncPhase[k].Observe(totals[k].Seconds())
+			}
+		}
 		fs.samp.Tick(fs.clock.Now())
 	}
 	return err
+}
+
+// drainAs waits out the disk's queued transfers, attributing the wait
+// to the given phase kind — PhaseCommitWait for a group-commit leader
+// (and plain syncs), PhasePiggybackWait for an fsync whose data rode
+// an earlier commit.
+func (fs *FS) drainAs(kind obs.PhaseKind) {
+	t0 := fs.clock.Now()
+	fs.d.Drain()
+	fs.phases.Add(kind, fs.clock.Now().Sub(t0))
 }
 
 // createNode is the shared implementation of Create and Mkdir. In LFS
@@ -558,7 +595,7 @@ func (fs *FS) fsyncFile(path string) error {
 	if err := fs.flushPendingIO(); err != nil {
 		return err
 	}
-	fs.d.Drain()
+	fs.drainAs(obs.PhaseCommitWait)
 	return nil
 }
 
@@ -573,14 +610,22 @@ func (fs *FS) fsyncFile(path string) error {
 func (fs *FS) groupFsync(ino layout.Ino) error {
 	if !fs.fileDirty(ino) {
 		fs.stats.PiggybackedSyncs++
-		fs.d.Drain()
+		// Whatever dispatch gap this fsync paid before it could run
+		// was time parked behind the group commit that carried its
+		// data — the follower's wait, not generic serialization — so
+		// the pre-op lock_wait credit moves to piggyback_wait. (In the
+		// event-driven sim the leader's drain advances the clock past
+		// the transfer's end, so the drain below is usually free and
+		// the dispatch gap holds the whole wait.)
+		fs.phases.Reclassify(obs.PhaseLockWait, obs.PhasePiggybackWait)
+		fs.drainAs(obs.PhasePiggybackWait)
 		return nil
 	}
 	fs.stats.GroupCommits++
 	if err := fs.flush(flushAll); err != nil {
 		return err
 	}
-	fs.d.Drain()
+	fs.drainAs(obs.PhaseCommitWait)
 	return nil
 }
 
@@ -642,7 +687,7 @@ func (fs *FS) sync() error {
 	if err := fs.flush(flushAll); err != nil {
 		return err
 	}
-	fs.d.Drain()
+	fs.drainAs(obs.PhaseCommitWait)
 	return nil
 }
 
@@ -662,7 +707,7 @@ func (fs *FS) unmount() error {
 	if err := fs.checkpoint(); err != nil {
 		return err
 	}
-	fs.d.Drain()
+	fs.drainAs(obs.PhaseCommitWait)
 	fs.unmounted = true
 	return nil
 }

@@ -118,6 +118,12 @@ type Event struct {
 	SeekCylinders int
 	// Service is the modelled service time of the request.
 	Service sim.Duration
+	// Wait is the request's queue wait: the time between issue and
+	// the arm starting service (Time), spent behind earlier
+	// transfers. Wait + Service is the request's life end to end;
+	// Service alone still sums to Stats.BusyTime (waiting does not
+	// occupy the arm).
+	Wait sim.Duration
 	// Cause attributes the request to the issuing activity.
 	Cause IOCause
 	// Label is the file-system-provided annotation ("inode",
@@ -135,6 +141,17 @@ type Event struct {
 // Tracer receives every disk request when attached via SetTracer.
 type Tracer interface {
 	Record(Event)
+}
+
+// Waiter receives the latency decomposition of every *blocking*
+// request — the ones that advance the issuing caller's clock — split
+// into queue wait (behind earlier queued transfers) and arm service
+// time. The file systems feed these into per-operation phase
+// attribution (internal/obs); queue+service equals the clock advance
+// the caller observed, to the tick. Asynchronous writes never invoke
+// the waiter: their wait is the disk's, not any caller's.
+type Waiter interface {
+	DiskWait(cause IOCause, queue, service sim.Duration)
 }
 
 // CauseStats accumulates per-cause request counters. The Busy fields
@@ -254,6 +271,7 @@ type Disk struct {
 
 	stats  Stats
 	tracer Tracer
+	waiter Waiter
 	faults faultState
 
 	// policy, when non-nil, is consulted on every request; the
@@ -335,6 +353,10 @@ func (d *Disk) ResetStats() {
 
 // SetTracer attaches a tracer receiving every request; nil detaches.
 func (d *Disk) SetTracer(t Tracer) { d.tracer = t }
+
+// SetWaiter attaches a waiter receiving every blocking request's
+// queue-wait/service split; nil detaches.
+func (d *Disk) SetWaiter(w Waiter) { d.waiter = w }
 
 // BusyUntil returns the time the disk arm becomes free, dispatching
 // any queued asynchronous requests first so the horizon covers them.
@@ -424,6 +446,7 @@ func (d *Disk) ReadSectors(sector int64, p []byte, cause IOCause, label string) 
 		cause = CauseOther
 	}
 	d.dispatchQueued()
+	issue := d.clock.Now()
 	start := d.begin()
 	dur, seq, seekCyl := d.service(sector, len(p))
 	d.busyUntil = start.Add(dur)
@@ -433,9 +456,12 @@ func (d *Disk) ReadSectors(sector int64, p []byte, cause IOCause, label string) 
 	d.stats.ByCause[cause].Requests++
 	d.stats.ByCause[cause].Sectors += int64(len(p) / SectorSize)
 	d.stats.ByCause[cause].Busy += dur
+	if d.waiter != nil {
+		d.waiter.DiskWait(cause, start.Sub(issue), dur)
+	}
 	d.trace(Event{Time: start, Kind: OpRead, Sector: sector, Sectors: len(p) / SectorSize,
-		Sync: true, Sequential: seq, SeekCylinders: seekCyl, Service: dur, Cause: cause,
-		Label: label, Client: d.client, Shard: d.shard})
+		Sync: true, Sequential: seq, SeekCylinders: seekCyl, Service: dur, Wait: start.Sub(issue),
+		Cause: cause, Label: label, Client: d.client, Shard: d.shard})
 	return d.store.ReadAt(p, sector*SectorSize)
 }
 
@@ -488,6 +514,7 @@ func (d *Disk) WriteSectors(sector int64, p []byte, sync bool, cause IOCause, la
 		// ahead of it is serviced first, then the caller waits for its
 		// own request.
 		d.dispatchQueued()
+		issue := d.clock.Now()
 		start := d.begin()
 		dur, seq, seekCyl := d.service(sector, len(p))
 		d.busyUntil = start.Add(dur)
@@ -498,9 +525,12 @@ func (d *Disk) WriteSectors(sector int64, p []byte, sync bool, cause IOCause, la
 		d.stats.ByCause[cause].Requests++
 		d.stats.ByCause[cause].Sectors += int64(len(p) / SectorSize)
 		d.stats.ByCause[cause].Busy += dur
+		if d.waiter != nil {
+			d.waiter.DiskWait(cause, start.Sub(issue), dur)
+		}
 		d.trace(Event{Time: start, Kind: OpWrite, Sector: sector, Sectors: len(p) / SectorSize,
-			Sync: true, Sequential: seq, SeekCylinders: seekCyl, Service: dur, Cause: cause,
-			Label: label, Client: d.client, Shard: d.shard})
+			Sync: true, Sequential: seq, SeekCylinders: seekCyl, Service: dur, Wait: start.Sub(issue),
+			Cause: cause, Label: label, Client: d.client, Shard: d.shard})
 	} else {
 		// Asynchronous writes join the request queue; the scheduling
 		// policy decides their service order at the next barrier.

@@ -154,7 +154,7 @@ func (d *Disk) dispatchQueued() {
 		d.stats.ByCause[req.cause].Busy += dur
 		d.trace(Event{Time: start, Kind: OpWrite, Sector: req.sector,
 			Sectors: req.nbytes / SectorSize, Sync: false, Sequential: seq,
-			SeekCylinders: seekCyl, Service: dur, Cause: req.cause,
-			Label: req.label, Client: req.client, Shard: req.shard})
+			SeekCylinders: seekCyl, Service: dur, Wait: start.Sub(req.issue),
+			Cause: req.cause, Label: req.label, Client: req.client, Shard: req.shard})
 	}
 }

@@ -1,0 +1,116 @@
+package disk
+
+import (
+	"testing"
+
+	"lfs/internal/sim"
+)
+
+// recordingWaiter captures DiskWait callbacks and the clock at each.
+type recordingWaiter struct {
+	clock *sim.Clock
+	calls []struct {
+		cause          IOCause
+		queue, service sim.Duration
+	}
+}
+
+func (w *recordingWaiter) DiskWait(cause IOCause, queue, service sim.Duration) {
+	w.calls = append(w.calls, struct {
+		cause          IOCause
+		queue, service sim.Duration
+	}{cause, queue, service})
+}
+
+// eventTracer retains every traced event.
+type eventTracer struct{ events []Event }
+
+func (t *eventTracer) Record(ev Event) { t.events = append(t.events, ev) }
+
+// TestWaitServiceConsistency pins the v2 queue-wait split against the
+// disk's pre-existing accounting: over a mix of async queued writes
+// and blocking requests, every event's Wait is non-negative, Service
+// alone still sums to Stats.BusyTime (waits overlap service and must
+// not double-count into busy time), and the waiter hook's queue +
+// service equals the clock advance the blocked caller observed.
+func TestWaitServiceConsistency(t *testing.T) {
+	clock := sim.NewClock()
+	d := NewMem(8<<20, clock)
+	tr := &eventTracer{}
+	d.SetTracer(tr)
+	w := &recordingWaiter{clock: clock}
+	d.SetWaiter(w)
+
+	buf := make([]byte, 4096)
+	// Queue several async writes at distant sectors so the arm stays
+	// busy, then issue blocking requests that must wait them out.
+	for i := 0; i < 4; i++ {
+		if err := d.WriteSectors(int64(1000*i), buf, false, CauseLogAppend, "async"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := clock.Now()
+	if err := d.ReadSectors(5000, buf, CauseReadMiss, "blocking read"); err != nil {
+		t.Fatal(err)
+	}
+	advance := clock.Now().Sub(before)
+	if len(w.calls) != 1 {
+		t.Fatalf("%d waiter calls, want 1", len(w.calls))
+	}
+	if got := w.calls[0].queue + w.calls[0].service; got != advance {
+		t.Errorf("waiter queue+service = %v, caller observed %v", got, advance)
+	}
+	if w.calls[0].queue <= 0 {
+		t.Errorf("blocking read behind 4 queued writes reports queue wait %v, want > 0", w.calls[0].queue)
+	}
+	if w.calls[0].cause != CauseReadMiss {
+		t.Errorf("waiter cause = %v, want read-miss", w.calls[0].cause)
+	}
+
+	before = clock.Now()
+	if err := d.WriteSectors(9000, buf, true, CauseSyncWrite, "blocking write"); err != nil {
+		t.Fatal(err)
+	}
+	advance = clock.Now().Sub(before)
+	if len(w.calls) != 2 {
+		t.Fatalf("%d waiter calls after sync write, want 2", len(w.calls))
+	}
+	if got := w.calls[1].queue + w.calls[1].service; got != advance {
+		t.Errorf("sync write queue+service = %v, caller observed %v", got, advance)
+	}
+
+	d.Drain()
+	st := d.Stats()
+	var service sim.Duration
+	for _, ev := range tr.events {
+		if ev.Wait < 0 {
+			t.Errorf("event %s sector %d: negative wait %v", ev.Label, ev.Sector, ev.Wait)
+		}
+		service += ev.Service
+	}
+	if service != st.BusyTime {
+		t.Errorf("sum of Event.Service = %v, Stats.BusyTime = %v; the wait split must not change busy accounting",
+			service, st.BusyTime)
+	}
+}
+
+// TestWaitZeroOnIdleDisk pins that a request against an idle disk
+// pays no queue wait — the wait field measures contention only.
+func TestWaitZeroOnIdleDisk(t *testing.T) {
+	clock := sim.NewClock()
+	d := NewMem(8<<20, clock)
+	tr := &eventTracer{}
+	d.SetTracer(tr)
+	w := &recordingWaiter{clock: clock}
+	d.SetWaiter(w)
+	buf := make([]byte, 4096)
+	if err := d.ReadSectors(0, buf, CauseReadMiss, "idle read"); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.events) != 1 || tr.events[0].Wait != 0 {
+		t.Fatalf("idle read recorded wait %v, want 0", tr.events[0].Wait)
+	}
+	if w.calls[0].queue != 0 {
+		t.Errorf("idle read waiter queue = %v, want 0", w.calls[0].queue)
+	}
+}

@@ -1,0 +1,231 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"lfs/internal/core"
+	"lfs/internal/obs"
+	"lfs/internal/server"
+	"lfs/internal/sim"
+)
+
+// CritPathOpts scales the critical-path experiment: the multi-client
+// commit workload of the concurrency sweep, run on group-commit LFS
+// only, with a trace recorder attached so every operation's latency
+// arrives decomposed into phases. Where the concurrency curve shows
+// *that* p50 jumps when clients contend, this experiment shows *where
+// the time goes* — queue wait, commit wait, piggyback wait — span by
+// span.
+type CritPathOpts struct {
+	Capacity int64
+	// ClientCounts is the sweep's x-axis.
+	ClientCounts []int
+	// OpsPerClient, WriteSize, and ThinkTime shape each client's
+	// closed loop (see server.Config).
+	OpsPerClient int
+	WriteSize    int
+	ThinkTime    sim.Duration
+	Seed         int64
+	LFSConfig    core.Config
+}
+
+// DefaultCritPathOpts mirrors the concurrency sweep's shape so the two
+// curves line up point for point.
+func DefaultCritPathOpts() CritPathOpts {
+	return CritPathOpts{
+		Capacity:     128 << 20,
+		ClientCounts: []int{1, 2, 4, 8, 16},
+		OpsPerClient: 64,
+		WriteSize:    4096,
+		Seed:         42,
+		LFSConfig:    defaultLFSConfig(),
+	}
+}
+
+// CritPathRow is one client count's fsync latency decomposition.
+type CritPathRow struct {
+	Clients int
+
+	// Spans and ExactSpans count all recorded spans and those whose
+	// phase lists sum to their latency exactly; the experiment fails
+	// unless they are equal (the exactness invariant).
+	Spans      int
+	ExactSpans int
+
+	// FsyncCount is the number of fsync spans the row aggregates.
+	FsyncCount int
+	// P50 and P95 are fsync latency percentiles computed from the
+	// spans themselves (nearest rank — exact data, no buckets).
+	P50 sim.Duration
+	P95 sim.Duration
+	// MeanPhase is the mean time per fsync spent in each phase; the
+	// entries sum to the mean fsync latency (exactness survives
+	// averaging).
+	MeanPhase [obs.NumPhaseKinds]sim.Duration
+
+	// TopBlame is the phase holding the largest share of tail time —
+	// the summed latency of fsync spans at or above P95 — and
+	// TopBlameShare its fraction of that tail time.
+	TopBlame      obs.PhaseKind
+	TopBlameShare float64
+}
+
+// MeanLatency returns the mean fsync latency (the sum of the phase
+// means).
+func (r CritPathRow) MeanLatency() sim.Duration {
+	var total sim.Duration
+	for _, d := range r.MeanPhase {
+		total += d
+	}
+	return total
+}
+
+// spanQuantile returns the q-th nearest-rank percentile of sorted
+// durations.
+func spanQuantile(sorted []sim.Duration, q float64) sim.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	//lfslint:allow floataccum nearest-rank index selection for display percentiles; the result feeds no accounting state
+	i := int(q*float64(len(sorted))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// CritPath sweeps client counts over group-commit LFS with tracing on
+// and decomposes every fsync's latency by phase. It fails if any
+// recorded span — fsync or otherwise — violates the exactness
+// invariant, making every run of the experiment a check of the
+// attribution plumbing end to end.
+func CritPath(opts CritPathOpts) ([]CritPathRow, error) {
+	if len(opts.ClientCounts) == 0 {
+		return nil, fmt.Errorf("critpath: empty client counts")
+	}
+	rows := make([]CritPathRow, 0, len(opts.ClientCounts))
+	for _, n := range opts.ClientCounts {
+		if n < 1 {
+			return nil, fmt.Errorf("critpath: client count %d", n)
+		}
+		rec := obs.NewRecorder()
+		cfg := opts.LFSConfig
+		cfg.GroupCommit = true
+		cfg.Trace = rec
+		sys, err := NewLFS(opts.Capacity, cfg)
+		if err != nil {
+			return nil, err
+		}
+		lfs := sys.System.(*core.FS)
+		scfg := server.Config{
+			Clients:        n,
+			OpsPerClient:   opts.OpsPerClient,
+			WriteSize:      opts.WriteSize,
+			FilesPerClient: 8,
+			ThinkTime:      opts.ThinkTime,
+			Seed:           opts.Seed,
+		}
+		if _, err := server.Run(lfs, scfg); err != nil {
+			return nil, fmt.Errorf("critpath: %d clients: %w", n, err)
+		}
+
+		row := CritPathRow{Clients: n}
+		var lats []sim.Duration
+		var fsyncs []obs.Span
+		for _, s := range rec.Spans() {
+			row.Spans++
+			if s.PhasesExact() {
+				row.ExactSpans++
+			} else {
+				return nil, fmt.Errorf("critpath: %d clients: span %s %q latency %v but phases sum to %v",
+					n, s.Op, s.Path, s.Latency(), sumPhases(s.Phases))
+			}
+			if s.Op == "fsync" {
+				fsyncs = append(fsyncs, s)
+				lats = append(lats, s.Latency())
+			}
+		}
+		if len(fsyncs) == 0 {
+			return nil, fmt.Errorf("critpath: %d clients: no fsync spans recorded", n)
+		}
+		row.FsyncCount = len(fsyncs)
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		row.P50 = spanQuantile(lats, 0.50)
+		row.P95 = spanQuantile(lats, 0.95)
+
+		// Phase means over all fsyncs, and the tail blame over the
+		// spans at or above p95.
+		var total, tail [obs.NumPhaseKinds]sim.Duration
+		for _, s := range fsyncs {
+			t := obs.PhaseTotals(s.Phases)
+			for k := range t {
+				total[k] += t[k]
+				if s.Latency() >= row.P95 {
+					tail[k] += t[k]
+				}
+			}
+		}
+		var tailTotal sim.Duration
+		for k := range total {
+			row.MeanPhase[k] = total[k] / sim.Duration(len(fsyncs))
+			tailTotal += tail[k]
+			if tail[k] > tail[row.TopBlame] {
+				row.TopBlame = obs.PhaseKind(k)
+			}
+		}
+		if tailTotal > 0 {
+			row.TopBlameShare = tail[row.TopBlame].Seconds() / tailTotal.Seconds()
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// sumPhases totals a phase list, for error reporting.
+func sumPhases(phases []obs.Phase) sim.Duration {
+	var total sim.Duration
+	for _, p := range phases {
+		total += p.Dur
+	}
+	return total
+}
+
+// FormatCritPath renders the per-client-count fsync decomposition: one
+// column per phase kind (mean ms per fsync), the latency percentiles,
+// and a top-blame summary naming the phase that owns the tail.
+func FormatCritPath(rows []CritPathRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Critical path - mean ms per fsync by phase (group-commit LFS)\n")
+	fmt.Fprintf(&b, "%8s %7s", "clients", "fsyncs")
+	for k := obs.PhaseKind(0); k < obs.NumPhaseKinds; k++ {
+		fmt.Fprintf(&b, " %*s", phaseColWidth(k), k.String())
+	}
+	fmt.Fprintf(&b, " %8s %8s %8s\n", "mean", "p50ms", "p95ms")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%8d %7d", r.Clients, r.FsyncCount)
+		for k := obs.PhaseKind(0); k < obs.NumPhaseKinds; k++ {
+			fmt.Fprintf(&b, " %*.2f", phaseColWidth(k), ms(r.MeanPhase[k]))
+		}
+		fmt.Fprintf(&b, " %8.2f %8.2f %8.2f\n", ms(r.MeanLatency()), ms(r.P50), ms(r.P95))
+	}
+	fmt.Fprintf(&b, "top blame (share of tail time at/above p95):\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%8d clients: %s %5.1f%%\n",
+			r.Clients, r.TopBlame, 100*r.TopBlameShare)
+	}
+	return b.String()
+}
+
+// phaseColWidth sizes a phase column to its header.
+func phaseColWidth(k obs.PhaseKind) int {
+	w := len(k.String())
+	if w < 7 {
+		w = 7
+	}
+	return w
+}

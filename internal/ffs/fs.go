@@ -59,6 +59,40 @@ type FS struct {
 	// client labels spans and disk events with the issuing client's
 	// ID in multi-client runs (0 = unattributed). Guarded by mu.
 	client int
+
+	// phases accumulates the current operation's latency phases
+	// (queue wait, disk service by cause, commit wait); opStart
+	// resets it and endOp closes it against the span. Guarded by mu.
+	phases obs.PhaseAccum
+	// pendingWait holds waits noted between operations (the server's
+	// dispatch gaps); the next opStart folds them into the span and
+	// backdates its start. Guarded by mu.
+	pendingWait [obs.NumPhaseKinds]sim.Duration
+}
+
+// diskWaiter feeds the disk's blocking-request decomposition into the
+// current operation's phase accumulator. The disk invokes it from
+// ReadSectors/WriteSectors, which only run with fs.mu held, so the
+// unexported adapter reads guarded state directly (the lockcheck
+// exemption for unexported types).
+type diskWaiter struct{ fs *FS }
+
+func (w diskWaiter) DiskWait(cause disk.IOCause, queue, service sim.Duration) {
+	w.fs.phases.Add(obs.PhaseQueueWait, queue)
+	w.fs.phases.AddService(cause, service)
+}
+
+// NoteWait credits d of kind to the next operation's span: the caller
+// (the multi-client event loop) observed the wait before the operation
+// could start, so opStart backdates the span by it. Pure bookkeeping —
+// the simulated timeline is unchanged.
+func (fs *FS) NoteWait(kind obs.PhaseKind, d sim.Duration) {
+	if d <= 0 || kind >= obs.NumPhaseKinds {
+		return
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.pendingWait[kind] += d
 }
 
 // Mount opens a formatted FFS on the disk.
@@ -97,6 +131,10 @@ func Mount(d *disk.Disk, cfg Config) (*FS, error) {
 		lastRead:   make(map[layout.Ino]int64),
 		rec:        cfg.Trace,
 	}
+	// Route blocking-request waits into the phase accumulator. Pure
+	// arithmetic on durations the disk already computed — attaching
+	// the waiter never perturbs the timeline.
+	d.SetWaiter(diskWaiter{fs})
 	// Rebuild free counts from the bitmaps.
 	fs.freeBlocks = make([]int, sb.Groups)
 	fs.freeInodes = make([]int, sb.Groups)

@@ -24,14 +24,29 @@ func (fs *FS) maxFileSize() int64 {
 	return layout.MaxFileBlocks(fs.cfg.BlockSize) * int64(fs.cfg.BlockSize)
 }
 
-// opStart samples the simulated clock and CPU at operation entry.
+// opStart samples the simulated clock and CPU at operation entry and
+// resets the phase accumulator. Waits noted before the operation could
+// start (the event loop's dispatch gaps) are folded in and the span's
+// start backdated by them — the wait really elapsed, it just elapsed
+// before the operation got the floor.
 func (fs *FS) opStart() (sim.Time, int64) {
-	return fs.clock.Now(), fs.cpu.Instructions()
+	fs.phases.Reset()
+	start := fs.clock.Now()
+	for k := range fs.pendingWait {
+		if d := fs.pendingWait[k]; d > 0 {
+			fs.phases.Add(obs.PhaseKind(k), d)
+			start = start.Add(-d)
+			fs.pendingWait[k] = 0
+		}
+	}
+	return start, fs.cpu.Instructions()
 }
 
 // endOp wraps err with operation and path context (*vfs.PathError)
-// and, when a recorder is attached, emits the operation's span. Must
-// be called with fs.mu held.
+// and, when a recorder is attached, emits the operation's span with
+// its phase decomposition (the unattributed residual is CPU, so the
+// phases always sum to the span's latency exactly). Must be called
+// with fs.mu held.
 func (fs *FS) endOp(op, path string, start sim.Time, cpu0 int64, err error) error {
 	err = vfs.WrapPathError(op, path, err)
 	if fs.rec != nil {
@@ -41,7 +56,8 @@ func (fs *FS) endOp(op, path string, start sim.Time, cpu0 int64, err error) erro
 		}
 		fs.rec.Span(obs.Span{Op: op, Path: path, Start: start,
 			End: fs.clock.Now(), CPU: fs.cpu.Instructions() - cpu0, Err: msg,
-			Client: fs.client})
+			Client: fs.client,
+			Phases: fs.phases.Phases(fs.clock.Now().Sub(start))})
 	}
 	return err
 }
@@ -537,7 +553,10 @@ func (fs *FS) sync() error {
 	if err := fs.writeback(true); err != nil {
 		return err
 	}
+	// Waiting out the queued write-back transfers is commit wait.
+	t0 := fs.clock.Now()
 	fs.d.Drain()
+	fs.phases.Add(obs.PhaseCommitWait, fs.clock.Now().Sub(t0))
 	return nil
 }
 

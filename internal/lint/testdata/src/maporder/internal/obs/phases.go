@@ -1,0 +1,30 @@
+package obs
+
+import "fmt"
+
+// EncodePhases emits a span's phase totals by ranging a map, so the
+// line order follows map iteration and must be flagged — the trace
+// schema promises phases in fixed kind order.
+func EncodePhases(totals map[string]int64) []string {
+	var lines []string
+	for kind, d := range totals {
+		lines = append(lines, fmt.Sprintf("%s=%d", kind, d))
+	}
+	return lines
+}
+
+// phaseKinds is the fixed emission order the schema promises.
+var phaseKinds = [...]string{"cpu", "lock_wait", "queue_wait", "disk_service"}
+
+// EncodePhasesFixed is the sanctioned shape: the totals live in an
+// array indexed by kind and emit in declared kind order — no map in
+// sight, no finding. (The parameter name deliberately differs from
+// EncodePhases's map: the index is name-based, and a name declared
+// with both a map and a non-map type would drop out of map tracking.)
+func EncodePhasesFixed(byKind [4]int64) []string {
+	out := make([]string, 0, len(byKind))
+	for k, d := range byKind {
+		out = append(out, fmt.Sprintf("%s=%d", phaseKinds[k], d))
+	}
+	return out
+}

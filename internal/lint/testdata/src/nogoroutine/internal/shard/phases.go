@@ -1,0 +1,25 @@
+package shard
+
+import "nogoroutine/internal/sim"
+
+// gatherPhases fans per-shard phase totals out to goroutines and must
+// be flagged once (the go statement; the channel traffic inside rides
+// along): the totals would arrive in runtime-scheduler order, not the
+// fixed shard order the trace schema promises.
+func gatherPhases(totals []chan sim.Time) chan sim.Time {
+	out := make(chan sim.Time)
+	for _, ch := range totals {
+		go func(ch chan sim.Time) { out <- <-ch }(ch)
+	}
+	return out
+}
+
+// foldPhases is the sanctioned pattern: per-shard phase totals fold
+// in shard order on the single loop thread, no finding.
+func foldPhases(totals []sim.Time) sim.Time {
+	var sum sim.Time
+	for _, d := range totals {
+		sum += d
+	}
+	return sum
+}

@@ -1,0 +1,20 @@
+package obs
+
+import (
+	"time"
+
+	"wallclock/internal/sim"
+)
+
+// phaseMark stamps a phase boundary from the wall clock and must be
+// flagged: a span's decomposition is a list of simulated durations,
+// and a wall instant mixed in could never sum to a simulated latency.
+func phaseMark() int64 { return time.Now().UnixNano() }
+
+// phaseDur measures a phase with the wall clock and must be flagged.
+func phaseDur(start time.Time) time.Duration { return time.Since(start) }
+
+// phaseBetween is the sanctioned pattern: both boundaries are
+// simulated instants handed in by the caller holding the clock, no
+// finding.
+func phaseBetween(start, end sim.Time) sim.Time { return end - start }

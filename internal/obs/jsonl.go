@@ -16,6 +16,12 @@ import (
 type Record struct {
 	Type string `json:"type"` // "span" | "io" | "clean"
 
+	// V is the trace schema version. Version 2 added span phase
+	// decomposition (Phases) and the io queue-wait split (Wait).
+	// Files written before versioning carry no v field and parse as
+	// 0, meaning v1; readers reject versions above the current one.
+	V int `json:"v,omitempty"`
+
 	// span
 	Op    string `json:"op,omitempty"`
 	Path  string `json:"path,omitempty"`
@@ -23,6 +29,9 @@ type Record struct {
 	End   int64  `json:"end_ns,omitempty"`
 	CPU   int64  `json:"cpu,omitempty"`
 	Err   string `json:"err,omitempty"`
+	// Phases is the span's latency decomposition (v2): ordered
+	// segments whose dur_ns sum to end_ns - start_ns exactly.
+	Phases []PhaseRec `json:"phases,omitempty"`
 
 	// span and io share Client: the issuing client ID in multi-client
 	// runs; omitted (0) for unattributed traffic, so single-client
@@ -43,7 +52,11 @@ type Record struct {
 	Sync    bool   `json:"sync,omitempty"`
 	Cause   string `json:"cause,omitempty"`
 	Service int64  `json:"service_ns,omitempty"`
-	Label   string `json:"label,omitempty"`
+	// Wait is the request's queue wait (v2): time between issue and
+	// the arm starting service, so wait_ns + service_ns spans the
+	// request's life end to end. Omitted when zero.
+	Wait  int64  `json:"wait_ns,omitempty"`
+	Label string `json:"label,omitempty"`
 
 	// clean (Time is shared with io)
 	Seg            int     `json:"seg,omitempty"`
@@ -52,6 +65,47 @@ type Record struct {
 	BytesCopied    int64   `json:"bytes_copied,omitempty"`
 	BytesReclaimed int64   `json:"bytes_reclaimed,omitempty"`
 	WriteCost      float64 `json:"write_cost,omitempty"`
+}
+
+// PhaseRec is one phase segment on the wire.
+type PhaseRec struct {
+	Kind string `json:"kind"`
+	// Cause names the serviced request's IOCause for disk_service
+	// phases; omitted for every other kind.
+	Cause string `json:"cause,omitempty"`
+	Dur   int64  `json:"dur_ns"`
+}
+
+// TraceVersion is the trace schema version WriteJSONL emits.
+const TraceVersion = 2
+
+// phaseRecs converts a span's phase list to wire form.
+func phaseRecs(phases []Phase) []PhaseRec {
+	if len(phases) == 0 {
+		return nil
+	}
+	out := make([]PhaseRec, len(phases))
+	for i, p := range phases {
+		out[i] = PhaseRec{Kind: p.Kind.String(), Dur: int64(p.Dur)}
+		if p.Kind == PhaseDiskService {
+			out[i].Cause = p.Cause.String()
+		}
+	}
+	return out
+}
+
+// parsePhases converts wire phases back to the in-memory form.
+func parsePhases(recs []PhaseRec) []Phase {
+	if len(recs) == 0 {
+		return nil
+	}
+	out := make([]Phase, len(recs))
+	for i, pr := range recs {
+		kind, _ := ParsePhaseKind(pr.Kind)
+		cause, _ := disk.ParseIOCause(pr.Cause)
+		out[i] = Phase{Kind: kind, Cause: cause, Dur: sim.Duration(pr.Dur)}
+	}
+	return out
 }
 
 // WriteJSONL writes everything recorded so far as one JSON object per
@@ -66,25 +120,25 @@ func (r *Recorder) WriteJSONL(w io.Writer) error {
 	defer r.mu.Unlock()
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
-	for _, s := range r.spans {
-		rec := Record{Type: "span", Op: s.Op, Path: s.Path,
+	for _, s := range r.spansLocked() {
+		rec := Record{Type: "span", V: TraceVersion, Op: s.Op, Path: s.Path,
 			Start: int64(s.Start), End: int64(s.End), CPU: s.CPU, Err: s.Err,
-			Client: s.Client, Shard: s.Shard}
+			Client: s.Client, Shard: s.Shard, Phases: phaseRecs(s.Phases)}
 		if err := enc.Encode(rec); err != nil {
 			return err
 		}
 	}
-	for _, ev := range r.events {
-		rec := Record{Type: "io", Time: int64(ev.Time), Kind: ev.Kind.String(),
+	for _, ev := range r.eventsLocked() {
+		rec := Record{Type: "io", V: TraceVersion, Time: int64(ev.Time), Kind: ev.Kind.String(),
 			Sector: ev.Sector, Sectors: ev.Sectors, Sync: ev.Sync,
-			Cause: ev.Cause.String(), Service: int64(ev.Service), Label: ev.Label,
-			Client: ev.Client, Shard: ev.Shard}
+			Cause: ev.Cause.String(), Service: int64(ev.Service), Wait: int64(ev.Wait),
+			Label: ev.Label, Client: ev.Client, Shard: ev.Shard}
 		if err := enc.Encode(rec); err != nil {
 			return err
 		}
 	}
-	for _, c := range r.cleans {
-		rec := Record{Type: "clean", Time: int64(c.Time), Seg: c.Seg,
+	for _, c := range r.cleansLocked() {
+		rec := Record{Type: "clean", V: TraceVersion, Time: int64(c.Time), Seg: c.Seg,
 			Utilization: c.Utilization, BytesRead: c.BytesRead,
 			BytesCopied: c.BytesCopied, BytesReclaimed: c.BytesReclaimed,
 			WriteCost: c.WriteCost}
@@ -111,6 +165,9 @@ func ReadJSONL(r io.Reader) ([]Record, error) {
 		if err := json.Unmarshal(raw, &rec); err != nil {
 			return nil, fmt.Errorf("obs: trace line %d: %w", line, err)
 		}
+		if rec.V > TraceVersion {
+			return nil, fmt.Errorf("obs: trace line %d: schema version %d newer than supported %d", line, rec.V, TraceVersion)
+		}
 		recs = append(recs, rec)
 	}
 	if err := sc.Err(); err != nil {
@@ -131,7 +188,8 @@ func AggregateRecords(recs []Record) *Aggregates {
 		case "span":
 			spans = append(spans, Span{Op: rec.Op, Path: rec.Path,
 				Start: sim.Time(rec.Start), End: sim.Time(rec.End),
-				CPU: rec.CPU, Err: rec.Err, Client: rec.Client, Shard: rec.Shard})
+				CPU: rec.CPU, Err: rec.Err, Client: rec.Client, Shard: rec.Shard,
+				Phases: parsePhases(rec.Phases)})
 		case "io":
 			cause, _ := disk.ParseIOCause(rec.Cause)
 			kind := disk.OpRead
@@ -140,8 +198,8 @@ func AggregateRecords(recs []Record) *Aggregates {
 			}
 			events = append(events, disk.Event{Time: sim.Time(rec.Time), Kind: kind,
 				Sector: rec.Sector, Sectors: rec.Sectors, Sync: rec.Sync,
-				Cause: cause, Service: sim.Duration(rec.Service), Label: rec.Label,
-				Client: rec.Client, Shard: rec.Shard})
+				Cause: cause, Service: sim.Duration(rec.Service), Wait: sim.Duration(rec.Wait),
+				Label: rec.Label, Client: rec.Client, Shard: rec.Shard})
 		case "clean":
 			cleans = append(cleans, CleanRecord{Time: sim.Time(rec.Time), Seg: rec.Seg,
 				Utilization: rec.Utilization, BytesRead: rec.BytesRead,

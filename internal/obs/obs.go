@@ -40,10 +40,26 @@ type Span struct {
 	Err    string
 	Client int
 	Shard  int
+	// Phases decomposes the span's latency into ordered attributed
+	// segments summing to Latency() exactly (the exactness
+	// invariant); nil on spans recorded before phase attribution
+	// existed (trace schema v1) or for zero-latency operations.
+	Phases []Phase
 }
 
 // Latency returns the operation's simulated duration.
 func (s Span) Latency() sim.Duration { return s.End.Sub(s.Start) }
+
+// PhasesExact reports whether the span's phase list sums to its
+// latency to the tick. Spans without phases (v1 traces) are vacuously
+// exact only when their latency is zero.
+func (s Span) PhasesExact() bool {
+	var sum sim.Duration
+	for _, p := range s.Phases {
+		sum += p.Dur
+	}
+	return sum == s.Latency()
+}
 
 // CleanRecord is one cleaner activation on one victim segment.
 type CleanRecord struct {
@@ -91,10 +107,35 @@ type Recorder struct {
 	spans  []Span
 	events []disk.Event
 	cleans []CleanRecord
+	// limit caps each stream's retained records (0 = unlimited).
+	// Once a stream is full the oldest record is overwritten
+	// ring-style — long runs keep the most recent window instead of
+	// growing without bound — and the dropped counter increments.
+	// Guarded by mu.
+	limit int
+	// spanHead, eventHead, and cleanHead are the ring start indexes,
+	// meaningful once the stream has reached the limit. Guarded by mu.
+	spanHead, eventHead, cleanHead int
+	// droppedSpans, droppedEvents, and droppedCleans count records
+	// evicted by the limit; surfaced in Aggregates. Guarded by mu.
+	droppedSpans, droppedEvents, droppedCleans int64
 }
 
-// NewRecorder returns an empty recorder.
+// NewRecorder returns an empty recorder with no retention limit.
 func NewRecorder() *Recorder { return &Recorder{} }
+
+// NewRecorderLimit returns a recorder retaining at most n records per
+// stream (spans, disk events, cleaner records). When a stream is
+// full, appending evicts the oldest record and counts it in the
+// Dropped fields of Aggregates — a 10^8-event run with tracing on
+// keeps a bounded window instead of exhausting memory. n <= 0 means
+// unlimited.
+func NewRecorderLimit(n int) *Recorder {
+	if n < 0 {
+		n = 0
+	}
+	return &Recorder{limit: n}
+}
 
 // Enabled reports whether the recorder is non-nil, for callers that
 // want to skip building a record at all.
@@ -106,7 +147,13 @@ func (r *Recorder) Record(ev disk.Event) {
 		return
 	}
 	r.mu.Lock()
-	r.events = append(r.events, ev)
+	if r.limit > 0 && len(r.events) >= r.limit {
+		r.events[r.eventHead] = ev
+		r.eventHead = (r.eventHead + 1) % r.limit
+		r.droppedEvents++
+	} else {
+		r.events = append(r.events, ev)
+	}
 	r.mu.Unlock()
 }
 
@@ -116,7 +163,13 @@ func (r *Recorder) Span(s Span) {
 		return
 	}
 	r.mu.Lock()
-	r.spans = append(r.spans, s)
+	if r.limit > 0 && len(r.spans) >= r.limit {
+		r.spans[r.spanHead] = s
+		r.spanHead = (r.spanHead + 1) % r.limit
+		r.droppedSpans++
+	} else {
+		r.spans = append(r.spans, s)
+	}
 	r.mu.Unlock()
 }
 
@@ -128,47 +181,90 @@ func (r *Recorder) Clean(c CleanRecord) {
 	}
 	c.WriteCost = writeCost(c.BytesRead, c.BytesCopied)
 	r.mu.Lock()
-	r.cleans = append(r.cleans, c)
+	if r.limit > 0 && len(r.cleans) >= r.limit {
+		r.cleans[r.cleanHead] = c
+		r.cleanHead = (r.cleanHead + 1) % r.limit
+		r.droppedCleans++
+	} else {
+		r.cleans = append(r.cleans, c)
+	}
 	r.mu.Unlock()
 }
 
-// Spans returns a copy of the recorded spans.
+// spansLocked returns the retained spans oldest-first, unrolling the
+// ring. Must be called with mu held.
+func (r *Recorder) spansLocked() []Span {
+	out := make([]Span, 0, len(r.spans))
+	out = append(out, r.spans[r.spanHead:]...)
+	return append(out, r.spans[:r.spanHead]...)
+}
+
+// eventsLocked returns the retained events oldest-first.
+func (r *Recorder) eventsLocked() []disk.Event {
+	out := make([]disk.Event, 0, len(r.events))
+	out = append(out, r.events[r.eventHead:]...)
+	return append(out, r.events[:r.eventHead]...)
+}
+
+// cleansLocked returns the retained cleaner records oldest-first.
+func (r *Recorder) cleansLocked() []CleanRecord {
+	out := make([]CleanRecord, 0, len(r.cleans))
+	out = append(out, r.cleans[r.cleanHead:]...)
+	return append(out, r.cleans[:r.cleanHead]...)
+}
+
+// Spans returns a copy of the recorded spans, oldest first.
 func (r *Recorder) Spans() []Span {
 	if r == nil {
 		return nil
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return append([]Span(nil), r.spans...)
+	return r.spansLocked()
 }
 
-// Events returns a copy of the recorded disk events.
+// Events returns a copy of the recorded disk events, oldest first.
 func (r *Recorder) Events() []disk.Event {
 	if r == nil {
 		return nil
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return append([]disk.Event(nil), r.events...)
+	return r.eventsLocked()
 }
 
-// Cleans returns a copy of the recorded cleaner activations.
+// Cleans returns a copy of the recorded cleaner activations, oldest
+// first.
 func (r *Recorder) Cleans() []CleanRecord {
 	if r == nil {
 		return nil
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return append([]CleanRecord(nil), r.cleans...)
+	return r.cleansLocked()
 }
 
-// Reset discards everything recorded so far.
+// Dropped returns the number of spans, events, and cleaner records
+// evicted by the retention limit so far.
+func (r *Recorder) Dropped() (spans, events, cleans int64) {
+	if r == nil {
+		return 0, 0, 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.droppedSpans, r.droppedEvents, r.droppedCleans
+}
+
+// Reset discards everything recorded so far, including the dropped
+// counters; the retention limit is kept.
 func (r *Recorder) Reset() {
 	if r == nil {
 		return
 	}
 	r.mu.Lock()
 	r.spans, r.events, r.cleans = nil, nil, nil
+	r.spanHead, r.eventHead, r.cleanHead = 0, 0, 0
+	r.droppedSpans, r.droppedEvents, r.droppedCleans = 0, 0, 0
 	r.mu.Unlock()
 }
 
@@ -182,6 +278,12 @@ type OpStats struct {
 	Min     sim.Duration
 	Max     sim.Duration
 	Latency Histogram
+	// Phase sums the op's span latency by phase kind. For spans
+	// carrying phase lists the kinds sum to the span's latency
+	// exactly, so summing across spans preserves the invariant:
+	// the Phase totals of an op sum to Total minus the latency of
+	// phase-less (v1) spans.
+	Phase [NumPhaseKinds]sim.Duration
 }
 
 // Mean returns the average latency.
@@ -223,6 +325,13 @@ type Aggregates struct {
 	IO       []CauseBusy
 	DiskBusy sim.Duration
 	Clean    CleanStats
+	// DroppedSpans, DroppedEvents, and DroppedCleans count records a
+	// retention limit (NewRecorderLimit) evicted before aggregation:
+	// non-zero values mean the figures below describe a recent window
+	// of the run, not all of it.
+	DroppedSpans  int64
+	DroppedEvents int64
+	DroppedCleans int64
 }
 
 // Aggregates computes aggregates over everything recorded so far.
@@ -232,7 +341,11 @@ func (r *Recorder) Aggregates() *Aggregates {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return aggregate(r.spans, r.events, r.cleans)
+	agg := aggregate(r.spansLocked(), r.eventsLocked(), r.cleansLocked())
+	agg.DroppedSpans = r.droppedSpans
+	agg.DroppedEvents = r.droppedEvents
+	agg.DroppedCleans = r.droppedCleans
+	return agg
 }
 
 // aggregate builds an Aggregates from raw records; lfstrace reuses it
@@ -261,6 +374,11 @@ func aggregate(spans []Span, events []disk.Event, cleans []CleanRecord) *Aggrega
 			o.Max = lat
 		}
 		o.Latency.Observe(lat.Seconds())
+		for _, p := range s.Phases {
+			if p.Kind < NumPhaseKinds {
+				o.Phase[p.Kind] += p.Dur
+			}
+		}
 	}
 	for _, o := range byOp {
 		agg.Ops = append(agg.Ops, *o)

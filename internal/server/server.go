@@ -56,6 +56,16 @@ type metricsTicker interface {
 	TickMetrics()
 }
 
+// waitNoter is the optional pre-operation wait attribution hook (all
+// three file systems have it). The server notes scheduler dispatch
+// gaps — an event firing later than scheduled because other clients'
+// operations consumed the intervening simulated time — so the next
+// span's phase decomposition carries the serialization wait
+// (obs.PhaseLockWait) instead of silently losing it.
+type waitNoter interface {
+	NoteWait(kind obs.PhaseKind, d sim.Duration)
+}
+
 // Config shapes a multi-client run.
 type Config struct {
 	// Clients is the number of closed-loop clients.
@@ -218,6 +228,22 @@ func Run(fsys FS, cfg Config) (Result, error) {
 		}
 	}
 
+	// Dispatch-gap attribution: an event that fires later than its
+	// scheduled instant waited for the file system, serialized behind
+	// other clients. The gap is noted before the operation runs so
+	// its span starts at the scheduled time and carries the wait as
+	// an explicit lock_wait phase. Pure arithmetic on clock reads —
+	// the timeline, event count, and results are unchanged.
+	noter, _ := fsys.(waitNoter)
+	noteDispatchGap := func(intended sim.Time) {
+		if noter == nil {
+			return
+		}
+		if gap := loop.Clock().Now().Sub(intended); gap > 0 {
+			noter.NoteWait(obs.PhaseLockWait, gap)
+		}
+	}
+
 	opsLeft := cfg.Clients * cfg.OpsPerClient
 	var firstErr error
 	fail := func(err error) {
@@ -260,6 +286,10 @@ func Run(fsys FS, cfg Config) (Result, error) {
 		st.Latency = obs.NewLatencyHistogram()
 		created := make([]bool, cfg.FilesPerClient)
 		n := 0
+		// intendedWrite is when the client's next write event is due;
+		// the difference between it and the actual fire time is the
+		// dispatch gap noted to the wait hook.
+		var intendedWrite sim.Time
 		var issue func()
 		// next retires the current operation — completed or
 		// abandoned after a tolerated error — and schedules the
@@ -271,13 +301,16 @@ func Run(fsys FS, cfg Config) (Result, error) {
 				stopPump()
 			}
 			if n < cfg.OpsPerClient {
-				loop.After(think(rng, cfg.ThinkTime), "write", issue)
+				d := think(rng, cfg.ThinkTime)
+				intendedWrite = loop.Clock().Now().Add(d)
+				loop.After(d, "write", issue)
 			}
 		}
 		issue = func() {
 			if firstErr != nil {
 				return
 			}
+			noteDispatchGap(intendedWrite)
 			slot := n % cfg.FilesPerClient
 			path := fmt.Sprintf("%s/f%03d", clientDir(client), slot)
 			start := loop.Clock().Now()
@@ -301,10 +334,14 @@ func Run(fsys FS, cfg Config) (Result, error) {
 			// The fsync is a separate event: other clients' writes
 			// scheduled at or before now run first, so the sync
 			// request finds a batch to commit, not just this file.
+			// Any writes that do run in between show up as the
+			// fsync span's dispatch gap.
+			fsyncIntended := loop.Clock().Now()
 			loop.After(0, "fsync", func() {
 				if firstErr != nil {
 					return
 				}
+				noteDispatchGap(fsyncIntended)
 				fsys.SetClient(client)
 				if err := syncFile(fsys, path); err != nil {
 					if tolerate(st, err) {
@@ -326,7 +363,8 @@ func Run(fsys FS, cfg Config) (Result, error) {
 		// Stagger the first issue by one nanosecond per client: a
 		// deterministic ramp that fixes the initial arrival order
 		// without meaningfully offsetting the clients.
-		loop.At(res.Start.Add(sim.Duration(client)), "write", issue)
+		intendedWrite = res.Start.Add(sim.Duration(client))
+		loop.At(intendedWrite, "write", issue)
 	}
 
 	if cfg.MetricsInterval > 0 {

@@ -6,17 +6,22 @@ import (
 
 	"lfs/internal/core"
 	"lfs/internal/layout"
+	"lfs/internal/obs"
 	"lfs/internal/vfs"
 )
 
 // route resolves a single-path operation to its owning shard,
-// wrapping path validation errors with the operation name.
+// wrapping path validation errors with the operation name. Waits
+// parked on the router (NoteWait) are handed to the resolved shard so
+// the operation's span carries them.
 func (fs *FS) route(op, path string) (*core.FS, error) {
 	parts, err := vfs.SplitPath(path)
 	if err != nil {
 		return nil, vfs.WrapPathError(op, path, err)
 	}
-	return fs.shards[fs.place(path, parts)], nil
+	s := fs.shards[fs.place(path, parts)]
+	fs.handoffWait(s)
+	return s, nil
 }
 
 // Create makes the file on its placed shard.
@@ -41,9 +46,13 @@ func (fs *FS) Mkdir(path string) error {
 		return vfs.WrapPathError("mkdir", path, err)
 	}
 	if s, ok := fs.pinFor(parts); ok {
+		fs.handoffWait(fs.shards[s])
 		return fs.shards[s].Mkdir(path)
 	}
-	for _, s := range fs.shards {
+	for i, s := range fs.shards {
+		if i == 0 {
+			fs.handoffWait(s)
+		}
 		if err := s.Mkdir(path); err != nil {
 			return err
 		}
@@ -290,11 +299,20 @@ func (fs *FS) FsyncFile(path string) error {
 		return vfs.WrapPathError("fsync", path, err)
 	}
 	home := fs.place(path, parts)
+	// Time spent kicking the other shards' transfers is cross-shard
+	// fan-out wait: the home fsync could not start until the
+	// broadcast finished, so its span carries the delay explicitly
+	// (backdated through NoteWait, timeline unchanged).
+	t0 := fs.clock.Now()
 	for i, s := range fs.shards {
 		if i != home {
 			_ = s.FlushAsync()
 		}
 	}
+	if dt := fs.clock.Now().Sub(t0); dt > 0 {
+		fs.shards[home].NoteWait(obs.PhaseFanout, dt)
+	}
+	fs.handoffWait(fs.shards[home])
 	return fs.shards[home].FsyncFile(path)
 }
 
@@ -307,6 +325,7 @@ func (fs *FS) Sync() error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	var first error
+	fs.handoffWait(fs.shards[0])
 	for _, s := range fs.shards {
 		if err := s.FlushAsync(); err != nil && first == nil {
 			first = err

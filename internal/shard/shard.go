@@ -51,6 +51,7 @@ import (
 
 	"lfs/internal/core"
 	"lfs/internal/disk"
+	"lfs/internal/obs"
 	"lfs/internal/sim"
 	"lfs/internal/vfs"
 )
@@ -108,6 +109,35 @@ type FS struct {
 	opts  Options
 	// pins is the validated pin list, longest prefix first.
 	pins []pin
+
+	// pendingWait holds waits noted against the router before the
+	// next operation (the event loop's dispatch gaps); routing hands
+	// them to the executing shard, whose next span carries them.
+	// Guarded by mu.
+	pendingWait [obs.NumPhaseKinds]sim.Duration
+}
+
+// NoteWait credits d of kind to the next routed operation's span. The
+// router holds no spans of its own, so the wait parks here until the
+// next operation resolves its shard and hands it down.
+func (fs *FS) NoteWait(kind obs.PhaseKind, d sim.Duration) {
+	if d <= 0 || kind >= obs.NumPhaseKinds {
+		return
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.pendingWait[kind] += d
+}
+
+// handoffWait transfers the parked waits to the shard about to
+// execute an operation. Must be called with fs.mu held.
+func (fs *FS) handoffWait(s *core.FS) {
+	for k := range fs.pendingWait {
+		if d := fs.pendingWait[k]; d > 0 {
+			s.NoteWait(obs.PhaseKind(k), d)
+			fs.pendingWait[k] = 0
+		}
+	}
 }
 
 // validatePins parses and orders opts.Pins for n shards.

@@ -177,6 +177,12 @@ const (
 // attached through Config.Trace.
 func NewTraceRecorder() *TraceRecorder { return obs.NewRecorder() }
 
+// NewTraceRecorderLimit returns a trace recorder that retains only
+// the newest n records of each type, dropping the oldest as new ones
+// arrive (drop counts surface in Aggregates); n <= 0 means unlimited.
+// Long-running instrumented workloads use it to bound trace memory.
+func NewTraceRecorderLimit(n int) *TraceRecorder { return obs.NewRecorderLimit(n) }
+
 // Sentinel errors, tested with errors.Is.
 var (
 	ErrNotExist  = vfs.ErrNotExist

@@ -41,6 +41,8 @@ echo "== tracing smoke =="
 go run ./cmd/lfsbench -experiment trace -quick \
 	-trace "$tracedir/trace.jsonl" -benchjson "$tracedir/BENCH_trace.json"
 go run ./cmd/lfstrace "$tracedir/trace.jsonl" > /dev/null
+go run ./cmd/lfstrace -critpath "$tracedir/trace.jsonl" > /dev/null
+go run ./cmd/lfstrace -json "$tracedir/trace.jsonl" > /dev/null
 scripts/benchdiff.sh BENCH_trace.json "$tracedir/BENCH_trace.json"
 mv "$tracedir/BENCH_trace.json" BENCH_trace.json
 echo "== concurrency smoke =="
@@ -53,6 +55,17 @@ go run ./cmd/lfsbench -experiment concurrency -quick \
 go run ./cmd/lfstop "$tracedir/concurrency.metrics.jsonl" > /dev/null
 scripts/benchdiff.sh BENCH_concurrency.json "$tracedir/BENCH_concurrency.json"
 mv "$tracedir/BENCH_concurrency.json" BENCH_concurrency.json
+echo "== critical-path smoke =="
+# Latency-attribution smoke: the group-commit fsync sweep with every
+# span's phase decomposition checked for exactness — lfsbench fails
+# the run itself if any span's phases do not sum to its latency — and
+# the per-phase means, percentiles, and tail blame diffed against the
+# committed baseline, so time silently moving between phases (an
+# attribution regression) cannot land.
+go run ./cmd/lfsbench -experiment critpath -quick \
+	-benchjson "$tracedir/BENCH_critpath.json"
+scripts/benchdiff.sh BENCH_critpath.json "$tracedir/BENCH_critpath.json"
+mv "$tracedir/BENCH_critpath.json" BENCH_critpath.json
 echo "== cleaning-curve smoke =="
 # Write-cost-vs-utilization curve (greedy vs cost-benefit vs
 # cost-benefit+segregation) under the seeded Zipf overwrite load at
